@@ -1,0 +1,82 @@
+//! SEC4C wall-clock companion: the clock machinery itself — comparison
+//! (Algorithm 3), merge (Algorithm 4), matrix maintenance (§IV-B) — as a
+//! function of n. The paper's storage claim is linear/quadratic growth; the
+//! time cost of the operations grows the same way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vclock::{compare_clocks, max_clock, MatrixClock, SparseClock, VectorClock};
+
+fn clock_for(n: usize, salt: u64) -> VectorClock {
+    VectorClock::from_components((0..n).map(|i| (i as u64 * 7 + salt) % 100).collect())
+}
+
+fn compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm3_compare");
+    for n in [2usize, 8, 32, 128] {
+        let a = clock_for(n, 1);
+        let b = clock_for(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                std::hint::black_box(
+                    !compare_clocks(std::hint::black_box(&a), std::hint::black_box(&b))
+                        && !compare_clocks(&b, &a),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm4_merge");
+    for n in [2usize, 8, 32, 128] {
+        let a = clock_for(n, 1);
+        let b = clock_for(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(max_clock(&a, &b)));
+        });
+    }
+    group.finish();
+}
+
+fn matrix_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_observe_tick");
+    for n in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let remote = clock_for(n, 5);
+            bench.iter(|| {
+                let mut m = MatrixClock::zero(0, n);
+                for _ in 0..16 {
+                    m.observe(1 % n, &remote);
+                    std::hint::black_box(m.tick());
+                }
+                m
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sparse_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense_relation");
+    let n = 64;
+    // Two active writers out of 64.
+    let mut a = VectorClock::zero(n);
+    a.set(3, 9);
+    a.set(17, 2);
+    let mut b = VectorClock::zero(n);
+    b.set(3, 4);
+    b.set(40, 7);
+    let sa = SparseClock::from_dense(&a);
+    let sb = SparseClock::from_dense(&b);
+    group.bench_function("dense", |bench| {
+        bench.iter(|| std::hint::black_box(a.relation(&b)));
+    });
+    group.bench_function("sparse", |bench| {
+        bench.iter(|| std::hint::black_box(sa.relation(&sb)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compare, merge, matrix_update, sparse_vs_dense);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! SEC4D wall-clock companion: per-access cost of each detector on the
+//! random workload, plus the oracle's offline analysis cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use race_core::{DetectorKind, Granularity, Oracle};
+use simulator::workloads::random_access::{generate, RandomSpec};
+use simulator::{Engine, SimConfig};
+
+fn detectors(c: &mut Criterion) {
+    let w = generate(RandomSpec {
+        n: 6,
+        ops_per_rank: 32,
+        hot_words: 8,
+        p_write: 0.5,
+        locked: false,
+        seed: 7,
+    });
+    let mut group = c.benchmark_group("detector_full_run");
+    for kind in DetectorKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |bench, &kind| {
+                let cfg = SimConfig::debugging(w.n).with_detector(kind);
+                bench.iter(|| Engine::new(cfg.clone(), w.programs.clone()).run());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn detector_observe_only(c: &mut Criterion) {
+    // Pure detector cost, no simulator: a stream of conflicting ops.
+    use race_core::{DsmOp, OpKind};
+    let mut group = c.benchmark_group("detector_observe_1k_ops");
+    for kind in [DetectorKind::Dual, DetectorKind::Single, DetectorKind::Lockset] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |bench, &kind| {
+                bench.iter(|| {
+                    let mut det = kind.build(8, Granularity::WORD);
+                    for i in 0..1000u64 {
+                        let actor = (i % 8) as usize;
+                        let word = dsm::GlobalAddr::public(0, ((i % 16) * 8) as usize).range(8);
+                        let op = DsmOp {
+                            op_id: i,
+                            actor,
+                            kind: if i % 3 == 0 {
+                                OpKind::LocalWrite { range: word }
+                            } else {
+                                OpKind::LocalRead { range: word }
+                            },
+                        };
+                        std::hint::black_box(det.observe(&op, &[]));
+                    }
+                    det.reports().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn oracle_analysis(c: &mut Criterion) {
+    let w = generate(RandomSpec {
+        n: 6,
+        ops_per_rank: 32,
+        hot_words: 8,
+        p_write: 0.5,
+        locked: false,
+        seed: 7,
+    });
+    let r = Engine::new(SimConfig::debugging(w.n), w.programs).run();
+    c.bench_function("oracle_offline_analysis", |bench| {
+        bench.iter(|| {
+            let oracle = Oracle::analyze(&r.trace);
+            std::hint::black_box(oracle.score(&r.deduped))
+        });
+    });
+}
+
+criterion_group!(benches, detectors, detector_observe_only, oracle_analysis);
+criterion_main!(benches);

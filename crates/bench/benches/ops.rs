@@ -1,0 +1,67 @@
+//! FIG2/FIG3 wall-clock companion: cost of simulating the one-sided
+//! operations (put, get, deferred put) across message sizes.
+//!
+//! The *virtual-time* results live in `repro fig2`/`repro fig3`; these
+//! benches measure the simulator machinery itself, which is what a
+//! downstream user of the library pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use race_core::DetectorKind;
+use simulator::{Engine, Program, ProgramBuilder, SimConfig};
+
+fn put_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_put");
+    for size in [8usize, 256, 4096, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let dst = dsm::GlobalAddr::public(1, 0).range(size);
+            b.iter(|| {
+                let programs = vec![
+                    ProgramBuilder::new(0).put_imm(vec![0xAB; size], dst).build(),
+                    Program::new(),
+                ];
+                let mut cfg = SimConfig::lockstep(2, 1_000);
+                cfg.public_len = size.max(4096);
+                cfg.detector = DetectorKind::Vanilla;
+                Engine::new(cfg, programs).run()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn get_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_get");
+    for size in [8usize, 4096, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let src = dsm::GlobalAddr::public(0, 0).range(size);
+            let dst = dsm::GlobalAddr::private(1, 0).range(size);
+            b.iter(|| {
+                let programs = vec![
+                    Program::new(),
+                    ProgramBuilder::new(1).get(src, dst).build(),
+                ];
+                let mut cfg = SimConfig::lockstep(2, 1_000);
+                cfg.public_len = size.max(4096);
+                cfg.private_len = size.max(4096);
+                cfg.detector = DetectorKind::Vanilla;
+                Engine::new(cfg, programs).run()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig3_deferral(c: &mut Criterion) {
+    c.bench_function("fig3_deferred_put", |b| {
+        let w = simulator::workloads::figures::fig3(1 << 16);
+        let mut cfg = SimConfig::lockstep(3, 1_000);
+        cfg.latency = simulator::LatencySpec::InfiniBand;
+        cfg.public_len = 1 << 16;
+        cfg.private_len = 1 << 16;
+        cfg.detector = DetectorKind::Vanilla;
+        b.iter(|| Engine::new(cfg.clone(), w.programs.clone()).run());
+    });
+}
+
+criterion_group!(benches, put_roundtrip, get_roundtrip, fig3_deferral);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! SEC5A wall-clock companion: full-system simulation cost, vanilla vs
+//! detection, as the process count grows, plus the multi-seed explorer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use race_core::DetectorKind;
+use simulator::workloads::{master_worker, stencil};
+use simulator::{explore, Engine, SimConfig};
+
+fn master_worker_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec5a_master_worker");
+    group.sample_size(20);
+    for workers in [4usize, 9] {
+        for kind in [DetectorKind::Vanilla, DetectorKind::Dual] {
+            let w = master_worker::racy(workers, 2);
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), w.n),
+                &kind,
+                |bench, &kind| {
+                    let cfg = SimConfig::debugging(w.n).with_detector(kind);
+                    bench.iter(|| Engine::new(cfg.clone(), w.programs.clone()).run());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn stencil_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stencil_sync");
+    group.sample_size(15);
+    for iters in [1usize, 4] {
+        let w = stencil::with_barrier(4, 8, iters);
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |bench, _| {
+            let cfg = SimConfig::debugging(w.n);
+            bench.iter(|| Engine::new(cfg.clone(), w.programs.clone()).run());
+        });
+    }
+    group.finish();
+}
+
+fn explorer_parallel_seeds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer");
+    group.sample_size(10);
+    let w = stencil::missing_barrier(4, 4, 2);
+    let cfg = SimConfig::debugging(4);
+    for seeds in [4usize, 16] {
+        let seed_list: Vec<u64> = (1..=seeds as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(seeds), &seeds, |bench, _| {
+            bench.iter(|| explore(&cfg, &w.programs, &seed_list));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, master_worker_scale, stencil_iterations, explorer_parallel_seeds);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! SHMEM wall-clock benches: real-thread put/get throughput with and
+//! without detection, and the cost of lock-protected updates — the price a
+//! threaded PGAS pays for the paper's algorithm (§V-A's overhead argument
+//! on the shared-memory substrate of §III-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use race_core::DetectorKind;
+use shmem::{GlobalAddr, ShmemConfig};
+
+fn puts_per_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shmem_disjoint_puts");
+    group.sample_size(20);
+    for kind in [DetectorKind::Vanilla, DetectorKind::Single, DetectorKind::Dual] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |bench, &kind| {
+                bench.iter(|| {
+                    shmem::run(ShmemConfig::new(4).with_detector(kind), |pe| {
+                        let me = pe.my_pe();
+                        for i in 0..64usize {
+                            pe.put_u64(
+                                GlobalAddr::public(me, (i % 32) * 8).range(8),
+                                i as u64,
+                            );
+                        }
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn contended_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shmem_locked_counter");
+    group.sample_size(20);
+    for pes in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(pes), &pes, |bench, &pes| {
+            let counter = GlobalAddr::public(0, 0).range(8);
+            bench.iter(|| {
+                shmem::run(ShmemConfig::new(pes), |pe| {
+                    for _ in 0..16 {
+                        let guard = pe.lock(counter);
+                        let (v, _) = pe.get_u64(counter);
+                        pe.put_u64(counter, v + 1);
+                        drop(guard);
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn onesided_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shmem_reduction");
+    group.sample_size(20);
+    for pes in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(pes), &pes, |bench, &pes| {
+            bench.iter(|| {
+                shmem::run(ShmemConfig::new(pes), |pe| {
+                    let me = pe.my_pe();
+                    pe.put_u64(GlobalAddr::public(me, 0).range(8), me as u64 + 1);
+                    pe.barrier();
+                    if me == 0 {
+                        let parts: Vec<_> = (0..pe.n_pes())
+                            .map(|r| GlobalAddr::public(r, 0).range(8))
+                            .collect();
+                        std::hint::black_box(pe.reduce_sum_u64(&parts));
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, puts_per_detector, contended_counter, onesided_reduction);
+criterion_main!(benches);

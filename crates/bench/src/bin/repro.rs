@@ -1,0 +1,24 @@
+//! Regenerate every figure and quantified claim of the paper.
+//!
+//! Usage:
+//!   repro             # all experiments (the EXPERIMENTS.md content)
+//!   repro FIG2 SEC5A  # a selection by experiment id
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tables = dsm_bench::all_tables();
+    let mut printed = 0;
+    for t in &tables {
+        if args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(t.id)) {
+            println!("{t}");
+            printed += 1;
+        }
+    }
+    if printed == 0 {
+        eprintln!("no experiment matched {:?}; known ids:", args);
+        for t in &tables {
+            eprintln!("  {}", t.id);
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-area clock storage (§IV, §IV-C/D).
+//!
+//! "Each process associates two clocks to areas of shared memory: a
+//! general-purpose clock `V` and a write clock `W` that keeps track of the
+//! latest write operation." (§IV-A)
+//!
+//! The paper leaves the size of an "area" open ("a clock must be used for
+//! each shared piece of data", §V-A); we make it a configurable
+//! [`Granularity`] — per 8-byte word, per cache line, per page, or any
+//! power-of-two block — and quantify the memory/precision trade-off in the
+//! ABL-gran experiment. Beyond the paper's two clocks, each area keeps
+//! short *antichains* of the most recent mutually-concurrent writes and
+//! reads so that reports can name the exact conflicting access (the paper's
+//! `signal_race_condition()` is unspecified about attribution); the §IV-D
+//! memory accounting intentionally counts only the `V`/`W` clocks to match
+//! the paper's claim.
+
+use std::collections::HashMap;
+
+use dsm::addr::{MemRange, Segment};
+use serde::{Deserialize, Serialize};
+use vclock::VectorClock;
+
+use crate::event::AccessSummary;
+use crate::Rank;
+
+/// Clock granularity: one `(V, W)` pair per `block_bytes` block of public
+/// memory. Must be a power of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Granularity {
+    block_bytes: usize,
+}
+
+impl Granularity {
+    /// One clock pair per 8-byte word — the finest practical granularity
+    /// ("a clock for each shared piece of data").
+    pub const WORD: Granularity = Granularity { block_bytes: 8 };
+    /// One clock pair per 64-byte cache line.
+    pub const CACHE_LINE: Granularity = Granularity { block_bytes: 64 };
+    /// One clock pair per 4 KiB page (coarse, cheap, imprecise).
+    pub const PAGE: Granularity = Granularity { block_bytes: 4096 };
+
+    /// Custom power-of-two block size.
+    ///
+    /// # Panics
+    /// Panics unless `block_bytes` is a power of two.
+    pub fn block(block_bytes: usize) -> Granularity {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "granularity must be a power of two, got {block_bytes}"
+        );
+        Granularity { block_bytes }
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Index of the block containing `offset`.
+    pub fn block_of(&self, offset: usize) -> usize {
+        offset / self.block_bytes
+    }
+}
+
+/// Identifies one clocked area: a block of one rank's public segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AreaKey {
+    /// Owning rank.
+    pub rank: Rank,
+    /// Block index within the public segment.
+    pub block: usize,
+}
+
+impl AreaKey {
+    /// Construct directly.
+    pub fn new(rank: Rank, block: usize) -> Self {
+        AreaKey { rank, block }
+    }
+}
+
+impl std::fmt::Display for AreaKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}#b{}", self.rank, self.block)
+    }
+}
+
+/// Clock state and recent-access history for one area.
+#[derive(Debug, Clone)]
+pub struct AreaHistory {
+    /// General-purpose clock: join of every access's clock.
+    pub v: VectorClock,
+    /// Write clock: join of every write's clock.
+    pub w: VectorClock,
+    /// Antichain of recent writes (pairwise concurrent).
+    pub writes: Vec<AccessSummary>,
+    /// Antichain of recent reads not yet superseded.
+    pub reads: Vec<AccessSummary>,
+}
+
+impl AreaHistory {
+    fn new(n: usize) -> Self {
+        AreaHistory {
+            v: VectorClock::zero(n),
+            w: VectorClock::zero(n),
+            writes: Vec::new(),
+            reads: Vec::new(),
+        }
+    }
+
+    /// Record a write with clock `access.clock`: drop superseded entries
+    /// (those whose clock precedes the new one), keep concurrent ones.
+    pub fn record_write(&mut self, access: AccessSummary) {
+        self.writes.retain(|p| p.clock.concurrent_with(&access.clock));
+        self.reads.retain(|p| p.clock.concurrent_with(&access.clock));
+        self.v.merge(&access.clock);
+        self.w.merge(&access.clock);
+        self.writes.push(access);
+    }
+
+    /// Record a read.
+    pub fn record_read(&mut self, access: AccessSummary) {
+        self.reads.retain(|p| p.clock.concurrent_with(&access.clock));
+        self.v.merge(&access.clock);
+        self.reads.push(access);
+    }
+}
+
+/// The clock table for the whole global address space, from the omniscient
+/// simulator's point of view. (In a real deployment each rank's NIC holds
+/// the rows for its own areas; the `simulator` engine charges the
+/// corresponding clock messages when an actor touches a remote area.)
+#[derive(Debug)]
+pub struct ClockStore {
+    n: usize,
+    granularity: Granularity,
+    dual: bool,
+    areas: HashMap<AreaKey, AreaHistory>,
+}
+
+impl ClockStore {
+    /// A store for `n` processes at `granularity`. `dual` selects whether a
+    /// separate write clock is kept (§IV-D memory accounting: the dual
+    /// store costs exactly twice the single store).
+    pub fn new(n: usize, granularity: Granularity, dual: bool) -> Self {
+        ClockStore {
+            n,
+            granularity,
+            dual,
+            areas: HashMap::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configured granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Area keys covered by `range` (public segments only — private memory
+    /// is single-owner and cannot race, §IV-A).
+    pub fn areas_for(&self, range: &MemRange) -> Vec<AreaKey> {
+        if range.addr.segment != Segment::Public || range.len == 0 {
+            return Vec::new();
+        }
+        let first = self.granularity.block_of(range.addr.offset);
+        let last = self.granularity.block_of(range.end() - 1);
+        (first..=last)
+            .map(|block| AreaKey::new(range.addr.rank, block))
+            .collect()
+    }
+
+    /// The history for `key`, creating a zeroed one on first touch.
+    pub fn history_mut(&mut self, key: AreaKey) -> &mut AreaHistory {
+        let n = self.n;
+        self.areas.entry(key).or_insert_with(|| AreaHistory::new(n))
+    }
+
+    /// Read-only history access.
+    pub fn history(&self, key: &AreaKey) -> Option<&AreaHistory> {
+        self.areas.get(key)
+    }
+
+    /// Number of areas that have been touched.
+    pub fn touched_areas(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Bytes of clock storage in the paper's accounting: one `n`-component
+    /// clock per touched area, doubled when `dual` (§IV-D: "it doubles the
+    /// necessary amount of memory").
+    pub fn clock_memory_bytes(&self) -> usize {
+        let per_clock = self.n * std::mem::size_of::<u64>();
+        self.areas.len() * per_clock * if self.dual { 2 } else { 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AccessKind;
+    use dsm::addr::GlobalAddr;
+
+    fn summary(id: u64, process: usize, clock: Vec<u64>) -> AccessSummary {
+        AccessSummary {
+            id,
+            process,
+            kind: AccessKind::Write,
+            range: GlobalAddr::public(0, 0).range(8),
+            clock: VectorClock::from_components(clock),
+            atomic: false,
+        }
+    }
+
+    #[test]
+    fn granularity_must_be_power_of_two() {
+        Granularity::block(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_granularity_panics() {
+        Granularity::block(24);
+    }
+
+    #[test]
+    fn areas_for_spanning_range() {
+        let store = ClockStore::new(2, Granularity::WORD, true);
+        // 20 bytes starting at offset 4 touch words 0, 1, 2.
+        let r = GlobalAddr::public(1, 4).range(20);
+        let areas = store.areas_for(&r);
+        assert_eq!(
+            areas,
+            vec![AreaKey::new(1, 0), AreaKey::new(1, 1), AreaKey::new(1, 2)]
+        );
+    }
+
+    #[test]
+    fn private_ranges_have_no_areas() {
+        let store = ClockStore::new(2, Granularity::WORD, true);
+        let r = GlobalAddr::private(0, 0).range(64);
+        assert!(store.areas_for(&r).is_empty());
+    }
+
+    #[test]
+    fn zero_len_has_no_areas() {
+        let store = ClockStore::new(2, Granularity::WORD, true);
+        assert!(store.areas_for(&GlobalAddr::public(0, 8).range(0)).is_empty());
+    }
+
+    #[test]
+    fn coarser_granularity_fewer_areas() {
+        let fine = ClockStore::new(2, Granularity::WORD, true);
+        let coarse = ClockStore::new(2, Granularity::PAGE, true);
+        let r = GlobalAddr::public(0, 0).range(4096);
+        assert_eq!(fine.areas_for(&r).len(), 512);
+        assert_eq!(coarse.areas_for(&r).len(), 1);
+    }
+
+    #[test]
+    fn memory_accounting_doubles_for_dual() {
+        let mut dual = ClockStore::new(4, Granularity::WORD, true);
+        let mut single = ClockStore::new(4, Granularity::WORD, false);
+        for s in [&mut dual, &mut single] {
+            s.history_mut(AreaKey::new(0, 0));
+            s.history_mut(AreaKey::new(0, 1));
+        }
+        assert_eq!(dual.clock_memory_bytes(), 2 * single.clock_memory_bytes());
+        assert_eq!(single.clock_memory_bytes(), 2 * 4 * 8);
+    }
+
+    #[test]
+    fn write_antichain_supersedes_ordered_entries() {
+        let mut h = AreaHistory::new(2);
+        h.record_write(summary(1, 0, vec![1, 0]));
+        // A later write by the same process supersedes the first.
+        h.record_write(summary(3, 0, vec![2, 0]));
+        assert_eq!(h.writes.len(), 1);
+        assert_eq!(h.writes[0].id, 3);
+        // A concurrent write from the other process is kept alongside.
+        h.record_write(summary(5, 1, vec![0, 1]));
+        assert_eq!(h.writes.len(), 2);
+        assert_eq!(h.w.components(), &[2, 1]);
+    }
+
+    #[test]
+    fn read_recording_updates_v_not_w() {
+        let mut h = AreaHistory::new(2);
+        let mut read = summary(1, 0, vec![1, 0]);
+        read.kind = AccessKind::Read;
+        h.record_read(read);
+        assert_eq!(h.v.components(), &[1, 0]);
+        assert_eq!(h.w.components(), &[0, 0]);
+        assert_eq!(h.reads.len(), 1);
+    }
+
+    #[test]
+    fn write_clears_superseded_reads() {
+        let mut h = AreaHistory::new(2);
+        let mut read = summary(1, 0, vec![1, 0]);
+        read.kind = AccessKind::Read;
+        h.record_read(read);
+        // Write causally after the read: read entry dropped.
+        h.record_write(summary(3, 1, vec![1, 1]));
+        assert!(h.reads.is_empty());
+        assert_eq!(h.writes.len(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! The detector interface shared by the reference algorithm and the
+//! baselines, plus a factory for the experiment harnesses.
+
+use crate::event::{DsmOp, LockId};
+use crate::report::RaceReport;
+
+/// An online race detector, driven one operation at a time by an execution
+/// backend (the discrete-event `simulator` or the real-thread `shmem`
+/// runtime).
+///
+/// The backend guarantees what the paper's algorithms guarantee before the
+/// check runs: the source and destination areas are locked (when
+/// [`Detector::requires_locking`] is true) and the operation's accesses are
+/// presented in program order.
+pub trait Detector: Send {
+    /// Detector name for report attribution and tables.
+    fn name(&self) -> &'static str;
+
+    /// Observe one operation; returns the race reports this operation
+    /// triggered (empty when none). `held_locks` is the set of area locks
+    /// the actor currently holds *for application purposes* (i.e. excluding
+    /// the locks the detection algorithm itself wraps around the op) — used
+    /// by the lockset baseline.
+    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> Vec<RaceReport>;
+
+    /// All reports so far.
+    fn reports(&self) -> &[RaceReport];
+
+    /// Number of clock components a remote area access ships per direction
+    /// (`0` = no clock traffic; `n` = one clock; `2n` = V and W). The
+    /// engine sizes the ClockRead/ClockWrite messages from this.
+    fn clock_components_per_area(&self) -> usize;
+
+    /// Bytes of detector metadata currently held, in the paper's §IV-D
+    /// accounting (clock storage only).
+    fn clock_memory_bytes(&self) -> usize;
+
+    /// Whether the backend must wrap operations in the Algorithm-1/2 lock
+    /// pairs. True for the clock-based detectors (the paper requires it so
+    /// the detection machinery itself cannot race), false for vanilla and
+    /// lockset (which only observe).
+    fn requires_locking(&self) -> bool;
+
+    /// Program-level synchronisation hooks. In a real deployment the lock
+    /// grant and barrier release messages carry vector clocks (like every
+    /// message in the paper's model, §IV-B); the backend reports those
+    /// events so the clock-based detectors can merge. Defaults are no-ops
+    /// (vanilla / lockset keep no clocks).
+    ///
+    /// `rank` released the program lock `lock`.
+    fn on_release(&mut self, rank: usize, lock: LockId) {
+        let _ = (rank, lock);
+    }
+
+    /// `rank` acquired the program lock `lock` (after someone's release).
+    fn on_acquire(&mut self, rank: usize, lock: LockId) {
+        let _ = (rank, lock);
+    }
+
+    /// A barrier completed among all ranks.
+    fn on_barrier(&mut self) {}
+}
+
+/// Detector selection for harnesses and config files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// Corrected dual-clock detector (the reproduction's reference).
+    Dual,
+    /// Single general-purpose clock (no write clock) — §IV-D's strawman.
+    Single,
+    /// The algorithms exactly as printed (ABL-lit).
+    Literal,
+    /// Eraser-style lockset baseline.
+    Lockset,
+    /// No detection (overhead baseline).
+    Vanilla,
+}
+
+impl DetectorKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [DetectorKind; 5] = [
+        DetectorKind::Dual,
+        DetectorKind::Single,
+        DetectorKind::Literal,
+        DetectorKind::Lockset,
+        DetectorKind::Vanilla,
+    ];
+
+    /// Instantiate for `n` processes at `granularity`.
+    pub fn build(
+        self,
+        n: usize,
+        granularity: crate::clockstore::Granularity,
+    ) -> Box<dyn Detector> {
+        match self {
+            DetectorKind::Dual => Box::new(crate::hb::HbDetector::new(
+                n,
+                granularity,
+                crate::hb::HbMode::Dual,
+            )),
+            DetectorKind::Single => Box::new(crate::hb::HbDetector::new(
+                n,
+                granularity,
+                crate::hb::HbMode::Single,
+            )),
+            DetectorKind::Literal => Box::new(crate::hb::HbDetector::new(
+                n,
+                granularity,
+                crate::hb::HbMode::Literal,
+            )),
+            DetectorKind::Lockset => Box::new(crate::lockset::LocksetDetector::new(n, granularity)),
+            DetectorKind::Vanilla => Box::new(crate::vanilla::VanillaDetector::new()),
+        }
+    }
+
+    /// Stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectorKind::Dual => "dual-clock",
+            DetectorKind::Single => "single-clock",
+            DetectorKind::Literal => "literal-paper",
+            DetectorKind::Lockset => "lockset",
+            DetectorKind::Vanilla => "vanilla",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clockstore::Granularity;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in DetectorKind::ALL {
+            let d = kind.build(4, Granularity::WORD);
+            assert!(!d.name().is_empty());
+            assert!(d.reports().is_empty());
+        }
+    }
+
+    #[test]
+    fn clock_traffic_by_kind() {
+        let n = 4;
+        assert_eq!(
+            DetectorKind::Dual.build(n, Granularity::WORD).clock_components_per_area(),
+            2 * n
+        );
+        assert_eq!(
+            DetectorKind::Single.build(n, Granularity::WORD).clock_components_per_area(),
+            n
+        );
+        assert_eq!(
+            DetectorKind::Vanilla.build(n, Granularity::WORD).clock_components_per_area(),
+            0
+        );
+    }
+
+    #[test]
+    fn locking_requirements() {
+        assert!(DetectorKind::Dual.build(2, Granularity::WORD).requires_locking());
+        assert!(!DetectorKind::Vanilla.build(2, Granularity::WORD).requires_locking());
+        assert!(!DetectorKind::Lockset.build(2, Granularity::WORD).requires_locking());
+    }
+}

@@ -1,0 +1,236 @@
+//! Operations and accesses as the detectors see them.
+//!
+//! One DSM *operation* (a put, a get, or a local access) induces one or two
+//! memory *accesses*: a put reads its local source and writes its remote
+//! destination; a get reads its remote source and writes its local
+//! destination. The paper's algorithms attach the race checks to these
+//! accesses.
+
+use dsm::addr::{MemRange, Segment};
+use serde::{Deserialize, Serialize};
+use vclock::VectorClock;
+
+use crate::Rank;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The access observes data.
+    Read,
+    /// The access modifies data.
+    Write,
+}
+
+impl AccessKind {
+    /// True for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// Identity of a lock as the lockset baseline tracks it: the canonical
+/// start of the locked range.
+pub type LockId = (Rank, usize);
+
+/// The operation shapes of §III-B plus local accesses (which the model
+/// routes through the same rules — "no distinction is made between accesses
+/// to public memory from a remote process and from the process that
+/// actually maps this address space").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// One-sided write: copy `src` (local to the actor) into `dst`.
+    Put {
+        /// Actor-local source range (private or public).
+        src: MemRange,
+        /// Remote (or local) public destination.
+        dst: MemRange,
+    },
+    /// One-sided read: copy `src` (anywhere public) into `dst` (local).
+    Get {
+        /// Source range in some process's public memory.
+        src: MemRange,
+        /// Actor-local destination (private or public).
+        dst: MemRange,
+    },
+    /// The actor reads a range it maps itself.
+    LocalRead {
+        /// The range read.
+        range: MemRange,
+    },
+    /// The actor writes a range it maps itself.
+    LocalWrite {
+        /// The range written.
+        range: MemRange,
+    },
+    /// NIC-executed atomic read-modify-write on a public word (the §V-B
+    /// "new operations" extension). Counts as a read *and* a write of the
+    /// range, but two atomics on the same word never race with each other:
+    /// the NIC serialises them (they are the model's synchronisation
+    /// primitive, like `lock`).
+    AtomicRmw {
+        /// The word operated on.
+        range: MemRange,
+    },
+}
+
+/// One DSM operation presented to a detector.
+#[derive(Debug, Clone)]
+pub struct DsmOp {
+    /// Engine-assigned operation id; access ids derive from it (see
+    /// [`DsmOp::read_access_id`] / [`DsmOp::write_access_id`]) so that
+    /// online reports and the offline oracle name the same events.
+    pub op_id: u64,
+    /// The process performing the operation.
+    pub actor: Rank,
+    /// What the operation does.
+    pub kind: OpKind,
+}
+
+impl DsmOp {
+    /// The id of the read access this op induces (puts read `src`, gets
+    /// read `src`, local reads read `range`).
+    pub fn read_access_id(&self) -> u64 {
+        2 * self.op_id
+    }
+
+    /// The id of the write access this op induces.
+    pub fn write_access_id(&self) -> u64 {
+        2 * self.op_id + 1
+    }
+
+    /// `(kind, range, access_id)` for each access the op performs, in the
+    /// order the algorithms check them (read side first, then write side).
+    pub fn accesses(&self) -> Vec<(AccessKind, MemRange, u64)> {
+        match self.kind {
+            OpKind::Put { src, dst } => vec![
+                (AccessKind::Read, src, self.read_access_id()),
+                (AccessKind::Write, dst, self.write_access_id()),
+            ],
+            OpKind::Get { src, dst } => vec![
+                (AccessKind::Read, src, self.read_access_id()),
+                (AccessKind::Write, dst, self.write_access_id()),
+            ],
+            OpKind::LocalRead { range } => vec![(AccessKind::Read, range, self.read_access_id())],
+            OpKind::LocalWrite { range } => {
+                vec![(AccessKind::Write, range, self.write_access_id())]
+            }
+            OpKind::AtomicRmw { range } => vec![
+                (AccessKind::Read, range, self.read_access_id()),
+                (AccessKind::Write, range, self.write_access_id()),
+            ],
+        }
+    }
+
+    /// True when this op's accesses are NIC-atomic (atomic-atomic pairs are
+    /// serialised by the NIC and therefore never race).
+    pub fn is_atomic(&self) -> bool {
+        matches!(self.kind, OpKind::AtomicRmw { .. })
+    }
+
+    /// Public ranges this op touches on ranks other than the actor —
+    /// the areas whose clocks live remotely (each costs clock messages
+    /// when detection is enabled).
+    pub fn remote_public_ranges(&self) -> Vec<MemRange> {
+        self.accesses()
+            .into_iter()
+            .map(|(_, r, _)| r)
+            .filter(|r| r.addr.segment == Segment::Public && r.addr.rank != self.actor)
+            .collect()
+    }
+}
+
+/// A recorded access, as embedded in race reports and area histories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessSummary {
+    /// Globally unique access id (derived from the op id).
+    pub id: u64,
+    /// Performing process.
+    pub process: Rank,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Bytes touched.
+    pub range: MemRange,
+    /// The actor's vector clock when the access was performed.
+    pub clock: VectorClock,
+    /// True for accesses performed by a NIC-atomic operation.
+    #[serde(default)]
+    pub atomic: bool,
+}
+
+impl std::fmt::Display for AccessSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let k = match self.kind {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        };
+        write!(f, "{k}#{} by P{} on {} @{}", self.id, self.process, self.range, self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm::addr::GlobalAddr;
+
+    fn op(actor: Rank, kind: OpKind) -> DsmOp {
+        DsmOp {
+            op_id: 7,
+            actor,
+            kind,
+        }
+    }
+
+    #[test]
+    fn put_induces_read_then_write() {
+        let src = GlobalAddr::private(0, 0).range(8);
+        let dst = GlobalAddr::public(1, 0).range(8);
+        let o = op(0, OpKind::Put { src, dst });
+        let acc = o.accesses();
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0], (AccessKind::Read, src, 14));
+        assert_eq!(acc[1], (AccessKind::Write, dst, 15));
+    }
+
+    #[test]
+    fn local_ops_single_access() {
+        let r = GlobalAddr::public(0, 0).range(8);
+        assert_eq!(op(0, OpKind::LocalRead { range: r }).accesses().len(), 1);
+        assert_eq!(op(0, OpKind::LocalWrite { range: r }).accesses().len(), 1);
+    }
+
+    #[test]
+    fn remote_public_ranges_filters() {
+        let src = GlobalAddr::private(0, 0).range(8);
+        let dst = GlobalAddr::public(1, 0).range(8);
+        let o = op(0, OpKind::Put { src, dst });
+        assert_eq!(o.remote_public_ranges(), vec![dst]);
+
+        // Local public destination: no remote clock traffic.
+        let dst_local = GlobalAddr::public(0, 0).range(8);
+        let o = op(0, OpKind::Put { src, dst: dst_local });
+        assert!(o.remote_public_ranges().is_empty());
+    }
+
+    #[test]
+    fn access_ids_unique_per_op() {
+        let r = GlobalAddr::public(0, 0).range(8);
+        let a = DsmOp { op_id: 1, actor: 0, kind: OpKind::LocalRead { range: r } };
+        let b = DsmOp { op_id: 2, actor: 0, kind: OpKind::LocalRead { range: r } };
+        assert_ne!(a.read_access_id(), b.read_access_id());
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = AccessSummary {
+            id: 3,
+            process: 1,
+            kind: AccessKind::Write,
+            range: GlobalAddr::public(2, 0).range(8),
+            clock: VectorClock::from_components(vec![1, 1, 0]),
+            atomic: false,
+        };
+        let text = s.to_string();
+        assert!(text.contains("W#3"));
+        assert!(text.contains("110"));
+    }
+}

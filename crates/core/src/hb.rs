@@ -1,0 +1,510 @@
+//! The happens-before detector — Algorithms 1, 2, 3, 4 and 5 of the paper.
+//!
+//! Per operation (Algorithm 1 for put, Algorithm 2 for get), with the
+//! source and destination areas locked by the backend:
+//!
+//! 1. `update_local_clock` — the actor's matrix-clock diagonal is ticked
+//!    and its row snapshot `V` is attached to the op's accesses;
+//! 2. for each area the op touches, the relevant area clock is compared
+//!    with `V` (Algorithm 3 / Corollary 1); concurrent ⇒
+//!    `signal_race_condition()` (a [`RaceReport`], never an abort);
+//! 3. the area clocks are updated by merging `V` (Algorithms 4 and 5:
+//!    `update_clock` for the general clock, `update_clock_W` for the write
+//!    clock);
+//! 4. a *read* additionally merges the area's write clock into the actor's
+//!    own clock — reading data makes the reader causally dependent on its
+//!    writer, which is how the causal chains of Fig 5b become visible.
+//!
+//! The three [`HbMode`]s differ only in *which* clock each access compares
+//! against (see the table in the crate docs and DESIGN.md §5):
+//!
+//! | mode    | write checks            | read checks        | FP on read-read | misses WAR |
+//! |---------|-------------------------|--------------------|-----------------|------------|
+//! | Dual    | V (all prior accesses)  | W (writes only)    | no              | no         |
+//! | Single  | V                       | V                  | yes             | no         |
+//! | Literal | W (writes only)         | V                  | yes             | yes        |
+
+use dsm::addr::Segment;
+use vclock::{MatrixClock, VectorClock};
+
+use crate::clockstore::{ClockStore, Granularity};
+use crate::detector::Detector;
+use crate::event::{AccessKind, AccessSummary, DsmOp, LockId};
+use crate::report::{RaceClass, RaceReport};
+use crate::Rank;
+
+/// Which clock each access kind is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HbMode {
+    /// Corrected dual-clock discipline (the reproduction's reference).
+    Dual,
+    /// One general-purpose clock only — no write clock (§IV-D strawman).
+    Single,
+    /// The protocol exactly as printed: Algorithm 1 compares a put against
+    /// the write clock only, Algorithm 2 compares a get against the general
+    /// clock. (The printed strict `<` of Algorithm 3 is replaced by the
+    /// standard `≤` — see `vclock::literal_less` for why the strict version
+    /// cannot be meant literally.)
+    Literal,
+}
+
+impl HbMode {
+    fn detector_name(self) -> &'static str {
+        match self {
+            HbMode::Dual => "dual-clock",
+            HbMode::Single => "single-clock",
+            HbMode::Literal => "literal-paper",
+        }
+    }
+}
+
+/// The clock-based detector.
+pub struct HbDetector {
+    mode: HbMode,
+    store: ClockStore,
+    /// One matrix clock per process (§IV-B).
+    clocks: Vec<MatrixClock>,
+    /// Clock snapshots taken at program-lock releases, merged into the
+    /// acquirer on hand-off (the grant message carries the clock).
+    lock_clocks: std::collections::HashMap<LockId, VectorClock>,
+    reports: Vec<RaceReport>,
+    n: usize,
+}
+
+impl HbDetector {
+    /// A detector for `n` processes at the given area granularity.
+    pub fn new(n: usize, granularity: Granularity, mode: HbMode) -> Self {
+        HbDetector {
+            mode,
+            store: ClockStore::new(n, granularity, mode != HbMode::Single),
+            clocks: (0..n).map(|i| MatrixClock::zero(i, n)).collect(),
+            lock_clocks: std::collections::HashMap::new(),
+            reports: Vec::new(),
+            n,
+        }
+    }
+
+    /// The actor's current vector clock (for tests and traces).
+    pub fn process_clock(&self, rank: Rank) -> &VectorClock {
+        self.clocks[rank].own_row()
+    }
+
+    /// Access to the underlying store (for memory accounting experiments).
+    pub fn store(&self) -> &ClockStore {
+        &self.store
+    }
+
+    /// Reports whose class is a true race under the paper's definition
+    /// (filters the read-read false positives of the baselines).
+    pub fn true_race_reports(&self) -> Vec<&RaceReport> {
+        self.reports.iter().filter(|r| r.class.is_true_race()).collect()
+    }
+
+    /// Check one access against one area's history, per the mode's rules.
+    /// Returns reports; does not yet record the access.
+    fn check_access(
+        &self,
+        access: &AccessSummary,
+        area: crate::clockstore::AreaKey,
+    ) -> Vec<RaceReport> {
+        let Some(hist) = self.store.history(&area) else {
+            return Vec::new(); // untouched area: initial zero clocks precede everything
+        };
+        let mut out = Vec::new();
+        let (check_writes, check_reads) = match (self.mode, access.kind) {
+            (HbMode::Dual, AccessKind::Write) => (true, true),
+            (HbMode::Dual, AccessKind::Read) => (true, false),
+            (HbMode::Single, _) => (true, true),
+            (HbMode::Literal, AccessKind::Write) => (true, false),
+            (HbMode::Literal, AccessKind::Read) => (true, true),
+        };
+        if check_writes {
+            for prev in &hist.writes {
+                if access.atomic && prev.atomic {
+                    continue; // NIC serialises atomic-atomic pairs
+                }
+                if prev.process != access.process && prev.clock.concurrent_with(&access.clock) {
+                    let class = if access.kind.is_write() {
+                        RaceClass::WriteWrite
+                    } else {
+                        RaceClass::ReadWrite
+                    };
+                    out.push(RaceReport {
+                        detector: self.mode.detector_name().to_string(),
+                        class,
+                        current: access.clone(),
+                        previous: Some(prev.clone()),
+                        area,
+                    });
+                }
+            }
+        }
+        if check_reads {
+            for prev in &hist.reads {
+                if access.atomic && prev.atomic {
+                    continue;
+                }
+                if prev.process != access.process && prev.clock.concurrent_with(&access.clock) {
+                    let class = if access.kind.is_write() {
+                        RaceClass::ReadWrite
+                    } else {
+                        RaceClass::ReadRead
+                    };
+                    out.push(RaceReport {
+                        detector: self.mode.detector_name().to_string(),
+                        class,
+                        current: access.clone(),
+                        previous: Some(prev.clone()),
+                        area,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Detector for HbDetector {
+    fn name(&self) -> &'static str {
+        self.mode.detector_name()
+    }
+
+    fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> Vec<RaceReport> {
+        // Algorithm 1/2 step: update_local_clock before the event.
+        let actor_clock = self.clocks[op.actor].tick();
+        let mut new_reports = Vec::new();
+        let mut absorb = VectorClock::zero(self.n);
+
+        for (kind, range, access_id) in op.accesses() {
+            if range.addr.segment != Segment::Public {
+                // Private memory cannot race (owner-only; §IV-A: "no need of
+                // a real lock" — and no clocks either).
+                continue;
+            }
+            let access = AccessSummary {
+                id: access_id,
+                process: op.actor,
+                kind,
+                range,
+                clock: actor_clock.clone(),
+                atomic: op.is_atomic(),
+            };
+            for area in self.store.areas_for(&range) {
+                // Check first (Algorithms 1–2 compare before updating)…
+                new_reports.extend(self.check_access(&access, area));
+                // …then update the area clocks (Algorithm 5).
+                let hist = self.store.history_mut(area);
+                match kind {
+                    AccessKind::Write => hist.record_write(access.clone()),
+                    AccessKind::Read => {
+                        // The read absorbs the area's write knowledge (the
+                        // get reply carries the clock, matrix-clock rule of
+                        // §IV-B). Collected and merged after the loop so the
+                        // absorption cannot mask a race within this same op.
+                        absorb.merge(&hist.w);
+                        if self.mode == HbMode::Single || self.mode == HbMode::Literal {
+                            // Only V exists / is fetched in these modes.
+                            absorb.merge(&hist.v);
+                        }
+                        hist.record_read(access.clone());
+                    }
+                }
+            }
+        }
+
+        self.clocks[op.actor].observe(op.actor, &absorb);
+        self.reports.extend(new_reports.clone());
+        new_reports
+    }
+
+    fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    fn clock_components_per_area(&self) -> usize {
+        match self.mode {
+            HbMode::Dual | HbMode::Literal => 2 * self.n,
+            HbMode::Single => self.n,
+        }
+    }
+
+    fn clock_memory_bytes(&self) -> usize {
+        self.store.clock_memory_bytes()
+    }
+
+    fn requires_locking(&self) -> bool {
+        true
+    }
+
+    fn on_release(&mut self, rank: usize, lock: LockId) {
+        // The release carries the releaser's current clock; a subsequent
+        // acquirer becomes causally dependent on everything the releaser
+        // did before releasing.
+        let snapshot = self.clocks[rank].own_row().clone();
+        self.lock_clocks
+            .entry(lock)
+            .and_modify(|c| c.merge(&snapshot))
+            .or_insert(snapshot);
+    }
+
+    fn on_acquire(&mut self, rank: usize, lock: LockId) {
+        if let Some(c) = self.lock_clocks.get(&lock) {
+            let c = c.clone();
+            self.clocks[rank].observe(rank, &c);
+        }
+    }
+
+    fn on_barrier(&mut self) {
+        // Barrier release: everyone's clock becomes the join of all
+        // participants' clocks (the release messages carry the coordinator's
+        // merged clock).
+        let mut join = VectorClock::zero(self.n);
+        for c in &self.clocks {
+            join.merge(c.own_row());
+        }
+        for (rank, c) in self.clocks.iter_mut().enumerate() {
+            c.observe(rank, &join);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpKind;
+    use dsm::addr::GlobalAddr;
+
+    fn put(op_id: u64, actor: Rank, dst_rank: Rank, dst_off: usize) -> DsmOp {
+        DsmOp {
+            op_id,
+            actor,
+            kind: OpKind::Put {
+                src: GlobalAddr::private(actor, 0).range(8),
+                dst: GlobalAddr::public(dst_rank, dst_off).range(8),
+            },
+        }
+    }
+
+    fn get(op_id: u64, actor: Rank, src_rank: Rank, src_off: usize) -> DsmOp {
+        DsmOp {
+            op_id,
+            actor,
+            kind: OpKind::Get {
+                src: GlobalAddr::public(src_rank, src_off).range(8),
+                dst: GlobalAddr::private(actor, 0).range(8),
+            },
+        }
+    }
+
+    fn dual(n: usize) -> HbDetector {
+        HbDetector::new(n, Granularity::WORD, HbMode::Dual)
+    }
+
+    #[test]
+    fn fig5a_concurrent_puts_detected() {
+        // P0 and P2 put to the same word of P1's memory with no ordering.
+        let mut d = dual(3);
+        assert!(d.observe(&put(0, 0, 1, 0), &[]).is_empty());
+        let reports = d.observe(&put(1, 2, 1, 0), &[]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].class, RaceClass::WriteWrite);
+        // The two clocks in the report are concurrent (Corollary 1).
+        let r = &reports[0];
+        assert!(r
+            .current
+            .clock
+            .concurrent_with(&r.previous.as_ref().unwrap().clock));
+    }
+
+    #[test]
+    fn fig4_concurrent_gets_not_a_race_in_dual_mode() {
+        // P1 writes its own variable, then P0 and P2 read it concurrently.
+        let mut d = dual(3);
+        let init = DsmOp {
+            op_id: 0,
+            actor: 1,
+            kind: OpKind::LocalWrite {
+                range: GlobalAddr::public(1, 0).range(8),
+            },
+        };
+        assert!(d.observe(&init, &[]).is_empty());
+        // Both readers are causally after the init write? No — they never
+        // synchronised with P1. But reads are checked against W only, and
+        // the initial write is the *latest* write… its clock is (0,1,0);
+        // the readers' clocks are (1,0,0) and (0,0,1): concurrent! So this
+        // IS flagged unless the program orders the readers after the init.
+        // Fig 4's premise is that `a = A` before the reads; we model that
+        // with a barrier-like absorption: the readers first read P1's area
+        // (absorbing W), as the figure's gets do.
+        let r1 = d.observe(&get(1, 0, 1, 0), &[]);
+        // First get: concurrent with the init write → read-write race IS
+        // reported? In the figure the value was initialised "before" the
+        // remote accesses, i.e. causally before — model it as such:
+        // (see fig4_with_causal_init below). Here, unsynchronised init:
+        assert_eq!(r1.len(), 1, "unsynchronised init write races with reader");
+    }
+
+    #[test]
+    fn fig4_with_causal_init_reads_are_silent() {
+        // Proper Fig 4: `a = A` happens causally before both gets (the
+        // figure draws it in the processes' past). After the first get
+        // absorbs W, a second get by another process must NOT race with the
+        // first get (concurrent read-read) — that is the §IV-D claim.
+        let mut d = dual(3);
+        let init = DsmOp {
+            op_id: 0,
+            actor: 1,
+            kind: OpKind::LocalWrite {
+                range: GlobalAddr::public(1, 0).range(8),
+            },
+        };
+        d.observe(&init, &[]);
+        // Both readers first absorb the write clock via an initial get each;
+        // the first get races (unsynchronised with init) — treat it as the
+        // synchronisation step and clear; the *second round* of gets is the
+        // Fig 4 scenario proper.
+        d.observe(&get(1, 0, 1, 0), &[]);
+        d.observe(&get(2, 2, 1, 0), &[]);
+        let before = d.reports().len();
+        // Now both P0 and P2 are causally after the write. Concurrent gets:
+        let a = d.observe(&get(3, 0, 1, 0), &[]);
+        let b = d.observe(&get(4, 2, 1, 0), &[]);
+        assert!(a.is_empty() && b.is_empty(), "read-read must be silent in dual mode");
+        assert_eq!(d.reports().len(), before);
+    }
+
+    #[test]
+    fn single_clock_flags_concurrent_reads() {
+        // Same scenario as fig4_with_causal_init but with the single-clock
+        // baseline: the second reader races with the first reader's V entry.
+        let mut d = HbDetector::new(3, Granularity::WORD, HbMode::Single);
+        let init = DsmOp {
+            op_id: 0,
+            actor: 1,
+            kind: OpKind::LocalWrite {
+                range: GlobalAddr::public(1, 0).range(8),
+            },
+        };
+        d.observe(&init, &[]);
+        d.observe(&get(1, 0, 1, 0), &[]);
+        d.observe(&get(2, 2, 1, 0), &[]);
+        let a = d.observe(&get(3, 0, 1, 0), &[]);
+        let b = d.observe(&get(4, 2, 1, 0), &[]);
+        let rr: Vec<_> = a
+            .iter()
+            .chain(b.iter())
+            .filter(|r| r.class == RaceClass::ReadRead)
+            .collect();
+        assert!(
+            !rr.is_empty(),
+            "single-clock baseline must emit read-read false positives"
+        );
+    }
+
+    #[test]
+    fn literal_mode_misses_write_after_read() {
+        // P0 reads P1's word; P2 then writes it, concurrent with the read.
+        // Dual mode reports (write checks V, which saw the read); literal
+        // mode checks only W → silent. This is the ABL-lit false negative.
+        let scenario = |mode: HbMode| -> usize {
+            let mut d = HbDetector::new(3, Granularity::WORD, mode);
+            d.observe(&get(0, 0, 1, 0), &[]);
+            d.observe(&put(1, 2, 1, 0), &[]).len()
+        };
+        assert!(scenario(HbMode::Dual) >= 1, "dual catches WAR");
+        assert_eq!(scenario(HbMode::Literal), 0, "literal misses WAR");
+    }
+
+    #[test]
+    fn causal_chain_via_get_then_put_is_silent() {
+        // Fig 5b's essence: P1 writes x; P2 gets x (absorbing the write
+        // clock); P2 then puts y based on it; P1's subsequent access to y
+        // after getting… simplified: P2's put to the same word after its
+        // get is causally AFTER P1's write → no race.
+        let mut d = dual(3);
+        let w = DsmOp {
+            op_id: 0,
+            actor: 1,
+            kind: OpKind::LocalWrite {
+                range: GlobalAddr::public(1, 0).range(8),
+            },
+        };
+        d.observe(&w, &[]);
+        d.observe(&get(1, 2, 1, 0), &[]); // absorbs P1's write (flagged: unsynchronised — but absorbs)
+        let reports = d.observe(&put(2, 2, 1, 0), &[]);
+        assert!(
+            reports.is_empty(),
+            "P2's put is causally after P1's write through the get"
+        );
+    }
+
+    #[test]
+    fn same_process_never_races_with_itself() {
+        let mut d = dual(2);
+        for i in 0..5 {
+            let r = d.observe(&put(i, 0, 1, 0), &[]);
+            assert!(r.is_empty(), "program order forbids self-races");
+        }
+    }
+
+    #[test]
+    fn disjoint_words_never_race() {
+        let mut d = dual(2);
+        d.observe(&put(0, 0, 1, 0), &[]);
+        let r = d.observe(&put(1, 1, 1, 8), &[]);
+        assert!(r.is_empty(), "different words are different areas");
+    }
+
+    #[test]
+    fn overlapping_multiword_ranges_race_on_shared_blocks() {
+        let mut d = dual(2);
+        let a = DsmOp {
+            op_id: 0,
+            actor: 0,
+            kind: OpKind::Put {
+                src: GlobalAddr::private(0, 0).range(16),
+                dst: GlobalAddr::public(1, 0).range(16),
+            },
+        };
+        let b = DsmOp {
+            op_id: 1,
+            actor: 1,
+            kind: OpKind::LocalWrite {
+                range: GlobalAddr::public(1, 8).range(16),
+            },
+        };
+        d.observe(&a, &[]);
+        let reports = d.observe(&b, &[]);
+        // Word 1 (bytes 8..16) is shared → exactly one area races.
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn clock_memory_single_is_half_of_dual() {
+        let mut d = dual(4);
+        let mut s = HbDetector::new(4, Granularity::WORD, HbMode::Single);
+        for det in [&mut d, &mut s] {
+            det.observe(&put(0, 0, 1, 0), &[]);
+        }
+        assert_eq!(d.clock_memory_bytes(), 2 * s.clock_memory_bytes());
+    }
+
+    #[test]
+    fn tick_advances_process_clock() {
+        let mut d = dual(2);
+        assert_eq!(d.process_clock(0).total(), 0);
+        d.observe(&put(0, 0, 1, 0), &[]);
+        assert_eq!(d.process_clock(0).get(0), 1);
+    }
+
+    #[test]
+    fn report_ids_match_access_id_scheme() {
+        let mut d = dual(3);
+        d.observe(&put(0, 0, 1, 0), &[]);
+        let reports = d.observe(&put(1, 2, 1, 0), &[]);
+        let r = &reports[0];
+        // put's write access id = 2*op_id + 1.
+        assert_eq!(r.current.id, 3);
+        assert_eq!(r.previous.as_ref().unwrap().id, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Race-condition detection for coherent distributed memory — the primary
+//! contribution of Butelle & Coti (IPPS 2011), §IV.
+//!
+//! The paper's mechanism: every shared memory **area** carries two vector
+//! clocks — a general-purpose clock `V` (updated by every access) and a
+//! write clock `W` (updated by writes only). Every one-sided operation
+//! (Algorithms 1 and 2) locks the source and destination areas, compares the
+//! acting process's clock against the appropriate area clock, and signals a
+//! race when the clocks are **concurrent** (Corollary 1). Races are
+//! *signalled, never fatal* (§IV-D).
+//!
+//! This crate provides:
+//!
+//! * [`hb::HbDetector`] — the happens-before detector in three modes:
+//!   - [`hb::HbMode::Dual`] — the corrected dual-clock discipline (writes
+//!     check `V`, reads check `W`); the reproduction's reference detector;
+//!   - [`hb::HbMode::Single`] — one clock per area (no `W`): the baseline
+//!     the paper argues against in §IV-D, which flags concurrent *read-read*
+//!     accesses as races (false positives);
+//!   - [`hb::HbMode::Literal`] — the protocol exactly as printed (puts check
+//!     only `W`, gets check `V`): misses write-after-read races and keeps
+//!     the read-read false positives. Experiment ABL-lit.
+//! * [`lockset::LocksetDetector`] — an Eraser-style lockset baseline adapted
+//!   to DSM areas (context: the MARMOT checker the paper cites).
+//! * [`vanilla::VanillaDetector`] — no detection; the overhead baseline.
+//! * [`oracle::Oracle`] — offline exact happens-before over a full execution
+//!   trace: ground truth for precision/recall scoring of the online
+//!   detectors.
+//!
+//! All detectors implement [`detector::Detector`] and are driven by the
+//! `simulator` engine (discrete-event backend) or by the `shmem` crate
+//! (real-thread backend).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clockstore;
+pub mod detector;
+pub mod event;
+pub mod hb;
+pub mod lockset;
+pub mod oracle;
+pub mod report;
+pub mod summary;
+pub mod vanilla;
+
+pub use clockstore::{AreaKey, ClockStore, Granularity};
+pub use detector::{Detector, DetectorKind};
+pub use event::{AccessKind, AccessSummary, DsmOp, LockId, OpKind};
+pub use hb::{HbDetector, HbMode};
+pub use lockset::LocksetDetector;
+pub use oracle::{Oracle, Score, Trace, TraceAccess};
+pub use report::{dedup_reports, RaceClass, RaceReport};
+pub use summary::{hot_areas, RaceSummary};
+pub use vanilla::VanillaDetector;
+
+/// A process identifier (dense rank).
+pub type Rank = usize;

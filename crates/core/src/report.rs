@@ -1,0 +1,182 @@
+//! Race reports and the non-fatal signalling discipline of §IV-D.
+//!
+//! "Race conditions must be signaled to the user (e.g., by a message on the
+//! standard output of the program), but they must not abort the execution
+//! of the program." Reports are therefore values: detectors accumulate
+//! them, harnesses print them, nothing panics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clockstore::AreaKey;
+use crate::event::AccessSummary;
+
+/// What kind of conflicting pair was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaceClass {
+    /// Two concurrent writes.
+    WriteWrite,
+    /// A write concurrent with a read (either order of discovery).
+    ReadWrite,
+    /// Two concurrent reads — **not a race** by the paper's definition
+    /// (§III-C requires at least one write). Only the single-clock and
+    /// literal baselines emit these; they are the false positives that
+    /// §IV-D says the dual-clock design eliminates.
+    ReadRead,
+}
+
+impl RaceClass {
+    /// True when this class is a real race under the paper's definition.
+    pub fn is_true_race(self) -> bool {
+        !matches!(self, RaceClass::ReadRead)
+    }
+
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RaceClass::WriteWrite => "write-write",
+            RaceClass::ReadWrite => "read-write",
+            RaceClass::ReadRead => "read-read",
+        }
+    }
+}
+
+/// One detected race: the access being performed and the recorded access it
+/// conflicts with, with both clocks (which are concurrent by construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// Which detector produced the report.
+    pub detector: String,
+    /// Pair classification.
+    pub class: RaceClass,
+    /// The access that triggered the detection (the later one).
+    pub current: AccessSummary,
+    /// The previously recorded conflicting access. `None` when the detector
+    /// cannot attribute (the lockset baseline reports unlocked state rather
+    /// than a specific pair).
+    pub previous: Option<AccessSummary>,
+    /// The memory area the conflict is on.
+    pub area: AreaKey,
+}
+
+impl RaceReport {
+    /// The unordered access-id pair, for oracle scoring. `None` when the
+    /// report has no attribution.
+    pub fn pair(&self) -> Option<(u64, u64)> {
+        self.previous.as_ref().map(|p| {
+            let (a, b) = (p.id, self.current.id);
+            (a.min(b), a.max(b))
+        })
+    }
+
+    /// §IV-D signalling: the one-line message a runtime would print to
+    /// standard output. Never aborts.
+    pub fn signal_line(&self) -> String {
+        match &self.previous {
+            Some(prev) => format!(
+                "RACE CONDITION ({}): {} × {} on area {} [{}]",
+                self.class.label(),
+                prev,
+                self.current,
+                self.area,
+                self.detector,
+            ),
+            None => format!(
+                "RACE CONDITION ({}): {} on area {} [{}]",
+                self.class.label(),
+                self.current,
+                self.area,
+                self.detector,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.signal_line())
+    }
+}
+
+/// Deduplicate reports by unordered access pair (keeping first occurrence),
+/// so one logical race crossing several clock-granularity blocks counts
+/// once in the tables.
+pub fn dedup_reports(reports: &[RaceReport]) -> Vec<RaceReport> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in reports {
+        let key = match r.pair() {
+            Some(p) => (p.0, p.1),
+            None => (r.current.id, u64::MAX),
+        };
+        if seen.insert(key) {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AccessKind;
+    use dsm::addr::GlobalAddr;
+    use vclock::VectorClock;
+
+    fn summary(id: u64, process: usize) -> AccessSummary {
+        AccessSummary {
+            id,
+            process,
+            kind: AccessKind::Write,
+            range: GlobalAddr::public(1, 0).range(8),
+            clock: VectorClock::zero(3),
+            atomic: false,
+        }
+    }
+
+    fn report(cur: u64, prev: u64) -> RaceReport {
+        RaceReport {
+            detector: "test".into(),
+            class: RaceClass::WriteWrite,
+            current: summary(cur, 0),
+            previous: Some(summary(prev, 2)),
+            area: AreaKey::new(1, 0),
+        }
+    }
+
+    #[test]
+    fn pair_is_unordered() {
+        assert_eq!(report(5, 3).pair(), Some((3, 5)));
+        assert_eq!(report(3, 5).pair(), Some((3, 5)));
+    }
+
+    #[test]
+    fn read_read_is_not_true_race() {
+        assert!(!RaceClass::ReadRead.is_true_race());
+        assert!(RaceClass::WriteWrite.is_true_race());
+        assert!(RaceClass::ReadWrite.is_true_race());
+    }
+
+    #[test]
+    fn signal_line_contains_parties() {
+        let line = report(5, 3).signal_line();
+        assert!(line.contains("RACE CONDITION"));
+        assert!(line.contains("write-write"));
+        assert!(line.contains("#5"));
+        assert!(line.contains("#3"));
+    }
+
+    #[test]
+    fn dedup_by_pair() {
+        let reports = vec![report(5, 3), report(3, 5), report(7, 3)];
+        let d = dedup_reports(&reports);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn unattributed_report_has_no_pair() {
+        let mut r = report(5, 3);
+        r.previous = None;
+        assert_eq!(r.pair(), None);
+        assert!(r.signal_line().contains("RACE CONDITION"));
+    }
+}

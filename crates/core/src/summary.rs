@@ -1,0 +1,154 @@
+//! Aggregate views over race reports — what a runtime would print at exit
+//! (§IV-D: signalled on standard output, execution never aborted).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clockstore::AreaKey;
+use crate::report::{RaceClass, RaceReport};
+use crate::Rank;
+
+/// Aggregated statistics over a set of reports.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RaceSummary {
+    /// Count per class label.
+    pub by_class: BTreeMap<String, usize>,
+    /// Count per memory area.
+    pub by_area: BTreeMap<String, usize>,
+    /// Count per unordered process pair.
+    pub by_process_pair: BTreeMap<(Rank, Rank), usize>,
+    /// Total reports summarised.
+    pub total: usize,
+}
+
+impl RaceSummary {
+    /// Summarise `reports`.
+    pub fn from_reports(reports: &[RaceReport]) -> Self {
+        let mut s = RaceSummary::default();
+        for r in reports {
+            *s.by_class.entry(r.class.label().to_string()).or_insert(0) += 1;
+            *s.by_area.entry(r.area.to_string()).or_insert(0) += 1;
+            if let Some(prev) = &r.previous {
+                let pair = (
+                    r.current.process.min(prev.process),
+                    r.current.process.max(prev.process),
+                );
+                *s.by_process_pair.entry(pair).or_insert(0) += 1;
+            }
+            s.total += 1;
+        }
+        s
+    }
+
+    /// Reports in the class.
+    pub fn count(&self, class: RaceClass) -> usize {
+        self.by_class.get(class.label()).copied().unwrap_or(0)
+    }
+
+    /// Number of true races (excludes read-read).
+    pub fn true_races(&self) -> usize {
+        self.count(RaceClass::WriteWrite) + self.count(RaceClass::ReadWrite)
+    }
+
+    /// The most-reported area, if any.
+    pub fn hottest_area(&self) -> Option<(&str, usize)> {
+        self.by_area
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, &c)| (k.as_str(), c))
+    }
+}
+
+impl std::fmt::Display for RaceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} race report(s):", self.total)?;
+        for (class, count) in &self.by_class {
+            writeln!(f, "  {class:<12} {count}")?;
+        }
+        if let Some((area, count)) = self.hottest_area() {
+            writeln!(f, "  hottest area: {area} ({count} report(s))")?;
+        }
+        for ((a, b), count) in &self.by_process_pair {
+            writeln!(f, "  P{a} × P{b}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: summarise and keep only areas above a report threshold
+/// (triage helper for noisy baselines).
+pub fn hot_areas(reports: &[RaceReport], min_reports: usize) -> Vec<(AreaKey, usize)> {
+    let mut counts: BTreeMap<AreaKey, usize> = BTreeMap::new();
+    for r in reports {
+        *counts.entry(r.area).or_insert(0) += 1;
+    }
+    let mut v: Vec<_> = counts.into_iter().filter(|(_, c)| *c >= min_reports).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind, AccessSummary};
+    use dsm::addr::GlobalAddr;
+    use vclock::VectorClock;
+
+    fn report(class: RaceClass, area_block: usize, p_cur: Rank, p_prev: Rank) -> RaceReport {
+        let acc = |id, process| AccessSummary {
+            id,
+            process,
+            kind: AccessKind::Write,
+            range: GlobalAddr::public(0, area_block * 8).range(8),
+            clock: VectorClock::zero(2),
+            atomic: false,
+        };
+        RaceReport {
+            detector: "t".into(),
+            class,
+            current: acc(1, p_cur),
+            previous: Some(acc(0, p_prev)),
+            area: AreaKey::new(0, area_block),
+        }
+    }
+
+    #[test]
+    fn summarises_classes_and_pairs() {
+        let reports = vec![
+            report(RaceClass::WriteWrite, 0, 0, 1),
+            report(RaceClass::ReadWrite, 0, 1, 0),
+            report(RaceClass::ReadRead, 1, 0, 2),
+        ];
+        let s = RaceSummary::from_reports(&reports);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.count(RaceClass::WriteWrite), 1);
+        assert_eq!(s.true_races(), 2);
+        assert_eq!(s.by_process_pair[&(0, 1)], 2);
+        assert_eq!(s.hottest_area().unwrap().1, 2);
+        let text = s.to_string();
+        assert!(text.contains("write-write"));
+        assert!(text.contains("P0 × P1"));
+    }
+
+    #[test]
+    fn hot_areas_filters_and_sorts() {
+        let reports = vec![
+            report(RaceClass::WriteWrite, 0, 0, 1),
+            report(RaceClass::WriteWrite, 0, 0, 1),
+            report(RaceClass::WriteWrite, 5, 0, 1),
+        ];
+        let hot = hot_areas(&reports, 2);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].0, AreaKey::new(0, 0));
+        assert_eq!(hot[0].1, 2);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = RaceSummary::from_reports(&[]);
+        assert_eq!(s.total, 0);
+        assert!(s.hottest_area().is_none());
+        assert_eq!(s.true_races(), 0);
+    }
+}

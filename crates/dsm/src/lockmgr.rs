@@ -1,0 +1,274 @@
+//! NIC-hosted locks on memory areas.
+//!
+//! §III-A: "since NICs are in charge with memory management in the public
+//! memory space, they can provide locks on memory areas. These locks
+//! guarantee exclusive access on a memory area: when a lock is taken by a
+//! process, other processes must wait for the release of this lock before
+//! they can access the data."
+//!
+//! Each rank's NIC hosts one [`LockTable`] covering the areas it maps.
+//! Requests are queued FIFO; a waiter is granted as soon as no held lock
+//! and no *earlier* waiter overlaps its range (FIFO-fair, no starvation,
+//! but disjoint ranges don't block each other).
+//!
+//! §IV-A of the paper also notes: "The lock primitive takes care of mutual
+//! exclusion if the addressed value is in public space or not. If the
+//! address is in private space, there is no need of a real lock" — callers
+//! skip the table for private ranges.
+
+use std::collections::VecDeque;
+
+use crate::addr::MemRange;
+use crate::error::DsmError;
+use crate::Rank;
+
+/// Opaque handle for a held or queued lock.
+pub type LockToken = u64;
+
+/// Result of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is held; proceed.
+    Granted(LockToken),
+    /// The request is queued behind a conflicting holder/waiter.
+    Queued(LockToken),
+}
+
+impl LockOutcome {
+    /// The token in either case.
+    pub fn token(self) -> LockToken {
+        match self {
+            LockOutcome::Granted(t) | LockOutcome::Queued(t) => t,
+        }
+    }
+
+    /// True if granted immediately.
+    pub fn is_granted(self) -> bool {
+        matches!(self, LockOutcome::Granted(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    token: LockToken,
+    range: MemRange,
+    holder: Rank,
+}
+
+#[derive(Debug, Clone)]
+struct Waiting {
+    token: LockToken,
+    range: MemRange,
+    requester: Rank,
+}
+
+/// A newly granted lock, reported from [`LockTable::release`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Token of the request now granted.
+    pub token: LockToken,
+    /// Who asked for it (so the NIC can send the grant message).
+    pub requester: Rank,
+}
+
+/// The lock table hosted at one rank's NIC.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    held: Vec<Held>,
+    queue: VecDeque<Waiting>,
+    next_token: LockToken,
+}
+
+impl LockTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Request an exclusive lock on `range` for `requester`.
+    pub fn acquire(&mut self, range: MemRange, requester: Rank) -> LockOutcome {
+        let token = self.next_token;
+        self.next_token += 1;
+
+        let conflicts_held = self.held.iter().any(|h| h.range.overlaps(&range));
+        let conflicts_queued = self.queue.iter().any(|w| w.range.overlaps(&range));
+        if conflicts_held || conflicts_queued {
+            self.queue.push_back(Waiting {
+                token,
+                range,
+                requester,
+            });
+            LockOutcome::Queued(token)
+        } else {
+            self.held.push(Held {
+                token,
+                range,
+                holder: requester,
+            });
+            LockOutcome::Granted(token)
+        }
+    }
+
+    /// Release a held lock; returns the requests that become grantable, in
+    /// FIFO order (the NIC turns each into a grant message).
+    pub fn release(&mut self, token: LockToken) -> Result<Vec<Grant>, DsmError> {
+        let idx = self
+            .held
+            .iter()
+            .position(|h| h.token == token)
+            .ok_or(DsmError::LockNotHeld { token })?;
+        self.held.swap_remove(idx);
+
+        // FIFO-fair scan: a waiter is granted if it conflicts with neither a
+        // held lock nor an earlier still-waiting request.
+        let mut grants = Vec::new();
+        let mut still_waiting: VecDeque<Waiting> = VecDeque::new();
+        let queue = std::mem::take(&mut self.queue);
+        for w in queue {
+            let blocked = self.held.iter().any(|h| h.range.overlaps(&w.range))
+                || still_waiting.iter().any(|e| e.range.overlaps(&w.range));
+            if blocked {
+                still_waiting.push_back(w);
+            } else {
+                grants.push(Grant {
+                    token: w.token,
+                    requester: w.requester,
+                });
+                self.held.push(Held {
+                    token: w.token,
+                    range: w.range,
+                    holder: w.requester,
+                });
+            }
+        }
+        self.queue = still_waiting;
+        Ok(grants)
+    }
+
+    /// Number of currently held locks.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Number of queued waiters.
+    pub fn queued_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when `range` is currently locked by anyone.
+    pub fn is_locked(&self, range: &MemRange) -> bool {
+        self.held.iter().any(|h| h.range.overlaps(range))
+    }
+
+    /// The holder of any lock overlapping `range`.
+    pub fn holder_of(&self, range: &MemRange) -> Option<Rank> {
+        self.held
+            .iter()
+            .find(|h| h.range.overlaps(range))
+            .map(|h| h.holder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::GlobalAddr;
+
+    fn r(offset: usize, len: usize) -> MemRange {
+        GlobalAddr::public(0, offset).range(len)
+    }
+
+    #[test]
+    fn disjoint_locks_granted_immediately() {
+        let mut t = LockTable::new();
+        assert!(t.acquire(r(0, 8), 1).is_granted());
+        assert!(t.acquire(r(8, 8), 2).is_granted());
+        assert_eq!(t.held_count(), 2);
+    }
+
+    #[test]
+    fn overlapping_lock_queues() {
+        let mut t = LockTable::new();
+        let a = t.acquire(r(0, 16), 1);
+        assert!(a.is_granted());
+        let b = t.acquire(r(8, 16), 2);
+        assert!(!b.is_granted());
+        assert_eq!(t.queued_count(), 1);
+
+        let grants = t.release(a.token()).unwrap();
+        assert_eq!(grants, vec![Grant { token: b.token(), requester: 2 }]);
+        assert!(t.is_locked(&r(8, 4)));
+    }
+
+    #[test]
+    fn fifo_fairness_no_overtaking() {
+        let mut t = LockTable::new();
+        let a = t.acquire(r(0, 8), 1);
+        let b = t.acquire(r(0, 8), 2); // queued
+        let c = t.acquire(r(0, 8), 3); // queued behind b
+        assert!(!b.is_granted() && !c.is_granted());
+
+        let g1 = t.release(a.token()).unwrap();
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g1[0].requester, 2, "FIFO: P2 before P3");
+        let g2 = t.release(b.token()).unwrap();
+        assert_eq!(g2[0].requester, 3);
+    }
+
+    #[test]
+    fn waiter_blocks_later_overlapping_request() {
+        // A queued waiter must also block newcomers that overlap it, or the
+        // waiter could starve.
+        let mut t = LockTable::new();
+        let a = t.acquire(r(0, 8), 1); // held
+        let b = t.acquire(r(0, 16), 2); // queued (overlaps a)
+        let c = t.acquire(r(8, 8), 3); // disjoint from a but overlaps b → must queue
+        assert!(!c.is_granted());
+
+        let grants = t.release(a.token()).unwrap();
+        // b is granted; c still conflicts with b.
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].requester, 2);
+        let grants = t.release(b.token()).unwrap();
+        assert_eq!(grants[0].requester, 3);
+    }
+
+    #[test]
+    fn disjoint_waiters_granted_together() {
+        let mut t = LockTable::new();
+        let a = t.acquire(r(0, 32), 1); // held, covers everything
+        let b = t.acquire(r(0, 8), 2);
+        let c = t.acquire(r(16, 8), 3);
+        assert!(!b.is_granted() && !c.is_granted());
+        let grants = t.release(a.token()).unwrap();
+        assert_eq!(grants.len(), 2, "both disjoint waiters granted");
+    }
+
+    #[test]
+    fn release_unknown_token_errors() {
+        let mut t = LockTable::new();
+        assert!(matches!(
+            t.release(99),
+            Err(DsmError::LockNotHeld { token: 99 })
+        ));
+    }
+
+    #[test]
+    fn holder_of_reports() {
+        let mut t = LockTable::new();
+        t.acquire(r(0, 8), 7);
+        assert_eq!(t.holder_of(&r(4, 2)), Some(7));
+        assert_eq!(t.holder_of(&r(16, 2)), None);
+    }
+
+    #[test]
+    fn same_process_reacquire_also_queues() {
+        // The model's locks are not reentrant: a second request for the same
+        // area queues even from the same rank (callers never do this).
+        let mut t = LockTable::new();
+        let a = t.acquire(r(0, 8), 1);
+        let b = t.acquire(r(0, 8), 1);
+        assert!(a.is_granted());
+        assert!(!b.is_granted());
+    }
+}

@@ -1,0 +1,173 @@
+//! Typed views over the byte-oriented global address space.
+//!
+//! The parallel languages the paper cites (UPC, Titanium, Co-Array Fortran)
+//! give programmers *typed* shared variables; the compiler lowers them to
+//! byte-level remote accesses. [`SharedVar`] and [`SharedArray`] are that
+//! lowering, minus the compiler.
+
+use crate::addr::{GlobalAddr, MemRange};
+
+/// Plain-old-data values that can live in shared memory.
+///
+/// Implemented for the fixed-width integers and `f64`; all little-endian on
+/// the simulated wire.
+pub trait Pod: Copy + std::fmt::Debug {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Encode to little-endian bytes.
+    fn to_bytes(self) -> Vec<u8>;
+    /// Decode from little-endian bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != SIZE`.
+    fn from_bytes(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn to_bytes(self) -> Vec<u8> {
+                self.to_le_bytes().to_vec()
+            }
+            fn from_bytes(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("exact width"))
+            }
+        }
+    )*};
+}
+
+impl_pod!(u8, u16, u32, u64, i8, i16, i32, i64, f64);
+
+/// A typed shared scalar at a fixed global address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedVar<T: Pod> {
+    addr: GlobalAddr,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> SharedVar<T> {
+    /// View `addr` as a `T`.
+    pub fn at(addr: GlobalAddr) -> Self {
+        SharedVar {
+            addr,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The variable's address.
+    pub fn addr(&self) -> GlobalAddr {
+        self.addr
+    }
+
+    /// The byte range the variable occupies.
+    pub fn range(&self) -> MemRange {
+        self.addr.range(T::SIZE)
+    }
+
+    /// Encode a value for a put.
+    pub fn encode(&self, value: T) -> Vec<u8> {
+        value.to_bytes()
+    }
+
+    /// Decode a value from a get reply.
+    pub fn decode(&self, bytes: &[u8]) -> T {
+        T::from_bytes(bytes)
+    }
+}
+
+/// A typed shared array with one element per range (possibly distributed
+/// across ranks by the allocator's placement policy).
+#[derive(Debug, Clone)]
+pub struct SharedArray<T: Pod> {
+    elems: Vec<MemRange>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> SharedArray<T> {
+    /// Build from per-element ranges (as returned by
+    /// `SymmetricHeap::alloc_array` with `elem_size = T::SIZE`).
+    ///
+    /// # Panics
+    /// Panics if any range's length differs from `T::SIZE`.
+    pub fn from_ranges(elems: Vec<MemRange>) -> Self {
+        for e in &elems {
+            assert_eq!(e.len, T::SIZE, "element range width must equal T::SIZE");
+        }
+        SharedArray {
+            elems,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The element's typed view.
+    pub fn var(&self, index: usize) -> SharedVar<T> {
+        SharedVar::at(self.elems[index].addr)
+    }
+
+    /// The element's byte range.
+    pub fn range(&self, index: usize) -> MemRange {
+        self.elems[index]
+    }
+
+    /// Iterate over element ranges.
+    pub fn iter(&self) -> impl Iterator<Item = &MemRange> {
+        self.elems.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_roundtrip() {
+        assert_eq!(u64::from_bytes(&0xABCDu64.to_bytes()), 0xABCD);
+        assert_eq!(i32::from_bytes(&(-7i32).to_bytes()), -7);
+        assert_eq!(f64::from_bytes(&3.5f64.to_bytes()), 3.5);
+        assert_eq!(u8::from_bytes(&0x7Fu8.to_bytes()), 0x7F);
+    }
+
+    #[test]
+    fn var_range_width() {
+        let v: SharedVar<u64> = SharedVar::at(GlobalAddr::public(1, 16));
+        assert_eq!(v.range().len, 8);
+        assert_eq!(v.range().addr.offset, 16);
+    }
+
+    #[test]
+    fn var_encode_decode() {
+        let v: SharedVar<u32> = SharedVar::at(GlobalAddr::public(0, 0));
+        let bytes = v.encode(42);
+        assert_eq!(bytes.len(), 4);
+        assert_eq!(v.decode(&bytes), 42);
+    }
+
+    #[test]
+    fn array_views() {
+        let ranges = vec![
+            GlobalAddr::public(0, 0).range(8),
+            GlobalAddr::public(1, 0).range(8),
+        ];
+        let arr: SharedArray<u64> = SharedArray::from_ranges(ranges);
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr.var(1).addr().rank, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "element range width")]
+    fn array_width_mismatch_panics() {
+        let _: SharedArray<u64> =
+            SharedArray::from_ranges(vec![GlobalAddr::public(0, 0).range(4)]);
+    }
+}

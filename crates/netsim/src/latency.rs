@@ -1,0 +1,170 @@
+//! Message latency models.
+//!
+//! Calibrated by default to plausible 2011-era RDMA figures (InfiniBand QDR:
+//! ~1.5 µs small-message latency, ~3 GB/s effective bandwidth), but the
+//! experiments only rely on the *shape* of the model: latency grows
+//! affinely with size and multiplicatively with hop count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Rank;
+
+/// Computes the one-way wire time, in nanoseconds, for a message of
+/// `bytes` bytes travelling `hops` hops from `src` to `dst`.
+///
+/// Implementations may be stateful (e.g. seeded jitter), hence `&mut self`.
+pub trait LatencyModel: Send {
+    /// One-way latency in nanoseconds.
+    fn delay_ns(&mut self, src: Rank, dst: Rank, bytes: usize, hops: u32) -> u64;
+}
+
+/// Fixed latency per hop, ignoring message size. Useful in unit tests where
+/// exact arrival times must be predicted by hand.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant {
+    /// Nanoseconds per hop.
+    pub ns_per_hop: u64,
+}
+
+impl Constant {
+    /// A constant model with `ns_per_hop` nanoseconds per hop.
+    pub fn new(ns_per_hop: u64) -> Self {
+        Constant { ns_per_hop }
+    }
+}
+
+impl LatencyModel for Constant {
+    fn delay_ns(&mut self, _src: Rank, _dst: Rank, _bytes: usize, hops: u32) -> u64 {
+        self.ns_per_hop * u64::from(hops.max(1))
+    }
+}
+
+/// The classic α + n·β model: fixed startup latency plus a per-byte cost,
+/// scaled by hop count.
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaBeta {
+    /// Startup latency per hop, nanoseconds.
+    pub alpha_ns: u64,
+    /// Transfer cost, picoseconds per byte (1000 ps/B = 1 GB/s).
+    pub beta_ps_per_byte: u64,
+}
+
+impl AlphaBeta {
+    /// InfiniBand-QDR-ish defaults: α = 1.5 µs, β ≙ 3 GB/s.
+    pub fn infiniband() -> Self {
+        AlphaBeta {
+            alpha_ns: 1_500,
+            beta_ps_per_byte: 333,
+        }
+    }
+
+    /// Gigabit-Ethernet-ish defaults: α = 30 µs, β ≙ 0.12 GB/s.
+    pub fn ethernet() -> Self {
+        AlphaBeta {
+            alpha_ns: 30_000,
+            beta_ps_per_byte: 8_333,
+        }
+    }
+}
+
+impl LatencyModel for AlphaBeta {
+    fn delay_ns(&mut self, _src: Rank, _dst: Rank, bytes: usize, hops: u32) -> u64 {
+        let hops = u64::from(hops.max(1));
+        let transfer_ns = (bytes as u64 * self.beta_ps_per_byte) / 1_000;
+        self.alpha_ns * hops + transfer_ns
+    }
+}
+
+/// Wraps another model and adds seeded, uniformly distributed jitter of up
+/// to `max_jitter_ns`. Deterministic for a given seed — two simulations with
+/// the same seed see identical delays, two different seeds explore different
+/// interleavings (which is how the explorer makes Fig 5-style races appear
+/// and disappear).
+pub struct Jittered<M> {
+    inner: M,
+    rng: StdRng,
+    max_jitter_ns: u64,
+}
+
+impl<M: LatencyModel> Jittered<M> {
+    /// Wrap `inner`, adding up to `max_jitter_ns` of uniform jitter drawn
+    /// from a `StdRng` seeded with `seed`.
+    pub fn new(inner: M, seed: u64, max_jitter_ns: u64) -> Self {
+        Jittered {
+            inner,
+            rng: StdRng::seed_from_u64(seed),
+            max_jitter_ns,
+        }
+    }
+}
+
+impl<M: LatencyModel> LatencyModel for Jittered<M> {
+    fn delay_ns(&mut self, src: Rank, dst: Rank, bytes: usize, hops: u32) -> u64 {
+        let base = self.inner.delay_ns(src, dst, bytes, hops);
+        if self.max_jitter_ns == 0 {
+            base
+        } else {
+            base + self.rng.gen_range(0..=self.max_jitter_ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_scales_with_hops() {
+        let mut m = Constant::new(100);
+        assert_eq!(m.delay_ns(0, 1, 9999, 1), 100);
+        assert_eq!(m.delay_ns(0, 1, 0, 3), 300);
+        // Zero hops still costs one hop's latency (NIC loopback).
+        assert_eq!(m.delay_ns(0, 0, 0, 0), 100);
+    }
+
+    #[test]
+    fn alpha_beta_affine_in_size() {
+        let mut m = AlphaBeta {
+            alpha_ns: 1_000,
+            beta_ps_per_byte: 1_000, // 1 ns per byte
+        };
+        assert_eq!(m.delay_ns(0, 1, 0, 1), 1_000);
+        assert_eq!(m.delay_ns(0, 1, 500, 1), 1_500);
+        assert_eq!(m.delay_ns(0, 1, 500, 2), 2_500);
+    }
+
+    #[test]
+    fn infiniband_faster_than_ethernet() {
+        let mut ib = AlphaBeta::infiniband();
+        let mut eth = AlphaBeta::ethernet();
+        for bytes in [8usize, 1024, 1 << 20] {
+            assert!(ib.delay_ns(0, 1, bytes, 1) < eth.delay_ns(0, 1, bytes, 1));
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let sample = |seed: u64| -> Vec<u64> {
+            let mut m = Jittered::new(Constant::new(100), seed, 50);
+            (0..10).map(|i| m.delay_ns(0, 1, i, 1)).collect()
+        };
+        assert_eq!(sample(42), sample(42));
+        assert_ne!(sample(42), sample(43));
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut m = Jittered::new(Constant::new(100), 7, 50);
+        for _ in 0..1000 {
+            let d = m.delay_ns(0, 1, 0, 1);
+            assert!((100..=150).contains(&d));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_passthrough() {
+        let mut m = Jittered::new(Constant::new(100), 7, 0);
+        assert_eq!(m.delay_ns(0, 1, 0, 1), 100);
+    }
+}

@@ -1,0 +1,229 @@
+//! Traffic accounting.
+//!
+//! Everything the reproduction's tables need: message and byte counts per
+//! [`OpClass`] and a log₂-bucketed latency histogram. Fig 2's "a put is one
+//! message, a get is two" is asserted directly against these counters, and
+//! §V-A's overhead table is `detection bytes / data bytes`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::OpClass;
+
+/// Per-class message/byte counters plus latency histogram.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    msgs: BTreeMap<String, u64>,
+    bytes: BTreeMap<String, u64>,
+    /// log2 latency histogram: bucket `i` counts deliveries with latency in
+    /// `[2^i, 2^(i+1))` ns; bucket 0 also holds 0-latency deliveries.
+    latency_buckets: Vec<u64>,
+    total_msgs: u64,
+    total_bytes: u64,
+    latency_sum_ns: u128,
+}
+
+impl NetStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Record a delivered message.
+    pub fn record(&mut self, class: OpClass, bytes: usize, latency_ns: u64) {
+        *self.msgs.entry(class.label().to_string()).or_insert(0) += 1;
+        *self.bytes.entry(class.label().to_string()).or_insert(0) += bytes as u64;
+        self.total_msgs += 1;
+        self.total_bytes += bytes as u64;
+        self.latency_sum_ns += u128::from(latency_ns);
+        let bucket = 64 - latency_ns.leading_zeros() as usize;
+        if self.latency_buckets.len() <= bucket {
+            self.latency_buckets.resize(bucket + 1, 0);
+        }
+        self.latency_buckets[bucket] += 1;
+    }
+
+    /// Messages delivered for `class`.
+    pub fn msgs(&self, class: OpClass) -> u64 {
+        self.msgs.get(class.label()).copied().unwrap_or(0)
+    }
+
+    /// Bytes delivered for `class`.
+    pub fn bytes(&self, class: OpClass) -> u64 {
+        self.bytes.get(class.label()).copied().unwrap_or(0)
+    }
+
+    /// All messages delivered.
+    pub fn total_msgs(&self) -> u64 {
+        self.total_msgs
+    }
+
+    /// All bytes delivered.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Mean delivery latency in nanoseconds (0 when nothing delivered).
+    pub fn mean_latency_ns(&self) -> u64 {
+        if self.total_msgs == 0 {
+            0
+        } else {
+            (self.latency_sum_ns / u128::from(self.total_msgs)) as u64
+        }
+    }
+
+    /// Messages attributable to race detection (clock traffic).
+    pub fn detection_msgs(&self) -> u64 {
+        OpClass::ALL
+            .iter()
+            .filter(|c| c.is_detection_overhead())
+            .map(|&c| self.msgs(c))
+            .sum()
+    }
+
+    /// Bytes attributable to race detection.
+    pub fn detection_bytes(&self) -> u64 {
+        OpClass::ALL
+            .iter()
+            .filter(|c| c.is_detection_overhead())
+            .map(|&c| self.bytes(c))
+            .sum()
+    }
+
+    /// `(detection bytes) / (total bytes)` as a percentage; the §V-A
+    /// communication-overhead figure.
+    pub fn detection_overhead_pct(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            100.0 * self.detection_bytes() as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Latency histogram as `(bucket_floor_ns, count)` pairs.
+    pub fn latency_histogram(&self) -> Vec<(u64, u64)> {
+        self.latency_buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+
+    /// Merge another stats block into this one (used when aggregating
+    /// multi-seed exploration runs).
+    pub fn merge(&mut self, other: &NetStats) {
+        for (k, v) in &other.msgs {
+            *self.msgs.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.bytes {
+            *self.bytes.entry(k.clone()).or_insert(0) += v;
+        }
+        if self.latency_buckets.len() < other.latency_buckets.len() {
+            self.latency_buckets.resize(other.latency_buckets.len(), 0);
+        }
+        for (i, v) in other.latency_buckets.iter().enumerate() {
+            self.latency_buckets[i] += v;
+        }
+        self.total_msgs += other.total_msgs;
+        self.total_bytes += other.total_bytes;
+        self.latency_sum_ns += other.latency_sum_ns;
+    }
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<10} {:>8} {:>12}", "class", "msgs", "bytes")?;
+        for class in OpClass::ALL {
+            let m = self.msgs(class);
+            if m > 0 {
+                writeln!(f, "{:<10} {:>8} {:>12}", class.label(), m, self.bytes(class))?;
+            }
+        }
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>12}  (detection overhead {:.1}%)",
+            "total",
+            self.total_msgs,
+            self.total_bytes,
+            self.detection_overhead_pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = NetStats::new();
+        s.record(OpClass::PutData, 100, 1_000);
+        s.record(OpClass::GetRequest, 32, 1_000);
+        s.record(OpClass::GetReply, 132, 1_200);
+        assert_eq!(s.msgs(OpClass::PutData), 1);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_bytes(), 264);
+        assert_eq!(s.msgs(OpClass::Clock), 0);
+    }
+
+    #[test]
+    fn overhead_percentage() {
+        let mut s = NetStats::new();
+        s.record(OpClass::PutData, 300, 10);
+        s.record(OpClass::Clock, 100, 10);
+        assert_eq!(s.detection_bytes(), 100);
+        assert!((s.detection_overhead_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_overhead_is_zero() {
+        assert_eq!(NetStats::new().detection_overhead_pct(), 0.0);
+        assert_eq!(NetStats::new().mean_latency_ns(), 0);
+    }
+
+    #[test]
+    fn mean_latency() {
+        let mut s = NetStats::new();
+        s.record(OpClass::PutData, 1, 100);
+        s.record(OpClass::PutData, 1, 300);
+        assert_eq!(s.mean_latency_ns(), 200);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut s = NetStats::new();
+        s.record(OpClass::PutData, 1, 0); // bucket floor 0
+        s.record(OpClass::PutData, 1, 1); // floor 1
+        s.record(OpClass::PutData, 1, 5); // floor 4
+        s.record(OpClass::PutData, 1, 5); // floor 4 again
+        let h = s.latency_histogram();
+        assert!(h.contains(&(0, 1)));
+        assert!(h.contains(&(1, 1)));
+        assert!(h.contains(&(4, 2)));
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = NetStats::new();
+        a.record(OpClass::PutData, 10, 100);
+        let mut b = NetStats::new();
+        b.record(OpClass::Clock, 20, 200);
+        b.record(OpClass::PutData, 5, 100);
+        a.merge(&b);
+        assert_eq!(a.total_msgs(), 3);
+        assert_eq!(a.total_bytes(), 35);
+        assert_eq!(a.msgs(OpClass::PutData), 2);
+        assert_eq!(a.msgs(OpClass::Clock), 1);
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let mut s = NetStats::new();
+        s.record(OpClass::PutData, 10, 100);
+        let text = s.to_string();
+        assert!(text.contains("put-data"));
+        assert!(text.contains("total"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulation configuration.
+
+use netsim::{AlphaBeta, Constant, Jittered, LatencyModel, Topology};
+use race_core::{DetectorKind, Granularity};
+
+/// Which latency model to instantiate (serde-friendly description; the
+/// model itself is stateful because of the seeded jitter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencySpec {
+    /// Fixed nanoseconds per hop.
+    Constant {
+        /// ns per hop.
+        ns: u64,
+    },
+    /// InfiniBand-like α+β (1.5 µs + 3 GB/s).
+    InfiniBand,
+    /// Gigabit-Ethernet-like α+β.
+    Ethernet,
+    /// InfiniBand-like with uniform jitter up to `max_ns` (seeded from the
+    /// run seed — this is what makes different seeds explore different
+    /// interleavings).
+    JitteredInfiniBand {
+        /// Maximum added jitter, ns.
+        max_ns: u64,
+    },
+}
+
+impl LatencySpec {
+    /// Build the model, folding in the run `seed`.
+    pub fn build(self, seed: u64) -> Box<dyn LatencyModel> {
+        match self {
+            LatencySpec::Constant { ns } => Box::new(Constant::new(ns)),
+            LatencySpec::InfiniBand => Box::new(AlphaBeta::infiniband()),
+            LatencySpec::Ethernet => Box::new(AlphaBeta::ethernet()),
+            LatencySpec::JitteredInfiniBand { max_ns } => {
+                Box::new(Jittered::new(AlphaBeta::infiniband(), seed, max_ns))
+            }
+        }
+    }
+}
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Run seed (drives jitter; different seeds → different interleavings).
+    pub seed: u64,
+    /// Latency model.
+    pub latency: LatencySpec,
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Private segment bytes per process.
+    pub private_len: usize,
+    /// Public segment bytes per process.
+    pub public_len: usize,
+    /// Clock granularity for the detector.
+    pub granularity: Granularity,
+    /// Which detector to run.
+    pub detector: DetectorKind,
+}
+
+impl SimConfig {
+    /// A small debugging-scale default (§V-A: "typically, about 10
+    /// processes"): jittered InfiniBand latencies, full mesh, word-granular
+    /// dual-clock detection.
+    pub fn debugging(n: usize) -> Self {
+        SimConfig {
+            n,
+            seed: 1,
+            latency: LatencySpec::JitteredInfiniBand { max_ns: 2_000 },
+            topology: Topology::FullMesh,
+            private_len: 1 << 16,
+            public_len: 1 << 16,
+            granularity: Granularity::WORD,
+            detector: DetectorKind::Dual,
+        }
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a different detector.
+    pub fn with_detector(mut self, detector: DetectorKind) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Deterministic constant-latency variant (unit tests that predict
+    /// exact arrival times).
+    pub fn lockstep(n: usize, ns: u64) -> Self {
+        SimConfig {
+            n,
+            seed: 0,
+            latency: LatencySpec::Constant { ns },
+            topology: Topology::FullMesh,
+            private_len: 1 << 12,
+            public_len: 1 << 12,
+            granularity: Granularity::WORD,
+            detector: DetectorKind::Dual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_debug_scale() {
+        let c = SimConfig::debugging(10);
+        assert_eq!(c.n, 10);
+        assert_eq!(c.detector, DetectorKind::Dual);
+    }
+
+    #[test]
+    fn with_seed_and_detector() {
+        let c = SimConfig::debugging(4)
+            .with_seed(9)
+            .with_detector(DetectorKind::Vanilla);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.detector, DetectorKind::Vanilla);
+    }
+
+    #[test]
+    fn latency_specs_build() {
+        for spec in [
+            LatencySpec::Constant { ns: 10 },
+            LatencySpec::InfiniBand,
+            LatencySpec::Ethernet,
+            LatencySpec::JitteredInfiniBand { max_ns: 100 },
+        ] {
+            let mut m = spec.build(1);
+            assert!(m.delay_ns(0, 1, 8, 1) > 0);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The instruction DSL simulated processes execute.
+//!
+//! Programs are straight-line sequences of the model's operations (§III-B):
+//! one-sided `put`/`get`, local accesses to the process's own memory, NIC
+//! area locks, barriers and local compute. This is the role the paper
+//! assigns to "the compiler translating accesses to shared memory areas
+//! into remote memory accesses" — workload generators build these programs
+//! directly.
+
+use dsm::addr::MemRange;
+use dsm::proto::AtomicOp;
+
+use crate::Rank;
+
+/// The data source of a put.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Src {
+    /// Copy from a range the actor maps (private or public).
+    Range(MemRange),
+    /// An immediate constant (no memory read on the source side).
+    Imm(Vec<u8>),
+}
+
+impl Src {
+    /// Immediate little-endian u64 (the common case in workloads).
+    pub fn imm_u64(v: u64) -> Src {
+        Src::Imm(v.to_le_bytes().to_vec())
+    }
+
+    /// Length in bytes of the data this source provides, given the
+    /// destination length for ranges.
+    pub fn len(&self, dst_len: usize) -> usize {
+        match self {
+            Src::Range(_) => dst_len,
+            Src::Imm(v) => v.len(),
+        }
+    }
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// One-sided remote write (§III-B put, Fig 2 left; Algorithm 1).
+    Put {
+        /// Where the data comes from.
+        src: Src,
+        /// Public destination range (any rank).
+        dst: MemRange,
+    },
+    /// One-sided remote read (§III-B get, Fig 2 right; Algorithm 2).
+    Get {
+        /// Public source range (any rank).
+        src: MemRange,
+        /// Local destination range.
+        dst: MemRange,
+    },
+    /// Read a range the actor maps itself (public local reads are
+    /// race-checked like remote ones — §III-A).
+    LocalRead {
+        /// The range read.
+        range: MemRange,
+    },
+    /// Write a range the actor maps itself.
+    LocalWrite {
+        /// The range written.
+        range: MemRange,
+        /// The bytes to write (`value.len() == range.len`).
+        value: Vec<u8>,
+    },
+    /// Pure local computation for `ns` nanoseconds of virtual time.
+    Compute {
+        /// Duration.
+        ns: u64,
+    },
+    /// Acquire the NIC lock on a public area (§III-A).
+    Lock {
+        /// Area to lock.
+        range: MemRange,
+    },
+    /// Release a previously acquired lock on exactly this range.
+    Unlock {
+        /// Area to unlock.
+        range: MemRange,
+    },
+    /// Global barrier (all processes must reach it).
+    Barrier,
+    /// NIC-executed atomic read-modify-write on a public u64 word (§V-B
+    /// extension). The previous value is optionally stored at a local
+    /// `fetch_into` range.
+    Atomic {
+        /// The public word operated on.
+        target: MemRange,
+        /// The operation.
+        op: AtomicOp,
+        /// Where to store the fetched old value (actor-local).
+        fetch_into: Option<MemRange>,
+    },
+}
+
+/// A straight-line program for one process.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// The empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Instruction at `pc`, if any.
+    pub fn get(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Iterate instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Instr> {
+        self.instrs.iter()
+    }
+
+    /// Count of put/get/local data operations (denominator for per-op
+    /// overhead tables).
+    pub fn data_ops(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Put { .. }
+                        | Instr::Get { .. }
+                        | Instr::LocalRead { .. }
+                        | Instr::LocalWrite { .. }
+                        | Instr::Atomic { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// Fluent builder for programs.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program (for the given rank; the rank is purely
+    /// documentary — programs are assigned positionally to the engine).
+    pub fn new(_rank: Rank) -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Append a put from a local range.
+    pub fn put(mut self, src: MemRange, dst: MemRange) -> Self {
+        self.instrs.push(Instr::Put {
+            src: Src::Range(src),
+            dst,
+        });
+        self
+    }
+
+    /// Append a put of an immediate u64.
+    pub fn put_u64(mut self, value: u64, dst: MemRange) -> Self {
+        self.instrs.push(Instr::Put {
+            src: Src::imm_u64(value),
+            dst,
+        });
+        self
+    }
+
+    /// Append a put of immediate bytes.
+    pub fn put_imm(mut self, value: Vec<u8>, dst: MemRange) -> Self {
+        self.instrs.push(Instr::Put {
+            src: Src::Imm(value),
+            dst,
+        });
+        self
+    }
+
+    /// Append a get.
+    pub fn get(mut self, src: MemRange, dst: MemRange) -> Self {
+        self.instrs.push(Instr::Get { src, dst });
+        self
+    }
+
+    /// Append a local read.
+    pub fn local_read(mut self, range: MemRange) -> Self {
+        self.instrs.push(Instr::LocalRead { range });
+        self
+    }
+
+    /// Append a local write.
+    pub fn local_write(mut self, range: MemRange, value: Vec<u8>) -> Self {
+        self.instrs.push(Instr::LocalWrite { range, value });
+        self
+    }
+
+    /// Append a local write of a u64.
+    pub fn local_write_u64(self, range: MemRange, value: u64) -> Self {
+        self.local_write(range, value.to_le_bytes().to_vec())
+    }
+
+    /// Append local compute.
+    pub fn compute(mut self, ns: u64) -> Self {
+        self.instrs.push(Instr::Compute { ns });
+        self
+    }
+
+    /// Append a lock acquire.
+    pub fn lock(mut self, range: MemRange) -> Self {
+        self.instrs.push(Instr::Lock { range });
+        self
+    }
+
+    /// Append a lock release.
+    pub fn unlock(mut self, range: MemRange) -> Self {
+        self.instrs.push(Instr::Unlock { range });
+        self
+    }
+
+    /// Append a barrier.
+    pub fn barrier(mut self) -> Self {
+        self.instrs.push(Instr::Barrier);
+        self
+    }
+
+    /// Append an atomic fetch-add on a public u64 word.
+    pub fn fetch_add(mut self, target: MemRange, addend: u64, fetch_into: Option<MemRange>) -> Self {
+        self.instrs.push(Instr::Atomic {
+            target,
+            op: AtomicOp::FetchAdd(addend),
+            fetch_into,
+        });
+        self
+    }
+
+    /// Append an atomic compare-and-swap on a public u64 word.
+    pub fn compare_swap(
+        mut self,
+        target: MemRange,
+        expected: u64,
+        new: u64,
+        fetch_into: Option<MemRange>,
+    ) -> Self {
+        self.instrs.push(Instr::Atomic {
+            target,
+            op: AtomicOp::CompareSwap { expected, new },
+            fetch_into,
+        });
+        self
+    }
+
+    /// Append an arbitrary instruction (escape hatch for program
+    /// transformations, e.g. stripping barriers in fault-injection tests).
+    pub fn push(mut self, instr: Instr) -> Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Program {
+        Program {
+            instrs: self.instrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm::addr::GlobalAddr;
+
+    #[test]
+    fn builder_sequences_instructions() {
+        let dst = GlobalAddr::public(1, 0).range(8);
+        let p = ProgramBuilder::new(0)
+            .put_u64(42, dst)
+            .compute(100)
+            .barrier()
+            .build();
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.get(0), Some(Instr::Put { .. })));
+        assert!(matches!(p.get(2), Some(Instr::Barrier)));
+        assert_eq!(p.get(3), None);
+    }
+
+    #[test]
+    fn imm_u64_is_8_bytes() {
+        assert_eq!(Src::imm_u64(7).len(8), 8);
+        assert_eq!(Src::imm_u64(7).len(16), 8, "imm ignores dst_len");
+        let r = Src::Range(GlobalAddr::private(0, 0).range(16));
+        assert_eq!(r.len(16), 16);
+    }
+
+    #[test]
+    fn data_ops_counts_only_data() {
+        let dst = GlobalAddr::public(1, 0).range(8);
+        let p = ProgramBuilder::new(0)
+            .put_u64(1, dst)
+            .get(dst, GlobalAddr::private(0, 0).range(8))
+            .lock(dst)
+            .unlock(dst)
+            .barrier()
+            .compute(5)
+            .local_read(dst)
+            .build();
+        assert_eq!(p.data_ops(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Workload generators.
+//!
+//! Each generator builds the per-rank programs for one scenario:
+//!
+//! * [`figures`] — the paper's own examples: Fig 1 (model exercise), Fig 3
+//!   (delayed put), Fig 4 (concurrent gets), Fig 5a/5b/5c (detection
+//!   scenarios);
+//! * [`master_worker`] — the §IV-D motivating pattern ("parallel
+//!   master-worker computation patterns induce a race condition between
+//!   workers"), in racy and well-placed variants;
+//! * [`stencil`] — 1-D halo exchange via one-sided puts, with and without
+//!   the separating barrier;
+//! * [`reduction`] — the §V-B future-work operation: a one-sided reduction
+//!   performed entirely by the root via gets, "without any participation
+//!   from the other processes";
+//! * [`random_access`] — seeded random put/get/local traffic with a
+//!   configurable write ratio and conflict rate (the precision/recall and
+//!   overhead sweeps);
+//! * [`ring`] — a causally chained ring pipeline (race-free by
+//!   construction; any report is a false positive);
+//! * [`counters`] — the same shared counter under atomic / locked / racy
+//!   disciplines (the §V-B extension study);
+//! * [`matvec`] — distributed matrix–vector multiply placed by the
+//!   symmetric heap (the allocator's compiler role, §III-A).
+
+pub mod counters;
+pub mod figures;
+pub mod master_worker;
+pub mod matvec;
+pub mod random_access;
+pub mod reduction;
+pub mod ring;
+pub mod stencil;
+
+use crate::program::Program;
+
+/// A named set of per-rank programs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Name for tables.
+    pub name: String,
+    /// Number of processes.
+    pub n: usize,
+    /// One program per rank.
+    pub programs: Vec<Program>,
+    /// Whether the scenario contains at least one true race in every
+    /// schedule (`Some(true)`), in no schedule (`Some(false)`), or
+    /// schedule-dependently (`None`). Used by integration tests.
+    pub races_expected: Option<bool>,
+}
+
+impl Workload {
+    /// Total data operations across ranks.
+    pub fn data_ops(&self) -> usize {
+        self.programs.iter().map(|p| p.data_ops()).sum()
+    }
+}

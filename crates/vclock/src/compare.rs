@@ -1,0 +1,100 @@
+//! The paper's printed clock procedures: Algorithm 3 (`compare_clocks`) and
+//! Algorithm 4 (`max_clock`), plus the *literal* strict comparison the paper
+//! prints and a discussion of how it differs from the standard partial order.
+//!
+//! Algorithm 3 as printed reads:
+//!
+//! ```text
+//! return ∀n ∈ {0,…,N−1} : V_Pi < V_Pj ⇔ V_Pi[n] < V_Pj[n]
+//! ```
+//!
+//! i.e. *strictly* less on **every** component. The standard vector-clock
+//! order (Mattern) is `V ≤ V'` component-wise with at least one strict
+//! component. The strict-all-components version misclassifies pairs such as
+//! `[1,0] vs [2,0]` (causally ordered, but not strictly less on component 1)
+//! as unordered, which would produce spurious race reports. We expose both:
+//! [`compare_clocks`] implements the corrected `≤` test used by the
+//! `race-core` default detector; [`literal_less`] implements the printed
+//! text, used by the `literal` ablation detector (experiment ABL-lit).
+
+use crate::vector::VectorClock;
+
+/// Corrected Algorithm 3: true iff `a ≤ b` component-wise, i.e. `a`
+/// causally precedes or equals `b`.
+///
+/// The race check of Algorithms 1–2 is then
+/// `¬compare_clocks(a, b) ∧ ¬compare_clocks(b, a)` ⇒ concurrent ⇒ race.
+pub fn compare_clocks(a: &VectorClock, b: &VectorClock) -> bool {
+    a.leq(b)
+}
+
+/// Algorithm 3 exactly as printed: every component strictly less.
+///
+/// Note `literal_less(a, a) == false` and `literal_less([1,0],[2,0]) ==
+/// false`, so the literal detector flags some causally-ordered pairs.
+pub fn literal_less(a: &VectorClock, b: &VectorClock) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.components()
+        .iter()
+        .zip(b.components())
+        .all(|(x, y)| x < y)
+}
+
+/// Algorithm 4 (`max_clock`): `∀l, V'[l] = max(V_Pi[l], V_Pj[l])`.
+pub fn max_clock(a: &VectorClock, b: &VectorClock) -> VectorClock {
+    a.merged(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(v: &[u64]) -> VectorClock {
+        VectorClock::from_components(v.to_vec())
+    }
+
+    #[test]
+    fn compare_clocks_is_leq() {
+        assert!(compare_clocks(&vc(&[1, 0]), &vc(&[2, 0])));
+        assert!(compare_clocks(&vc(&[1, 1]), &vc(&[1, 1])));
+        assert!(!compare_clocks(&vc(&[1, 1]), &vc(&[0, 2])));
+    }
+
+    #[test]
+    fn race_check_matches_concurrency() {
+        let a = vc(&[1, 1, 0]);
+        let b = vc(&[0, 0, 1]);
+        // The Algorithms 1–2 condition.
+        let detected = !compare_clocks(&a, &b) && !compare_clocks(&b, &a);
+        assert!(detected);
+        assert!(a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn literal_less_requires_all_strict() {
+        assert!(literal_less(&vc(&[0, 0]), &vc(&[1, 1])));
+        // Causally ordered but not all-strict: the literal test says "no".
+        assert!(!literal_less(&vc(&[1, 0]), &vc(&[2, 0])));
+        assert!(!literal_less(&vc(&[1, 1]), &vc(&[1, 2])));
+        // Irreflexive.
+        assert!(!literal_less(&vc(&[3, 3]), &vc(&[3, 3])));
+    }
+
+    #[test]
+    fn literal_flags_ordered_pair_as_race() {
+        // Demonstrates the false positive of the printed algorithm: the pair
+        // is causally ordered yet the literal condition reports a race.
+        let a = vc(&[1, 0]);
+        let b = vc(&[2, 0]);
+        assert!(compare_clocks(&a, &b), "really ordered");
+        let literal_race = !literal_less(&a, &b) && !literal_less(&b, &a);
+        assert!(literal_race, "literal algorithm would signal a race");
+    }
+
+    #[test]
+    fn max_clock_matches_merge() {
+        let a = vc(&[1, 5, 0]);
+        let b = vc(&[3, 2, 9]);
+        assert_eq!(max_clock(&a, &b).components(), &[3, 5, 9]);
+    }
+}

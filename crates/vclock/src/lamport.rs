@@ -1,0 +1,105 @@
+//! Scalar Lamport clocks (Lamport 1978, paper reference `[12]`).
+//!
+//! The paper uses Lamport's *happens-before* relation `→` as the definition
+//! of causal order, and races are pairs of events with neither `e1 → e2` nor
+//! `e2 → e1`. A scalar clock is consistent with `→` but cannot *characterise*
+//! it (that needs vector clocks); we provide it for event stamping,
+//! deterministic tie-breaking and the property tests that contrast the two.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar logical clock.
+///
+/// Maintains the two Lamport rules:
+/// 1. before every local event, `tick()`;
+/// 2. on message receipt carrying timestamp `t`, `observe(t)` then `tick()`
+///    (combined in [`LamportClock::receive`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct LamportClock(u64);
+
+impl LamportClock {
+    /// A clock at logical time zero (no events observed yet).
+    pub const fn new() -> Self {
+        LamportClock(0)
+    }
+
+    /// Current logical time.
+    pub const fn time(&self) -> u64 {
+        self.0
+    }
+
+    /// Advance for a local event; returns the new timestamp.
+    pub fn tick(&mut self) -> u64 {
+        self.0 += 1;
+        self.0
+    }
+
+    /// Fold in a remote timestamp without advancing.
+    pub fn observe(&mut self, remote: u64) {
+        self.0 = self.0.max(remote);
+    }
+
+    /// Message-receive rule: `max(local, remote) + 1`; returns the new time.
+    pub fn receive(&mut self, remote: u64) -> u64 {
+        self.observe(remote);
+        self.tick()
+    }
+}
+
+impl std::fmt::Display for LamportClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(LamportClock::new().time(), 0);
+    }
+
+    #[test]
+    fn tick_increments() {
+        let mut c = LamportClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.time(), 2);
+    }
+
+    #[test]
+    fn receive_takes_max_plus_one() {
+        let mut c = LamportClock::new();
+        c.tick(); // 1
+        assert_eq!(c.receive(10), 11);
+        // A receive of an older timestamp still advances.
+        assert_eq!(c.receive(3), 12);
+    }
+
+    #[test]
+    fn observe_never_decreases() {
+        let mut c = LamportClock::new();
+        c.receive(5);
+        let before = c.time();
+        c.observe(2);
+        assert_eq!(c.time(), before);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut a = LamportClock::new();
+        let mut b = LamportClock::new();
+        a.tick();
+        b.receive(a.time());
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut c = LamportClock::new();
+        c.tick();
+        assert_eq!(c.to_string(), "L1");
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the clock lattice and for Mattern's theorem
+//! (the paper's Lemma 1) on randomly generated message executions.
+
+use proptest::prelude::*;
+use vclock::{compare_clocks, max_clock, ClockRelation, MatrixClock, SparseClock, VectorClock};
+
+const N: usize = 5;
+
+fn arb_clock() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..50, N).prop_map(VectorClock::from_components)
+}
+
+proptest! {
+    #[test]
+    fn merge_commutative(a in arb_clock(), b in arb_clock()) {
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    #[test]
+    fn merge_associative(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+    }
+
+    #[test]
+    fn merge_idempotent(a in arb_clock()) {
+        prop_assert_eq!(a.merged(&a), a);
+    }
+
+    #[test]
+    fn merge_is_upper_bound(a in arb_clock(), b in arb_clock()) {
+        let m = a.merged(&b);
+        prop_assert!(a.leq(&m));
+        prop_assert!(b.leq(&m));
+    }
+
+    #[test]
+    fn merge_is_least_upper_bound(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        // Any common upper bound dominates the merge.
+        let m = a.merged(&b);
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(m.leq(&c));
+        }
+    }
+
+    #[test]
+    fn relation_antisymmetric(a in arb_clock(), b in arb_clock()) {
+        match a.relation(&b) {
+            ClockRelation::Before => prop_assert_eq!(b.relation(&a), ClockRelation::After),
+            ClockRelation::After => prop_assert_eq!(b.relation(&a), ClockRelation::Before),
+            ClockRelation::Equal => prop_assert_eq!(b.relation(&a), ClockRelation::Equal),
+            ClockRelation::Concurrent => {
+                prop_assert_eq!(b.relation(&a), ClockRelation::Concurrent)
+            }
+        }
+    }
+
+    #[test]
+    fn tick_strictly_advances(mut a in arb_clock(), owner in 0usize..N) {
+        let before = a.clone();
+        a.tick(owner);
+        prop_assert_eq!(before.relation(&a), ClockRelation::Before);
+    }
+
+    #[test]
+    fn compare_clocks_consistent_with_relation(a in arb_clock(), b in arb_clock()) {
+        let race = !compare_clocks(&a, &b) && !compare_clocks(&b, &a);
+        prop_assert_eq!(race, a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn max_clock_dominates(a in arb_clock(), b in arb_clock()) {
+        let m = max_clock(&a, &b);
+        prop_assert!(compare_clocks(&a, &m) && compare_clocks(&b, &m));
+    }
+
+    #[test]
+    fn sparse_dense_equivalence(a in arb_clock(), b in arb_clock()) {
+        let sa = SparseClock::from_dense(&a);
+        let sb = SparseClock::from_dense(&b);
+        prop_assert_eq!(sa.relation(&sb), a.relation(&b));
+        let mut sm = sa.clone();
+        sm.merge(&sb);
+        prop_assert_eq!(sm.to_dense(N), a.merged(&b));
+    }
+}
+
+/// A tiny execution generator: a list of (sender, receiver) message events.
+/// Every process ticks before sending; receives merge then tick. We then
+/// verify Mattern's theorem: clock comparability == happens-before
+/// reachability in the event DAG.
+#[derive(Debug, Clone)]
+struct Execution {
+    msgs: Vec<(usize, usize)>,
+}
+
+fn arb_execution() -> impl Strategy<Value = Execution> {
+    proptest::collection::vec((0usize..N, 0usize..N), 1..30)
+        .prop_map(|raw| Execution {
+            msgs: raw
+                .into_iter()
+                .map(|(s, r)| (s, if r == s { (r + 1) % N } else { r }))
+                .collect(),
+        })
+}
+
+proptest! {
+    /// Lemma 1 (Mattern, Theorem 10): e < e' iff C(e) < C(e'), and
+    /// e ∥ e' iff the clocks are concurrent. We replay the execution with
+    /// matrix clocks and independently compute happens-before reachability.
+    #[test]
+    fn mattern_theorem_on_random_executions(exec in arb_execution()) {
+        let mut clocks: Vec<MatrixClock> =
+            (0..N).map(|i| MatrixClock::zero(i, N)).collect();
+
+        // Event list: (process, clock snapshot, event index).
+        // Send events and receive events both get snapshots.
+        let mut events: Vec<(usize, VectorClock)> = Vec::new();
+        // HB edges: program order per process + message edges (send→recv).
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut last_event_of: Vec<Option<usize>> = vec![None; N];
+
+        for &(s, r) in &exec.msgs {
+            // Send event at s.
+            let send_clock = clocks[s].tick();
+            let send_id = events.len();
+            events.push((s, send_clock.clone()));
+            if let Some(prev) = last_event_of[s] {
+                edges.push((prev, send_id));
+            }
+            last_event_of[s] = Some(send_id);
+
+            // Receive event at r.
+            clocks[r].observe(s, &send_clock);
+            let recv_clock = clocks[r].tick();
+            let recv_id = events.len();
+            events.push((r, recv_clock));
+            if let Some(prev) = last_event_of[r] {
+                edges.push((prev, recv_id));
+            }
+            last_event_of[r] = Some(recv_id);
+            edges.push((send_id, recv_id));
+        }
+
+        // Transitive closure (small graphs).
+        let m = events.len();
+        let mut reach = vec![vec![false; m]; m];
+        for &(a, b) in &edges {
+            reach[a][b] = true;
+        }
+        for k in 0..m {
+            for i in 0..m {
+                if reach[i][k] {
+                    let row_k = reach[k].clone();
+                    for (j, r) in row_k.iter().enumerate() {
+                        if *r {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        for i in 0..m {
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                let hb = reach[i][j];
+                let clock_before =
+                    events[i].1.relation(&events[j].1) == ClockRelation::Before;
+                prop_assert_eq!(
+                    hb, clock_before,
+                    "event {} vs {}: hb={} clock_before={} ({} vs {})",
+                    i, j, hb, clock_before, events[i].1, events[j].1
+                );
+            }
+        }
+    }
+}

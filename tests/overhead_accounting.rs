@@ -1,0 +1,189 @@
+//! Overhead experiments (index SEC4C, SEC4D-mem, SEC5A in DESIGN.md): the
+//! paper's quantified claims about clock size, memory doubling, and the
+//! runtime cost of detection at debugging scale.
+
+use coherent_dsm::prelude::*;
+use coherent_dsm::vclock::{MatrixClock, SparseClock, VectorClock};
+use simulator::workloads::{master_worker, random_access};
+
+/// SEC4C — "the size of the vector clocks must be at least n": the dense
+/// encodings grow linearly (vector) and quadratically (matrix) with n.
+#[test]
+fn clock_sizes_grow_with_n() {
+    let mut prev_vec = 0;
+    let mut prev_mat = 0;
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let v = VectorClock::zero(n).dense_wire_size();
+        let m = MatrixClock::zero(0, n).dense_size_bytes();
+        assert_eq!(v, n * 8);
+        assert_eq!(m, n * n * 8);
+        assert!(v > prev_vec && m > prev_mat);
+        prev_vec = v;
+        prev_mat = m;
+    }
+}
+
+/// SEC4C — the lower bound is a worst case: with few active writers a
+/// sparse clock undercuts the dense encoding, but as every process touches
+/// the data the sparse representation converges to ≥ n entries (Charron-
+/// Bost: it cannot stay below n in general).
+#[test]
+fn sparse_clocks_help_only_when_few_processes_touch_data() {
+    let n = 64;
+    // 3 active writers out of 64.
+    let mut dense = VectorClock::zero(n);
+    for rank in [1usize, 7, 30] {
+        dense.set(rank, 5);
+    }
+    let sparse = SparseClock::from_dense(&dense);
+    assert!(sparse.sparse_wire_size() < dense.dense_wire_size());
+
+    // All 64 active: sparse is no longer smaller.
+    let mut all = VectorClock::zero(n);
+    for rank in 0..n {
+        all.set(rank, 1);
+    }
+    let sparse_all = SparseClock::from_dense(&all);
+    assert!(sparse_all.sparse_wire_size() >= all.dense_wire_size());
+}
+
+/// SEC4C — detection traffic per operation grows with n (each clock
+/// message carries n (or 2n) components).
+#[test]
+fn clock_traffic_grows_linearly_with_n() {
+    let mut bytes_per_op = Vec::new();
+    for n in [2usize, 4, 8, 16] {
+        let dst = GlobalAddr::public(1, 0).range(8);
+        let programs: Vec<Program> = (0..n)
+            .map(|r| {
+                if r == 0 {
+                    ProgramBuilder::new(0).put_u64(1, dst).build()
+                } else {
+                    Program::new()
+                }
+            })
+            .collect();
+        let r = Engine::new(SimConfig::lockstep(n, 100), programs).run();
+        bytes_per_op.push((n, r.stats.bytes(OpClass::Clock)));
+    }
+    for w in bytes_per_op.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "clock bytes must grow with n: {bytes_per_op:?}"
+        );
+    }
+    // Exactly affine: the one remote access ships two clock-bearing
+    // messages (read reply and clock write), each carrying V and W of n
+    // u64 components → 4n u64 = 32n bytes of clock payload on top of the
+    // fixed headers. The measured slope must be exactly 32 bytes per rank.
+    for w in bytes_per_op.windows(2) {
+        let ((n0, b0), (n1, b1)) = (w[0], w[1]);
+        assert_eq!(
+            (b1 - b0) as usize,
+            32 * (n1 - n0),
+            "clock payload slope is 4×8 bytes per component: {bytes_per_op:?}"
+        );
+    }
+}
+
+/// SEC4D-mem — "the drawback of this approach is that it doubles the
+/// necessary amount of memory": dual store = 2 × single store, and the
+/// total is proportional to touched areas × n.
+#[test]
+fn dual_clock_memory_is_double_single() {
+    let w = random_access::generate(random_access::RandomSpec {
+        n: 6,
+        ops_per_rank: 20,
+        hot_words: 12,
+        p_write: 0.5,
+        locked: false,
+        seed: 42,
+    });
+    let dual = Engine::new(
+        SimConfig::debugging(w.n).with_detector(DetectorKind::Dual),
+        w.programs.clone(),
+    )
+    .run();
+    let single = Engine::new(
+        SimConfig::debugging(w.n).with_detector(DetectorKind::Single),
+        w.programs.clone(),
+    )
+    .run();
+    assert!(dual.clock_memory_bytes > 0);
+    assert_eq!(dual.clock_memory_bytes, 2 * single.clock_memory_bytes);
+}
+
+/// SEC5A — detection overhead: messages and bytes versus the vanilla run
+/// on the §IV-D master-worker pattern at debugging scale (~10 processes,
+/// as the paper suggests). Detection multiplies traffic (locks + clocks)
+/// but never changes the data plane.
+#[test]
+fn detection_overhead_at_debugging_scale() {
+    let w = master_worker::racy(9, 2); // 10 processes total
+    let vanilla = Engine::new(
+        SimConfig::debugging(w.n).with_detector(DetectorKind::Vanilla),
+        w.programs.clone(),
+    )
+    .run();
+    let dual = Engine::new(
+        SimConfig::debugging(w.n).with_detector(DetectorKind::Dual),
+        w.programs.clone(),
+    )
+    .run();
+
+    // Data plane identical.
+    assert_eq!(
+        vanilla.stats.msgs(OpClass::PutData),
+        dual.stats.msgs(OpClass::PutData)
+    );
+    // Overhead exists and is attributable to clocks + locks.
+    assert!(dual.stats.total_msgs() > vanilla.stats.total_msgs());
+    let added = dual.stats.total_msgs() - vanilla.stats.total_msgs();
+    assert_eq!(
+        added,
+        dual.stats.msgs(OpClass::Clock) + dual.stats.msgs(OpClass::Lock)
+    );
+    // Virtual completion time grows but stays within an order of magnitude
+    // (debugging-tolerable, per §V-A).
+    assert!(dual.virtual_time >= vanilla.virtual_time);
+    assert!(
+        dual.virtual_time.as_ns() < 50 * vanilla.virtual_time.as_ns().max(1),
+        "overhead should not explode: {} vs {}",
+        dual.virtual_time,
+        vanilla.virtual_time
+    );
+}
+
+/// SEC5A — overhead grows with n in messages, supporting the paper's
+/// "debug small" advice.
+#[test]
+fn overhead_scales_with_process_count() {
+    let mut added_msgs = Vec::new();
+    for workers in [2usize, 4, 8] {
+        let w = master_worker::racy(workers, 1);
+        let vanilla = Engine::new(
+            SimConfig::debugging(w.n).with_detector(DetectorKind::Vanilla),
+            w.programs.clone(),
+        )
+        .run();
+        let dual = Engine::new(SimConfig::debugging(w.n), w.programs.clone()).run();
+        added_msgs.push(dual.stats.total_msgs() - vanilla.stats.total_msgs());
+    }
+    assert!(
+        added_msgs[0] < added_msgs[1] && added_msgs[1] < added_msgs[2],
+        "detection traffic grows with scale: {added_msgs:?}"
+    );
+}
+
+/// §IV-B末 — "since the shared memory area is locked, there cannot exist a
+/// race condition between the remote memory accesses induced by the race
+/// condition detection mechanism": the detection machinery's own traffic
+/// never produces reports (runs on race-free programs stay silent even
+/// though detection adds many messages).
+#[test]
+fn detection_machinery_does_not_race_with_itself() {
+    let w = master_worker::slotted(6, 3);
+    let r = Engine::new(SimConfig::debugging(w.n), w.programs).run();
+    assert!(r.stats.msgs(OpClass::Clock) > 0, "machinery was active");
+    assert!(r.deduped.is_empty(), "{:?}", r.deduped);
+}
