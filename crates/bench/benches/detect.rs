@@ -33,7 +33,11 @@ fn detector_observe_only(c: &mut Criterion) {
     // Pure detector cost, no simulator: a stream of conflicting ops.
     use race_core::{DsmOp, OpKind};
     let mut group = c.benchmark_group("detector_observe_1k_ops");
-    for kind in [DetectorKind::Dual, DetectorKind::Single, DetectorKind::Lockset] {
+    for kind in [
+        DetectorKind::Dual,
+        DetectorKind::Single,
+        DetectorKind::Lockset,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.label()),
             &kind,

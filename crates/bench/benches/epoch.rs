@@ -1,0 +1,72 @@
+//! The tentpole bench: epoch fast path + flat store + allocation-free
+//! observe, versus the full-vector-clock reference implementation, on
+//! detector-only op streams at WORD granularity.
+//!
+//! `detector_stream/{stencil,random_access}/{epoch,reference}` is the pair
+//! the ≥2× acceptance criterion reads; `repro --bench` prints the same
+//! comparison as JSON for BENCH_0001.json.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_bench::opstream::{self, StreamEvent};
+use race_core::{Granularity, HbDetector, HbMode, ReferenceHbDetector};
+use simulator::workloads::random_access::RandomSpec;
+
+fn bench_pair(c: &mut Criterion, label: &str, n: usize, events: &[StreamEvent]) {
+    let mut group = c.benchmark_group(format!("detector_stream/{label}"));
+    group.bench_with_input(BenchmarkId::from_parameter("epoch"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = HbDetector::new(n, Granularity::WORD, HbMode::Dual);
+            opstream::drive(&mut det, events)
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("reference"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = ReferenceHbDetector::new(n, Granularity::WORD, HbMode::Dual);
+            opstream::drive(&mut det, events)
+        });
+    });
+    group.finish();
+}
+
+fn stencil_stream(c: &mut Criterion) {
+    let n = 16;
+    let events = opstream::stencil(n, 16, 4);
+    bench_pair(c, "stencil", n, &events);
+}
+
+fn random_stream(c: &mut Criterion) {
+    let spec = RandomSpec {
+        n: 8,
+        ops_per_rank: 128,
+        hot_words: 256,
+        p_write: 0.25,
+        locked: false,
+        seed: 0xB0,
+    };
+    let events = opstream::random(spec);
+    bench_pair(c, "random_access", spec.n, &events);
+}
+
+fn scaling_with_n(c: &mut Criterion) {
+    // The epoch win grows with n (O(1) vs O(n) per compare/update).
+    let mut group = c.benchmark_group("detector_stream/stencil_scaling");
+    for n in [4usize, 16, 64] {
+        let events = opstream::stencil(n, 8, 2);
+        group.bench_with_input(BenchmarkId::new("epoch", n), &(), |b, _| {
+            b.iter(|| {
+                let mut det = HbDetector::new(n, Granularity::WORD, HbMode::Dual);
+                opstream::drive(&mut det, &events)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &(), |b, _| {
+            b.iter(|| {
+                let mut det = ReferenceHbDetector::new(n, Granularity::WORD, HbMode::Dual);
+                opstream::drive(&mut det, &events)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stencil_stream, random_stream, scaling_with_n);
+criterion_main!(benches);

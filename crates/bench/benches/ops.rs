@@ -16,7 +16,9 @@ fn put_roundtrip(c: &mut Criterion) {
             let dst = dsm::GlobalAddr::public(1, 0).range(size);
             b.iter(|| {
                 let programs = vec![
-                    ProgramBuilder::new(0).put_imm(vec![0xAB; size], dst).build(),
+                    ProgramBuilder::new(0)
+                        .put_imm(vec![0xAB; size], dst)
+                        .build(),
                     Program::new(),
                 ];
                 let mut cfg = SimConfig::lockstep(2, 1_000);
@@ -36,10 +38,7 @@ fn get_roundtrip(c: &mut Criterion) {
             let src = dsm::GlobalAddr::public(0, 0).range(size);
             let dst = dsm::GlobalAddr::private(1, 0).range(size);
             b.iter(|| {
-                let programs = vec![
-                    Program::new(),
-                    ProgramBuilder::new(1).get(src, dst).build(),
-                ];
+                let programs = vec![Program::new(), ProgramBuilder::new(1).get(src, dst).build()];
                 let mut cfg = SimConfig::lockstep(2, 1_000);
                 cfg.public_len = size.max(4096);
                 cfg.private_len = size.max(4096);

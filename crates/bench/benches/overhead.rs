@@ -52,5 +52,10 @@ fn explorer_parallel_seeds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, master_worker_scale, stencil_iterations, explorer_parallel_seeds);
+criterion_group!(
+    benches,
+    master_worker_scale,
+    stencil_iterations,
+    explorer_parallel_seeds
+);
 criterion_main!(benches);

@@ -10,7 +10,11 @@ use shmem::{GlobalAddr, ShmemConfig};
 fn puts_per_detector(c: &mut Criterion) {
     let mut group = c.benchmark_group("shmem_disjoint_puts");
     group.sample_size(20);
-    for kind in [DetectorKind::Vanilla, DetectorKind::Single, DetectorKind::Dual] {
+    for kind in [
+        DetectorKind::Vanilla,
+        DetectorKind::Single,
+        DetectorKind::Dual,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.label()),
             &kind,
@@ -19,10 +23,7 @@ fn puts_per_detector(c: &mut Criterion) {
                     shmem::run(ShmemConfig::new(4).with_detector(kind), |pe| {
                         let me = pe.my_pe();
                         for i in 0..64usize {
-                            pe.put_u64(
-                                GlobalAddr::public(me, (i % 32) * 8).range(8),
-                                i as u64,
-                            );
+                            pe.put_u64(GlobalAddr::public(me, (i % 32) * 8).range(8), i as u64);
                         }
                     })
                 });
@@ -76,5 +77,10 @@ fn onesided_reduction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, puts_per_detector, contended_counter, onesided_reduction);
+criterion_group!(
+    benches,
+    puts_per_detector,
+    contended_counter,
+    onesided_reduction
+);
 criterion_main!(benches);

@@ -1,11 +1,27 @@
-//! Regenerate every figure and quantified claim of the paper.
+//! Regenerate every figure and quantified claim of the paper, plus the
+//! detector perf summary.
 //!
 //! Usage:
-//!   repro             # all experiments (the EXPERIMENTS.md content)
+//!   repro             # all experiment tables (the EXPERIMENTS.md content)
 //!   repro FIG2 SEC5A  # a selection by experiment id
+//!   repro --bench     # single-line JSON perf rows (the BENCH_0001.json
+//!                     # content): epoch fast path vs full-vector-clock
+//!                     # reference on stencil / random_access at WORD
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--bench") {
+        let rows = dsm_bench::perfjson::bench_rows();
+        for row in &rows {
+            println!("{}", row.to_json());
+        }
+        for (workload, speedup) in dsm_bench::perfjson::speedups(&rows) {
+            eprintln!("# {workload}: epoch fast path {speedup:.2}x vs reference");
+        }
+        return;
+    }
+
     let tables = dsm_bench::all_tables();
     let mut printed = 0;
     for t in &tables {

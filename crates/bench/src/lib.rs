@@ -11,6 +11,9 @@ use race_core::{DetectorKind, Oracle, RaceClass};
 use simulator::workloads::{figures, master_worker, random_access, reduction};
 use simulator::{Engine, Program, RunResult, SimConfig};
 
+pub mod opstream;
+pub mod perfjson;
+
 /// Run one configuration, asserting the run is healthy.
 pub fn run(cfg: SimConfig, programs: Vec<Program>) -> RunResult {
     let r = Engine::new(cfg, programs).run();
@@ -80,9 +83,18 @@ pub fn fig2() -> Table {
         id: "FIG2",
         title: "one-sided operation message counts (paper: put=1, get=2)".into(),
         rows: vec![
-            format!("put data messages : {}", r.stats.msgs(netsim::OpClass::PutData)),
-            format!("get request msgs  : {}", r.stats.msgs(netsim::OpClass::GetRequest)),
-            format!("get reply msgs    : {}", r.stats.msgs(netsim::OpClass::GetReply)),
+            format!(
+                "put data messages : {}",
+                r.stats.msgs(netsim::OpClass::PutData)
+            ),
+            format!(
+                "get request msgs  : {}",
+                r.stats.msgs(netsim::OpClass::GetRequest)
+            ),
+            format!(
+                "get reply msgs    : {}",
+                r.stats.msgs(netsim::OpClass::GetReply)
+            ),
             format!("put latency (injection, one-sided) : {} ns", lat("put")),
             format!("get latency (round trip)           : {} ns", lat("get")),
         ],
@@ -110,7 +122,10 @@ pub fn fig3() -> Table {
         rows: vec![
             format!("put send→apply delay, no concurrent get : {without} ns"),
             format!("put send→apply delay, get in progress   : {with_get} ns"),
-            format!("deferral factor                         : {:.1}×", with_get as f64 / without.max(1) as f64),
+            format!(
+                "deferral factor                         : {:.1}×",
+                with_get as f64 / without.max(1) as f64
+            ),
         ],
     }
 }
@@ -120,7 +135,11 @@ pub fn fig3() -> Table {
 pub fn fig4() -> Table {
     let w = figures::fig4();
     let mut rows = Vec::new();
-    for kind in [DetectorKind::Dual, DetectorKind::Single, DetectorKind::Literal] {
+    for kind in [
+        DetectorKind::Dual,
+        DetectorKind::Single,
+        DetectorKind::Literal,
+    ] {
         let r = run(
             SimConfig::debugging(w.n).with_detector(kind),
             w.programs.clone(),
@@ -251,7 +270,11 @@ pub fn memory() -> Table {
         "{:<14} {:>12} {:>14} {:>10}",
         "detector", "clock bytes", "touched areas", "reports"
     )];
-    for kind in [DetectorKind::Dual, DetectorKind::Single, DetectorKind::Vanilla] {
+    for kind in [
+        DetectorKind::Dual,
+        DetectorKind::Single,
+        DetectorKind::Vanilla,
+    ] {
         let r = run(
             SimConfig::debugging(w.n).with_detector(kind),
             w.programs.clone(),
@@ -289,12 +312,15 @@ pub fn memory() -> Table {
         let r = run(cfg, w.programs.clone());
         rows.push(format!(
             "{:<14} {:>12} {:>10}",
-            label, r.clock_memory_bytes, r.deduped.len()
+            label,
+            r.clock_memory_bytes,
+            r.deduped.len()
         ));
     }
     Table {
         id: "SEC4D-mem",
-        title: "dual clocks double the clock memory (and granularity trades memory for precision)".into(),
+        title: "dual clocks double the clock memory (and granularity trades memory for precision)"
+            .into(),
         rows,
     }
 }
@@ -307,7 +333,11 @@ pub fn falsepos() -> Table {
         "p_write", "detector", "reports", "pair-FP", "site-FN", "precision", "site-recall"
     )];
     for p_write in [0.0, 0.25, 0.5, 1.0] {
-        for kind in [DetectorKind::Dual, DetectorKind::Single, DetectorKind::Literal] {
+        for kind in [
+            DetectorKind::Dual,
+            DetectorKind::Single,
+            DetectorKind::Literal,
+        ] {
             let mut reports = 0usize;
             let mut fp = 0usize;
             let mut site_fn = 0usize;
@@ -324,7 +354,9 @@ pub fn falsepos() -> Table {
                     seed: 0xF0 + seed,
                 });
                 let r = run(
-                    SimConfig::debugging(w.n).with_detector(kind).with_seed(seed),
+                    SimConfig::debugging(w.n)
+                        .with_detector(kind)
+                        .with_seed(seed),
                     w.programs,
                 );
                 let oracle = Oracle::analyze(&r.trace);
@@ -350,7 +382,9 @@ pub fn falsepos() -> Table {
     }
     Table {
         id: "SEC4D-fp",
-        title: "detection quality vs oracle (3 seeds each): dual clock eliminates the false positives".into(),
+        title:
+            "detection quality vs oracle (3 seeds each): dual clock eliminates the false positives"
+                .into(),
         rows,
     }
 }
@@ -443,15 +477,9 @@ pub fn literal() -> Table {
             SimConfig::debugging(3).with_detector(kind),
             programs.clone(),
         );
-        let war = r
-            .deduped
-            .iter()
-            .any(|x| x.class == RaceClass::ReadWrite);
+        let war = r.deduped.iter().any(|x| x.class == RaceClass::ReadWrite);
         let w4 = figures::fig4();
-        let r4 = run(
-            SimConfig::debugging(w4.n).with_detector(kind),
-            w4.programs,
-        );
+        let r4 = run(SimConfig::debugging(w4.n).with_detector(kind), w4.programs);
         let rr = r4
             .deduped
             .iter()
@@ -465,9 +493,7 @@ pub fn literal() -> Table {
         ));
     }
     rows.push(String::new());
-    rows.push(
-        "strict Algorithm-3 comparison on Fig 5c's clocks (1000 vs 2022):".into(),
-    );
+    rows.push("strict Algorithm-3 comparison on Fig 5c's clocks (1000 vs 2022):".into());
     let m1 = vclock::VectorClock::from_components(vec![1, 0, 0, 0]);
     let m4 = vclock::VectorClock::from_components(vec![2, 0, 2, 2]);
     rows.push(format!(
@@ -502,7 +528,8 @@ pub fn shmem_exp() -> Table {
     });
     Table {
         id: "SHMEM",
-        title: "§III-B on real threads: unsynchronised vs locked counter (4 PEs × 20 increments)".into(),
+        title: "§III-B on real threads: unsynchronised vs locked counter (4 PEs × 20 increments)"
+            .into(),
         rows: vec![
             format!(
                 "unsynchronised: value {} (expected 80), race reports {}",
@@ -529,7 +556,11 @@ pub fn atomics() -> Table {
         "discipline", "msgs", "atomic", "lock", "put/get", "final value", "races"
     )];
     for (label, w, expected) in [
-        ("atomic", counters::atomic(n, increments), Some((n * increments) as u64)),
+        (
+            "atomic",
+            counters::atomic(n, increments),
+            Some((n * increments) as u64),
+        ),
         ("locked", counters::locked(n, increments), None),
         ("racy", counters::racy(n, increments), None),
     ] {
@@ -629,7 +660,8 @@ pub fn delta() -> Table {
     }
     Table {
         id: "EXT-delta",
-        title: "delta-encoded clock updates (the §IV-C width bound limits state, not traffic)".into(),
+        title: "delta-encoded clock updates (the §IV-C width bound limits state, not traffic)"
+            .into(),
         rows,
     }
 }

@@ -1,0 +1,186 @@
+//! Detector-only operation streams for perf measurement.
+//!
+//! The full-system benches (`ops`, `detect`, `overhead`) run the whole
+//! discrete-event engine, where network and lock plumbing dominates. To
+//! measure the *detector hot path* itself — the target of the epoch
+//! fast-path work — these generators reproduce the access patterns of the
+//! `stencil` and `random_access` workloads as bare [`DsmOp`] streams plus
+//! synchronisation events, and [`drive`] feeds them straight into a
+//! [`Detector`].
+
+use race_core::{Detector, DsmOp, OpKind};
+use simulator::workloads::random_access::RandomSpec;
+
+use dsm::GlobalAddr;
+
+/// One event of a detector-only stream.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// A DSM operation observed by the detector.
+    Op(DsmOp),
+    /// A barrier among all ranks.
+    Barrier,
+}
+
+/// Number of *clocked* memory accesses a stream performs: the public-side
+/// accesses of each op (private memory never reaches the clocks, §IV-A).
+pub fn access_count(events: &[StreamEvent]) -> u64 {
+    use dsm::addr::Segment;
+    events
+        .iter()
+        .map(|e| match e {
+            StreamEvent::Op(op) => op
+                .accesses()
+                .into_iter()
+                .filter(|(_, r, _)| r.addr.segment == Segment::Public)
+                .count() as u64,
+            StreamEvent::Barrier => 0,
+        })
+        .sum()
+}
+
+/// The stencil pattern of `simulator::workloads::stencil`: each rank owns
+/// `words` words; per iteration it writes its interior, reads its
+/// neighbours' boundary words, and everyone barriers. Fully synchronised —
+/// the detector's totally-ordered fast path.
+pub fn stencil(n: usize, words: usize, iters: usize) -> Vec<StreamEvent> {
+    assert!(n >= 2 && words >= 2);
+    let mut events = Vec::new();
+    let mut op_id = 0u64;
+    let mut op = |actor: usize, kind: OpKind, events: &mut Vec<StreamEvent>| {
+        events.push(StreamEvent::Op(DsmOp { op_id, actor, kind }));
+        op_id += 1;
+    };
+    for _ in 0..iters {
+        for rank in 0..n {
+            for w in 0..words {
+                op(
+                    rank,
+                    OpKind::LocalWrite {
+                        range: GlobalAddr::public(rank, w * 8).range(8),
+                    },
+                    &mut events,
+                );
+            }
+        }
+        events.push(StreamEvent::Barrier);
+        for rank in 0..n {
+            let left = (rank + n - 1) % n;
+            let right = (rank + 1) % n;
+            for (nbr, w) in [(left, words - 1), (right, 0)] {
+                op(
+                    rank,
+                    OpKind::Get {
+                        src: GlobalAddr::public(nbr, w * 8).range(8),
+                        dst: GlobalAddr::private(rank, 0).range(8),
+                    },
+                    &mut events,
+                );
+            }
+        }
+        events.push(StreamEvent::Barrier);
+    }
+    events
+}
+
+/// The `random_access` pattern: every rank issues `spec.ops_per_rank`
+/// put/get operations against `spec.hot_words` shared words, unlocked —
+/// genuinely concurrent traffic exercising demotion and the antichain
+/// slow path.
+pub fn random(spec: RandomSpec) -> Vec<StreamEvent> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut events = Vec::new();
+    let word = |i: usize| {
+        let rank = i % spec.n;
+        let slot = i / spec.n;
+        GlobalAddr::public(rank, slot * 8).range(8)
+    };
+    // Interleave rank streams round-robin, as the engine's lockstep
+    // scheduling roughly does.
+    for op_index in 0..spec.ops_per_rank {
+        for rank in 0..spec.n {
+            let target = word(rng.gen_range(0..spec.hot_words));
+            let op_id = (op_index * spec.n + rank) as u64;
+            let kind = if rng.gen_bool(spec.p_write) {
+                OpKind::Put {
+                    src: GlobalAddr::private(rank, 0).range(8),
+                    dst: target,
+                }
+            } else {
+                OpKind::Get {
+                    src: target,
+                    dst: GlobalAddr::private(rank, 0).range(8),
+                }
+            };
+            events.push(StreamEvent::Op(DsmOp {
+                op_id,
+                actor: rank,
+                kind,
+            }));
+        }
+    }
+    events
+}
+
+/// Feed a stream through a detector; returns the total number of reports.
+pub fn drive(detector: &mut dyn Detector, events: &[StreamEvent]) -> usize {
+    let mut reports = 0;
+    for e in events {
+        match e {
+            StreamEvent::Op(op) => reports += detector.observe(op, &[]),
+            StreamEvent::Barrier => detector.on_barrier(),
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use race_core::{Granularity, HbDetector, HbMode, ReferenceHbDetector};
+
+    #[test]
+    fn stencil_stream_is_race_free_and_stays_on_fast_path() {
+        let events = stencil(8, 8, 3);
+        let mut d = HbDetector::new(8, Granularity::WORD, HbMode::Dual);
+        assert_eq!(
+            drive(&mut d, &events),
+            0,
+            "synchronised stencil never races"
+        );
+        assert_eq!(
+            d.store().epoch_areas(),
+            d.store().touched_areas(),
+            "every area stays in epoch representation"
+        );
+    }
+
+    #[test]
+    fn random_stream_matches_reference_reports() {
+        let spec = RandomSpec {
+            n: 6,
+            ops_per_rank: 40,
+            hot_words: 12,
+            p_write: 0.5,
+            locked: false,
+            seed: 7,
+        };
+        let events = random(spec);
+        let mut fast = HbDetector::new(spec.n, Granularity::WORD, HbMode::Dual);
+        let mut slow = ReferenceHbDetector::new(spec.n, Granularity::WORD, HbMode::Dual);
+        let a = drive(&mut fast, &events);
+        let b = drive(&mut slow, &events);
+        assert_eq!(a, b);
+        assert!(a > 0, "unlocked random traffic must race");
+    }
+
+    #[test]
+    fn access_counting() {
+        let events = stencil(2, 2, 1);
+        // 2 ranks × 2 local writes + 2 ranks × 2 gets (public read side
+        // only — the private destination is not clocked).
+        assert_eq!(access_count(&events), 4 + 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! Single-line JSON perf summaries for the detector hot path.
+//!
+//! `repro --bench` prints one line per measured configuration; the
+//! committed `BENCH_0001.json` is exactly that output, seeding the repo's
+//! perf trajectory. Hand-formatted JSON — no serialisation dependency.
+
+use std::time::Instant;
+
+use race_core::{Detector, Granularity, HbDetector, HbMode, ReferenceHbDetector};
+use simulator::workloads::random_access::RandomSpec;
+
+use crate::opstream::{self, StreamEvent};
+
+/// One measured configuration.
+pub struct PerfRow {
+    /// Workload label (`stencil` / `random_access`).
+    pub workload: &'static str,
+    /// Detector label (`epoch` = optimised, `reference` = pre-optimisation).
+    pub detector: &'static str,
+    /// Process count.
+    pub n: usize,
+    /// Clocked accesses per run of the stream.
+    pub accesses: u64,
+    /// Measured throughput, accesses per second.
+    pub ops_per_sec: f64,
+    /// Inverse throughput, ns per clocked access.
+    pub ns_per_access: f64,
+    /// Race reports per run (sanity: must match between detectors).
+    pub reports: usize,
+    /// §IV-D clock storage at the end of a run, bytes.
+    pub clock_bytes: usize,
+}
+
+impl PerfRow {
+    /// The committed JSON shape: one object per line.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"detector\":\"{}\",\"n\":{},",
+                "\"accesses\":{},\"ops_per_sec\":{:.0},\"ns_per_access\":{:.1},",
+                "\"reports\":{},\"clock_bytes\":{}}}"
+            ),
+            self.workload,
+            self.detector,
+            self.n,
+            self.accesses,
+            self.ops_per_sec,
+            self.ns_per_access,
+            self.reports,
+            self.clock_bytes,
+        )
+    }
+}
+
+fn measure(
+    workload: &'static str,
+    detector: &'static str,
+    n: usize,
+    events: &[StreamEvent],
+    mut make: impl FnMut() -> Box<dyn Detector>,
+) -> PerfRow {
+    let accesses = opstream::access_count(events);
+    // Calibrate to ~0.2 s of measurement.
+    let mut runs = 1u32;
+    let (reports, clock_bytes, elapsed) = loop {
+        let t = Instant::now();
+        let mut reports = 0;
+        let mut clock_bytes = 0;
+        for _ in 0..runs {
+            let mut det = make();
+            reports = opstream::drive(&mut *det, events);
+            clock_bytes = det.clock_memory_bytes();
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 200 || runs >= 1 << 20 {
+            break (reports, clock_bytes, elapsed);
+        }
+        runs = (runs * 4).min(1 << 20);
+    };
+    let total_accesses = accesses * runs as u64;
+    let secs = elapsed.as_secs_f64();
+    PerfRow {
+        workload,
+        detector,
+        n,
+        accesses,
+        ops_per_sec: total_accesses as f64 / secs,
+        ns_per_access: secs * 1e9 / total_accesses as f64,
+        reports,
+        clock_bytes,
+    }
+}
+
+/// The `BENCH_0001` measurement set: optimised vs reference detector on
+/// the stencil and random-access patterns at WORD granularity.
+pub fn bench_rows() -> Vec<PerfRow> {
+    let mut rows = Vec::new();
+
+    let stencil_n = 16;
+    let stencil_events = opstream::stencil(stencil_n, 16, 4);
+    {
+        let (label, events, n) = ("stencil", &stencil_events, stencil_n);
+        rows.push(measure(label, "epoch", n, events, || {
+            Box::new(HbDetector::new(n, Granularity::WORD, HbMode::Dual))
+        }));
+        rows.push(measure(label, "reference", n, events, || {
+            Box::new(ReferenceHbDetector::new(n, Granularity::WORD, HbMode::Dual))
+        }));
+    }
+
+    let spec = RandomSpec {
+        n: 8,
+        ops_per_rank: 128,
+        hot_words: 256,
+        p_write: 0.25,
+        locked: false,
+        seed: 0xB0,
+    };
+    let random_events = opstream::random(spec);
+    rows.push(measure(
+        "random_access",
+        "epoch",
+        spec.n,
+        &random_events,
+        || Box::new(HbDetector::new(spec.n, Granularity::WORD, HbMode::Dual)),
+    ));
+    rows.push(measure(
+        "random_access",
+        "reference",
+        spec.n,
+        &random_events,
+        || {
+            Box::new(ReferenceHbDetector::new(
+                spec.n,
+                Granularity::WORD,
+                HbMode::Dual,
+            ))
+        },
+    ));
+
+    rows
+}
+
+/// Speedup table derived from [`bench_rows`] output (epoch vs reference
+/// per workload).
+pub fn speedups(rows: &[PerfRow]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for r in rows.iter().filter(|r| r.detector == "epoch") {
+        if let Some(base) = rows
+            .iter()
+            .find(|b| b.detector == "reference" && b.workload == r.workload)
+        {
+            out.push((r.workload.to_string(), base.ns_per_access / r.ns_per_access));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_single_line_and_parsable_fields() {
+        let row = PerfRow {
+            workload: "stencil",
+            detector: "epoch",
+            n: 4,
+            accesses: 100,
+            ops_per_sec: 1_000_000.0,
+            ns_per_access: 1000.0,
+            reports: 0,
+            clock_bytes: 64,
+        };
+        let j = row.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"workload\"",
+            "\"detector\"",
+            "\"ops_per_sec\"",
+            "\"ns_per_access\"",
+            "\"clock_bytes\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`: the macro/API subset the workspace's
+//! benches use, with a simple adaptive timing loop. Each benchmark is
+//! calibrated to a target measurement time, then reported as
+//! `bench-id ... <median> ns/iter (n samples)` on stdout.
+//!
+//! Not statistically rigorous like real criterion — but deterministic in
+//! shape, dependency-free, and good enough to compare detector variants on
+//! the same machine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirror of `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Target cumulative measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Samples collected per benchmark.
+const SAMPLES: usize = 11;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing driver handed to bench closures.
+pub struct Bencher {
+    /// (median ns/iter, iters per sample) — filled by `iter`.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, adaptively choosing the iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit one sample's time slice?
+        let slice = TARGET / SAMPLES as u32;
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= slice / 2 || iters >= 1 << 30 {
+                break;
+            }
+            // Grow towards the slice, at least doubling.
+            let grow = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                ((slice.as_nanos() as u64 * iters) / elapsed.as_nanos().max(1) as u64)
+                    .max(iters * 2)
+            };
+            iters = grow.min(1 << 30);
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some((samples[SAMPLES / 2], iters));
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((ns, iters)) => println!("{label:<50} {ns:>14.1} ns/iter  ({iters} iters/sample)"),
+        None => println!("{label:<50} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in has a fixed sample plan.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, f);
+        self
+    }
+
+    /// End the group (no-op; printed eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&name.to_string(), f);
+        self
+    }
+}
+
+/// Mirror of `criterion_group!`: a function running each bench fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: the binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for `parking_lot`: a non-poisoning `Mutex` with the two
+//! guard shapes the workspace uses — borrowed (`lock`) and Arc-owned
+//! (`lock_arc`). Built on a condvar-based binary semaphore so an owned
+//! guard does not need a self-referential std `MutexGuard`.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Marker type mirroring `parking_lot::RawMutex` in guard signatures.
+pub struct RawMutex(());
+
+/// Binary semaphore: the actual exclusion primitive.
+#[derive(Default)]
+struct Sem {
+    locked: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl Sem {
+    fn acquire(&self) {
+        let mut locked = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        while *locked {
+            locked = self.cv.wait(locked).unwrap_or_else(|e| e.into_inner());
+        }
+        *locked = true;
+    }
+
+    fn release(&self) {
+        let mut locked = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        *locked = false;
+        self.cv.notify_one();
+    }
+}
+
+/// A mutual-exclusion primitive. Never poisons.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    sem: Sem,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialised by `sem`, exactly as in std.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            sem: Sem::default(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Block until the lock is held; the guard releases on drop.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.sem.acquire();
+        MutexGuard { mutex: self }
+    }
+
+    /// Like [`Mutex::lock`], but the guard owns an `Arc` handle to the
+    /// mutex instead of borrowing it.
+    pub fn lock_arc(self: Arc<Self>) -> ArcMutexGuard<RawMutex, T> {
+        self.sem.acquire();
+        ArcMutexGuard {
+            mutex: self,
+            _raw: PhantomData,
+        }
+    }
+}
+
+/// Borrowed lock guard.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the semaphore is held for the guard's lifetime.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the semaphore is held exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.sem.release();
+    }
+}
+
+/// Arc-owned lock guard (`parking_lot::ArcMutexGuard` shape).
+pub struct ArcMutexGuard<R, T: ?Sized> {
+    mutex: Arc<Mutex<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> std::ops::Deref for ArcMutexGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the semaphore is held for the guard's lifetime.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcMutexGuard<R, T> {
+    fn drop(&mut self) {
+        self.mutex.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusion_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn arc_guard_holds_the_lock() {
+        let m = Arc::new(Mutex::new(()));
+        let g = Arc::clone(&m).lock_arc();
+        assert!(*m.sem.locked.lock().unwrap());
+        drop(g);
+        assert!(!*m.sem.locked.lock().unwrap());
+    }
+
+    #[test]
+    fn into_inner() {
+        assert_eq!(Mutex::new(7).into_inner(), 7);
+    }
+}

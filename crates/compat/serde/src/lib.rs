@@ -1,0 +1,5 @@
+//! Offline stand-in for serde: re-exports the no-op derive macros so that
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` compile without
+//! registry access. See `crates/compat/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

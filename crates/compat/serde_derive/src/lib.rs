@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace only uses serde derives as documentation of intent — no
+//! code path actually serialises through serde (tables and JSON summaries
+//! are hand-formatted). These derives accept the `#[serde(...)]` helper
+//! attribute and expand to nothing, so annotated types compile unchanged
+//! without the real serde crate.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` field/variant attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` field/variant attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,12 +14,22 @@
 //! `signal_race_condition()` is unspecified about attribution); the §IV-D
 //! memory accounting intentionally counts only the `V`/`W` clocks to match
 //! the paper's claim.
-
-use std::collections::HashMap;
+//!
+//! Two hot-path optimisations over the naive layout (see `hb` for the
+//! detector that exploits them):
+//!
+//! * `V`/`W` are adaptive [`AreaClock`]s: while an area's accesses stay
+//!   totally ordered the clocks are FastTrack-style **epochs** and every
+//!   compare/update is O(1); they demote to full vectors only on genuine
+//!   concurrency (and re-promote once an access dominates again).
+//! * the store is a **flat sharded slab**: per owning rank, a bounded
+//!   dense array indexed directly by block number (no hashing on the hot
+//!   path) with a spillover map for blocks beyond the dense prefix, so
+//!   memory never scales with the highest touched block index.
 
 use dsm::addr::{MemRange, Segment};
 use serde::{Deserialize, Serialize};
-use vclock::VectorClock;
+use vclock::{AreaClock, VectorClock};
 
 use crate::event::AccessSummary;
 use crate::Rank;
@@ -58,8 +68,22 @@ impl Granularity {
     }
 
     /// Index of the block containing `offset`.
+    #[inline]
     pub fn block_of(&self, offset: usize) -> usize {
         offset / self.block_bytes
+    }
+
+    /// Block indices covered by `range`, allocation-free. Empty for
+    /// private or zero-length ranges (private memory is single-owner and
+    /// cannot race, §IV-A).
+    #[inline]
+    pub fn blocks_of(&self, range: &MemRange) -> std::ops::RangeInclusive<usize> {
+        if range.addr.segment != Segment::Public || range.len == 0 {
+            // An inclusive range with start > end iterates zero times.
+            #[allow(clippy::reversed_empty_ranges)]
+            return 1..=0;
+        }
+        self.block_of(range.addr.offset)..=self.block_of(range.end() - 1)
     }
 }
 
@@ -86,43 +110,142 @@ impl std::fmt::Display for AreaKey {
 }
 
 /// Clock state and recent-access history for one area.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AreaHistory {
-    /// General-purpose clock: join of every access's clock.
-    pub v: VectorClock,
+    /// General-purpose clock: join of every access's clock (adaptive epoch
+    /// representation; see [`AreaClock`]).
+    pub v: AreaClock,
     /// Write clock: join of every write's clock.
-    pub w: VectorClock,
+    pub w: AreaClock,
     /// Antichain of recent writes (pairwise concurrent).
     pub writes: Vec<AccessSummary>,
     /// Antichain of recent reads not yet superseded.
     pub reads: Vec<AccessSummary>,
 }
 
-impl AreaHistory {
-    fn new(n: usize) -> Self {
-        AreaHistory {
-            v: VectorClock::zero(n),
-            w: VectorClock::zero(n),
-            writes: Vec::new(),
-            reads: Vec::new(),
+/// Full clock of the epoch event `e`, looked up in the given antichains.
+///
+/// Invariant (maintained by `record_write`/`record_read`): an `AreaClock`
+/// in `Epoch` state always names a *live* antichain entry — the event that
+/// last dominated the area. Searched newest-first; the entry is typically
+/// the last one.
+fn antichain_clock(chains: [&[AccessSummary]; 2], e: vclock::Epoch) -> &VectorClock {
+    for chain in chains {
+        if let Some(a) = chain
+            .iter()
+            .rev()
+            .find(|a| a.process == e.rank && a.clock.get(e.rank) == e.count)
+        {
+            return &a.clock;
         }
+    }
+    unreachable!("epoch event {e} is not a live antichain entry")
+}
+
+impl AreaHistory {
+    fn new() -> Self {
+        AreaHistory::default()
     }
 
     /// Record a write with clock `access.clock`: drop superseded entries
     /// (those whose clock precedes the new one), keep concurrent ones.
+    ///
+    /// Fast path: when the area's join precedes the new clock (an O(1)
+    /// epoch test while ordered), *every* recorded entry is superseded and
+    /// the antichains reset without a single vector compare. An entry can
+    /// never be causally *after* the new access (its clock would need the
+    /// actor's fresh tick), so `retain(concurrent)` and "drop everything
+    /// ≤ new" are the same filter.
     pub fn record_write(&mut self, access: AccessSummary) {
-        self.writes.retain(|p| p.clock.concurrent_with(&access.clock));
-        self.reads.retain(|p| p.clock.concurrent_with(&access.clock));
-        self.v.merge(&access.clock);
-        self.w.merge(&access.clock);
+        let v_le = self.v.leq(&access.clock);
+        let w_le = self.w.leq(&access.clock);
+        self.record_write_hinted(access, v_le, w_le);
+    }
+
+    /// [`AreaHistory::record_write`] with the pre-update guard results
+    /// `v ≤ access.clock` / `w ≤ access.clock` supplied by a caller that
+    /// already computed them — the detector computes each guard exactly
+    /// once per access and shares it between check, absorb and record.
+    /// Crate-private: an inconsistent hint would corrupt the antichain
+    /// invariant, so only the detector (which just computed the guards)
+    /// may supply them.
+    pub(crate) fn record_write_hinted(&mut self, access: AccessSummary, v_le: bool, w_le: bool) {
+        debug_assert_eq!(v_le, self.v.leq(&access.clock));
+        debug_assert_eq!(w_le, self.w.leq(&access.clock));
+        if v_le {
+            self.writes.clear();
+            self.reads.clear();
+        } else {
+            if w_le {
+                self.writes.clear();
+            } else {
+                self.writes
+                    .retain(|p| p.clock.concurrent_with(&access.clock));
+            }
+            self.reads
+                .retain(|p| p.clock.concurrent_with(&access.clock));
+        }
+        // Demotion resolvers look the epoch event up in the *pre-push*
+        // antichains: a concurrent (non-dominated) epoch event is always
+        // retained above. W's event is a write; V's may be either kind.
+        let (writes, reads) = (&self.writes, &self.reads);
+        self.v.record(access.process, &access.clock, |e| {
+            antichain_clock([writes, reads], e).clone()
+        });
+        self.w.record(access.process, &access.clock, |e| {
+            antichain_clock([writes, &[]], e).clone()
+        });
         self.writes.push(access);
     }
 
-    /// Record a read.
+    /// Record a read (same fast path as [`AreaHistory::record_write`]).
     pub fn record_read(&mut self, access: AccessSummary) {
-        self.reads.retain(|p| p.clock.concurrent_with(&access.clock));
-        self.v.merge(&access.clock);
+        let v_le = self.v.leq(&access.clock);
+        self.record_read_hinted(access, v_le);
+    }
+
+    /// [`AreaHistory::record_read`] with the pre-update `v ≤ access.clock`
+    /// guard supplied by the caller (crate-private; see
+    /// [`AreaHistory::record_write_hinted`]).
+    pub(crate) fn record_read_hinted(&mut self, access: AccessSummary, v_le: bool) {
+        debug_assert_eq!(v_le, self.v.leq(&access.clock));
+        if v_le {
+            self.reads.clear();
+        } else {
+            self.reads
+                .retain(|p| p.clock.concurrent_with(&access.clock));
+        }
+        let (writes, reads) = (&self.writes, &self.reads);
+        self.v.record(access.process, &access.clock, |e| {
+            antichain_clock([reads, writes], e).clone()
+        });
         self.reads.push(access);
+    }
+
+    /// Merge the area's write clock into `dst` (the get-reply absorption).
+    pub fn merge_w_into(&self, dst: &mut VectorClock) {
+        self.w
+            .merge_into(dst, |e| antichain_clock([&self.writes, &[]], e));
+    }
+
+    /// Merge the area's general clock into `dst` (Single/Literal modes).
+    pub fn merge_v_into(&self, dst: &mut VectorClock) {
+        self.v
+            .merge_into(dst, |e| antichain_clock([&self.reads, &self.writes], e));
+    }
+
+    /// The write clock as a dense vector (tests / accounting; cold path).
+    pub fn w_vector(&self, n: usize) -> VectorClock {
+        let mut out = VectorClock::zero(n);
+        self.merge_w_into(&mut out);
+        out
+    }
+
+    /// The general clock as a dense vector (tests / accounting; cold path).
+    pub fn v_vector(&self, n: usize) -> VectorClock {
+        let mut out = VectorClock::zero(n);
+        self.merge_v_into(&mut out);
+        out
     }
 }
 
@@ -130,12 +253,51 @@ impl AreaHistory {
 /// simulator's point of view. (In a real deployment each rank's NIC holds
 /// the rows for its own areas; the `simulator` engine charges the
 /// corresponding clock messages when an actor touches a remote area.)
+///
+/// Storage is a flat per-rank slab indexed by block number — no hashing on
+/// the access path for the first [`DENSE_BLOCKS`] blocks of each segment,
+/// with a spillover map above that bound, so one word written at the end
+/// of a huge public segment costs one map entry, never a dense array
+/// spanning the whole segment.
 #[derive(Debug)]
 pub struct ClockStore {
     n: usize,
     granularity: Granularity,
     dual: bool,
-    areas: HashMap<AreaKey, AreaHistory>,
+    /// One slab per owning rank.
+    slabs: Vec<RankSlab>,
+    /// Number of touched areas across all slabs.
+    touched: usize,
+}
+
+/// Blocks held in the direct-indexed dense prefix of a rank's slab. Blocks
+/// at or above this index (offsets past 512 KiB at WORD granularity) fall
+/// back to the spillover map, so slab memory is bounded by
+/// `DENSE_BLOCKS × sizeof(Option<AreaHistory>)` (~7 MiB) per rank plus one
+/// map entry per actually-touched sparse area — never by the highest
+/// touched block index.
+const DENSE_BLOCKS: usize = 1 << 16;
+
+/// Per-rank area storage: dense direct-indexed prefix (the hot path — two
+/// array indexings, no hashing) plus a map for pathological high blocks.
+#[derive(Debug, Default)]
+struct RankSlab {
+    dense: Vec<Option<AreaHistory>>,
+    sparse: std::collections::HashMap<usize, AreaHistory>,
+}
+
+impl RankSlab {
+    fn get(&self, block: usize) -> Option<&AreaHistory> {
+        if block < DENSE_BLOCKS {
+            self.dense.get(block)?.as_ref()
+        } else {
+            self.sparse.get(&block)
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &AreaHistory> {
+        self.dense.iter().flatten().chain(self.sparse.values())
+    }
 }
 
 impl ClockStore {
@@ -147,7 +309,8 @@ impl ClockStore {
             n,
             granularity,
             dual,
-            areas: HashMap::new(),
+            slabs: (0..n).map(|_| RankSlab::default()).collect(),
+            touched: 0,
         }
     }
 
@@ -163,31 +326,53 @@ impl ClockStore {
 
     /// Area keys covered by `range` (public segments only — private memory
     /// is single-owner and cannot race, §IV-A).
+    ///
+    /// Allocates; the detector hot loop iterates
+    /// [`Granularity::blocks_of`] directly instead.
     pub fn areas_for(&self, range: &MemRange) -> Vec<AreaKey> {
-        if range.addr.segment != Segment::Public || range.len == 0 {
-            return Vec::new();
-        }
-        let first = self.granularity.block_of(range.addr.offset);
-        let last = self.granularity.block_of(range.end() - 1);
-        (first..=last)
+        self.granularity
+            .blocks_of(range)
             .map(|block| AreaKey::new(range.addr.rank, block))
             .collect()
     }
 
     /// The history for `key`, creating a zeroed one on first touch.
+    #[inline]
     pub fn history_mut(&mut self, key: AreaKey) -> &mut AreaHistory {
-        let n = self.n;
-        self.areas.entry(key).or_insert_with(|| AreaHistory::new(n))
+        if key.rank >= self.slabs.len() {
+            self.slabs.resize_with(key.rank + 1, RankSlab::default);
+        }
+        let slab = &mut self.slabs[key.rank];
+        if key.block < DENSE_BLOCKS {
+            if key.block >= slab.dense.len() {
+                slab.dense.resize_with(key.block + 1, || None);
+            }
+            let slot = &mut slab.dense[key.block];
+            if slot.is_none() {
+                *slot = Some(AreaHistory::new());
+                self.touched += 1;
+            }
+            slot.as_mut().expect("just filled")
+        } else {
+            // Spillover for blocks beyond the bounded dense prefix.
+            match slab.sparse.entry(key.block) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.touched += 1;
+                    e.insert(AreaHistory::new())
+                }
+            }
+        }
     }
 
     /// Read-only history access.
     pub fn history(&self, key: &AreaKey) -> Option<&AreaHistory> {
-        self.areas.get(key)
+        self.slabs.get(key.rank)?.get(key.block)
     }
 
     /// Number of areas that have been touched.
     pub fn touched_areas(&self) -> usize {
-        self.areas.len()
+        self.touched
     }
 
     /// Bytes of clock storage in the paper's accounting: one `n`-component
@@ -195,7 +380,17 @@ impl ClockStore {
     /// necessary amount of memory").
     pub fn clock_memory_bytes(&self) -> usize {
         let per_clock = self.n * std::mem::size_of::<u64>();
-        self.areas.len() * per_clock * if self.dual { 2 } else { 1 }
+        self.touched * per_clock * if self.dual { 2 } else { 1 }
+    }
+
+    /// How many touched areas currently hold both clocks in the O(1) epoch
+    /// representation (instrumentation for benches and tests).
+    pub fn epoch_areas(&self) -> usize {
+        self.slabs
+            .iter()
+            .flat_map(RankSlab::iter)
+            .filter(|h| h.v.is_epoch() && h.w.is_epoch())
+            .count()
     }
 }
 
@@ -204,6 +399,8 @@ mod tests {
     use super::*;
     use crate::event::AccessKind;
     use dsm::addr::GlobalAddr;
+    use std::sync::Arc;
+    use vclock::VectorClock;
 
     fn summary(id: u64, process: usize, clock: Vec<u64>) -> AccessSummary {
         AccessSummary {
@@ -211,7 +408,7 @@ mod tests {
             process,
             kind: AccessKind::Write,
             range: GlobalAddr::public(0, 0).range(8),
-            clock: VectorClock::from_components(clock),
+            clock: Arc::new(VectorClock::from_components(clock)),
             atomic: false,
         }
     }
@@ -249,7 +446,9 @@ mod tests {
     #[test]
     fn zero_len_has_no_areas() {
         let store = ClockStore::new(2, Granularity::WORD, true);
-        assert!(store.areas_for(&GlobalAddr::public(0, 8).range(0)).is_empty());
+        assert!(store
+            .areas_for(&GlobalAddr::public(0, 8).range(0))
+            .is_empty());
     }
 
     #[test]
@@ -274,33 +473,54 @@ mod tests {
     }
 
     #[test]
+    fn slab_indexing_matches_touch_accounting() {
+        let mut s = ClockStore::new(2, Granularity::WORD, true);
+        assert!(s.history(&AreaKey::new(0, 100)).is_none());
+        s.history_mut(AreaKey::new(0, 100));
+        s.history_mut(AreaKey::new(0, 100)); // idempotent
+        s.history_mut(AreaKey::new(1, 3));
+        assert_eq!(s.touched_areas(), 2);
+        assert!(s.history(&AreaKey::new(0, 100)).is_some());
+        assert!(s.history(&AreaKey::new(0, 99)).is_none());
+        assert!(
+            s.history(&AreaKey::new(5, 0)).is_none(),
+            "out-of-range rank reads as untouched"
+        );
+    }
+
+    #[test]
     fn write_antichain_supersedes_ordered_entries() {
-        let mut h = AreaHistory::new(2);
+        let mut h = AreaHistory::new();
         h.record_write(summary(1, 0, vec![1, 0]));
         // A later write by the same process supersedes the first.
         h.record_write(summary(3, 0, vec![2, 0]));
         assert_eq!(h.writes.len(), 1);
         assert_eq!(h.writes[0].id, 3);
+        assert!(
+            h.w.is_epoch(),
+            "totally ordered writes stay on the epoch fast path"
+        );
         // A concurrent write from the other process is kept alongside.
         h.record_write(summary(5, 1, vec![0, 1]));
         assert_eq!(h.writes.len(), 2);
-        assert_eq!(h.w.components(), &[2, 1]);
+        assert!(!h.w.is_epoch(), "concurrent writes demote the write clock");
+        assert_eq!(h.w_vector(2).components(), &[2, 1]);
     }
 
     #[test]
     fn read_recording_updates_v_not_w() {
-        let mut h = AreaHistory::new(2);
+        let mut h = AreaHistory::new();
         let mut read = summary(1, 0, vec![1, 0]);
         read.kind = AccessKind::Read;
         h.record_read(read);
-        assert_eq!(h.v.components(), &[1, 0]);
-        assert_eq!(h.w.components(), &[0, 0]);
+        assert_eq!(h.v_vector(2).components(), &[1, 0]);
+        assert_eq!(h.w_vector(2).components(), &[0, 0]);
         assert_eq!(h.reads.len(), 1);
     }
 
     #[test]
     fn write_clears_superseded_reads() {
-        let mut h = AreaHistory::new(2);
+        let mut h = AreaHistory::new();
         let mut read = summary(1, 0, vec![1, 0]);
         read.kind = AccessKind::Read;
         h.record_read(read);
@@ -308,5 +528,32 @@ mod tests {
         h.record_write(summary(3, 1, vec![1, 1]));
         assert!(h.reads.is_empty());
         assert_eq!(h.writes.len(), 1);
+    }
+
+    #[test]
+    fn sparse_high_block_costs_one_chunk_not_a_dense_array() {
+        // One word at the far end of a large segment (e.g. 1 GiB at WORD
+        // granularity → block ≈ 134M) must allocate a single chunk, not a
+        // slab spanning every block below it.
+        let mut s = ClockStore::new(2, Granularity::WORD, true);
+        let far = AreaKey::new(0, 134_217_727);
+        s.history_mut(far);
+        assert_eq!(s.touched_areas(), 1);
+        assert!(s.history(&far).is_some());
+        assert!(s.history(&AreaKey::new(0, 0)).is_none());
+        // The dense prefix was never grown; the area lives in the map.
+        assert!(s.slabs[0].dense.is_empty());
+        assert_eq!(s.slabs[0].sparse.len(), 1);
+    }
+
+    #[test]
+    fn epoch_area_instrumentation() {
+        let mut s = ClockStore::new(2, Granularity::WORD, true);
+        s.history_mut(AreaKey::new(0, 0))
+            .record_write(summary(1, 0, vec![1, 0]));
+        assert_eq!(s.epoch_areas(), 1);
+        s.history_mut(AreaKey::new(0, 0))
+            .record_write(summary(3, 1, vec![0, 1]));
+        assert_eq!(s.epoch_areas(), 0);
     }
 }

@@ -16,12 +16,43 @@ pub trait Detector: Send {
     /// Detector name for report attribution and tables.
     fn name(&self) -> &'static str;
 
-    /// Observe one operation; returns the race reports this operation
-    /// triggered (empty when none). `held_locks` is the set of area locks
-    /// the actor currently holds *for application purposes* (i.e. excluding
-    /// the locks the detection algorithm itself wraps around the op) — used
-    /// by the lockset baseline.
-    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> Vec<RaceReport>;
+    /// Observe one operation. Any race reports it triggers are appended to
+    /// the detector's report log ([`Detector::reports`]); the return value
+    /// is the number of *new* reports. `held_locks` is the set of area
+    /// locks the actor currently holds *for application purposes* (i.e.
+    /// excluding the locks the detection algorithm itself wraps around the
+    /// op) — used by the lockset baseline.
+    ///
+    /// Contract for implementors: this is the hot path. It must not
+    /// allocate or clone reports on the common no-race outcome — reports
+    /// are stored exactly once, in the log, and callers that want copies
+    /// use the [`Detector::observe_collect`] / [`Detector::observe_into`]
+    /// wrappers.
+    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize;
+
+    /// Observe one op and push a copy of each new report into the
+    /// caller-owned `sink`; returns the number of new reports. Only actual
+    /// reports cost a clone — nothing is allocated when the op is silent.
+    fn observe_into(
+        &mut self,
+        op: &DsmOp,
+        held_locks: &[LockId],
+        sink: &mut Vec<RaceReport>,
+    ) -> usize {
+        let n = self.observe(op, held_locks);
+        let all = self.reports();
+        sink.extend_from_slice(&all[all.len() - n..]);
+        n
+    }
+
+    /// Observe one op and return the new reports as a fresh `Vec`
+    /// (convenience for tests and interactive callers — the engine uses
+    /// [`Detector::observe`] directly).
+    fn observe_collect(&mut self, op: &DsmOp, held_locks: &[LockId]) -> Vec<RaceReport> {
+        let n = self.observe(op, held_locks);
+        let all = self.reports();
+        all[all.len() - n..].to_vec()
+    }
 
     /// All reports so far.
     fn reports(&self) -> &[RaceReport];
@@ -87,11 +118,7 @@ impl DetectorKind {
     ];
 
     /// Instantiate for `n` processes at `granularity`.
-    pub fn build(
-        self,
-        n: usize,
-        granularity: crate::clockstore::Granularity,
-    ) -> Box<dyn Detector> {
+    pub fn build(self, n: usize, granularity: crate::clockstore::Granularity) -> Box<dyn Detector> {
         match self {
             DetectorKind::Dual => Box::new(crate::hb::HbDetector::new(
                 n,
@@ -143,23 +170,35 @@ mod tests {
     fn clock_traffic_by_kind() {
         let n = 4;
         assert_eq!(
-            DetectorKind::Dual.build(n, Granularity::WORD).clock_components_per_area(),
+            DetectorKind::Dual
+                .build(n, Granularity::WORD)
+                .clock_components_per_area(),
             2 * n
         );
         assert_eq!(
-            DetectorKind::Single.build(n, Granularity::WORD).clock_components_per_area(),
+            DetectorKind::Single
+                .build(n, Granularity::WORD)
+                .clock_components_per_area(),
             n
         );
         assert_eq!(
-            DetectorKind::Vanilla.build(n, Granularity::WORD).clock_components_per_area(),
+            DetectorKind::Vanilla
+                .build(n, Granularity::WORD)
+                .clock_components_per_area(),
             0
         );
     }
 
     #[test]
     fn locking_requirements() {
-        assert!(DetectorKind::Dual.build(2, Granularity::WORD).requires_locking());
-        assert!(!DetectorKind::Vanilla.build(2, Granularity::WORD).requires_locking());
-        assert!(!DetectorKind::Lockset.build(2, Granularity::WORD).requires_locking());
+        assert!(DetectorKind::Dual
+            .build(2, Granularity::WORD)
+            .requires_locking());
+        assert!(!DetectorKind::Vanilla
+            .build(2, Granularity::WORD)
+            .requires_locking());
+        assert!(!DetectorKind::Lockset
+            .build(2, Granularity::WORD)
+            .requires_locking());
     }
 }

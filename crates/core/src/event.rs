@@ -6,6 +6,8 @@
 //! destination. The paper's algorithms attach the race checks to these
 //! accesses.
 
+use std::sync::Arc;
+
 use dsm::addr::{MemRange, Segment};
 use serde::{Deserialize, Serialize};
 use vclock::VectorClock;
@@ -100,24 +102,26 @@ impl DsmOp {
 
     /// `(kind, range, access_id)` for each access the op performs, in the
     /// order the algorithms check them (read side first, then write side).
-    pub fn accesses(&self) -> Vec<(AccessKind, MemRange, u64)> {
+    ///
+    /// Returns a fixed-capacity, stack-allocated list — the detector calls
+    /// this once per observed operation and must not pay a heap allocation
+    /// for it.
+    pub fn accesses(&self) -> AccessList {
         match self.kind {
-            OpKind::Put { src, dst } => vec![
+            OpKind::Put { src, dst } | OpKind::Get { src, dst } => AccessList::two(
                 (AccessKind::Read, src, self.read_access_id()),
                 (AccessKind::Write, dst, self.write_access_id()),
-            ],
-            OpKind::Get { src, dst } => vec![
-                (AccessKind::Read, src, self.read_access_id()),
-                (AccessKind::Write, dst, self.write_access_id()),
-            ],
-            OpKind::LocalRead { range } => vec![(AccessKind::Read, range, self.read_access_id())],
-            OpKind::LocalWrite { range } => {
-                vec![(AccessKind::Write, range, self.write_access_id())]
+            ),
+            OpKind::LocalRead { range } => {
+                AccessList::one((AccessKind::Read, range, self.read_access_id()))
             }
-            OpKind::AtomicRmw { range } => vec![
+            OpKind::LocalWrite { range } => {
+                AccessList::one((AccessKind::Write, range, self.write_access_id()))
+            }
+            OpKind::AtomicRmw { range } => AccessList::two(
                 (AccessKind::Read, range, self.read_access_id()),
                 (AccessKind::Write, range, self.write_access_id()),
-            ],
+            ),
         }
     }
 
@@ -139,6 +143,53 @@ impl DsmOp {
     }
 }
 
+/// One `(kind, range, access_id)` entry of [`DsmOp::accesses`].
+pub type Access = (AccessKind, MemRange, u64);
+
+/// The accesses of one operation — at most two, held inline so iterating an
+/// op's accesses never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessList {
+    items: [Access; 2],
+    len: u8,
+}
+
+impl AccessList {
+    fn one(a: Access) -> Self {
+        AccessList {
+            items: [a, a],
+            len: 1,
+        }
+    }
+
+    fn two(a: Access, b: Access) -> Self {
+        AccessList {
+            items: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The accesses as a slice (read side first).
+    pub fn as_slice(&self) -> &[Access] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for AccessList {
+    type Target = [Access];
+    fn deref(&self) -> &[Access] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for AccessList {
+    type Item = Access;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Access, 2>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().take(self.len as usize)
+    }
+}
+
 /// A recorded access, as embedded in race reports and area histories.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AccessSummary {
@@ -150,8 +201,11 @@ pub struct AccessSummary {
     pub kind: AccessKind,
     /// Bytes touched.
     pub range: MemRange,
-    /// The actor's vector clock when the access was performed.
-    pub clock: VectorClock,
+    /// The actor's vector clock when the access was performed. Shared: the
+    /// detector snapshots one clock per *operation* and every access /
+    /// history entry / report of that op references it, instead of cloning
+    /// the `Vec<u64>` per access.
+    pub clock: Arc<VectorClock>,
     /// True for accesses performed by a NIC-atomic operation.
     #[serde(default)]
     pub atomic: bool,
@@ -163,7 +217,11 @@ impl std::fmt::Display for AccessSummary {
             AccessKind::Read => "R",
             AccessKind::Write => "W",
         };
-        write!(f, "{k}#{} by P{} on {} @{}", self.id, self.process, self.range, self.clock)
+        write!(
+            f,
+            "{k}#{} by P{} on {} @{}",
+            self.id, self.process, self.range, self.clock
+        )
     }
 }
 
@@ -207,15 +265,29 @@ mod tests {
 
         // Local public destination: no remote clock traffic.
         let dst_local = GlobalAddr::public(0, 0).range(8);
-        let o = op(0, OpKind::Put { src, dst: dst_local });
+        let o = op(
+            0,
+            OpKind::Put {
+                src,
+                dst: dst_local,
+            },
+        );
         assert!(o.remote_public_ranges().is_empty());
     }
 
     #[test]
     fn access_ids_unique_per_op() {
         let r = GlobalAddr::public(0, 0).range(8);
-        let a = DsmOp { op_id: 1, actor: 0, kind: OpKind::LocalRead { range: r } };
-        let b = DsmOp { op_id: 2, actor: 0, kind: OpKind::LocalRead { range: r } };
+        let a = DsmOp {
+            op_id: 1,
+            actor: 0,
+            kind: OpKind::LocalRead { range: r },
+        };
+        let b = DsmOp {
+            op_id: 2,
+            actor: 0,
+            kind: OpKind::LocalRead { range: r },
+        };
         assert_ne!(a.read_access_id(), b.read_access_id());
     }
 
@@ -226,7 +298,7 @@ mod tests {
             process: 1,
             kind: AccessKind::Write,
             range: GlobalAddr::public(2, 0).range(8),
-            clock: VectorClock::from_components(vec![1, 1, 0]),
+            clock: Arc::new(VectorClock::from_components(vec![1, 1, 0])),
             atomic: false,
         };
         let text = s.to_string();

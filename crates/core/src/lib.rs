@@ -40,16 +40,18 @@ pub mod event;
 pub mod hb;
 pub mod lockset;
 pub mod oracle;
+pub mod reference;
 pub mod report;
 pub mod summary;
 pub mod vanilla;
 
 pub use clockstore::{AreaKey, ClockStore, Granularity};
 pub use detector::{Detector, DetectorKind};
-pub use event::{AccessKind, AccessSummary, DsmOp, LockId, OpKind};
+pub use event::{AccessKind, AccessList, AccessSummary, DsmOp, LockId, OpKind};
 pub use hb::{HbDetector, HbMode};
 pub use lockset::LocksetDetector;
 pub use oracle::{Oracle, Score, Trace, TraceAccess};
+pub use reference::ReferenceHbDetector;
 pub use report::{dedup_reports, RaceClass, RaceReport};
 pub use summary::{hot_areas, RaceSummary};
 pub use vanilla::VanillaDetector;

@@ -18,7 +18,7 @@ use std::collections::HashSet;
 
 use dsm::addr::Segment;
 
-use crate::clockstore::{AreaKey, ClockStore, Granularity};
+use crate::clockstore::{AreaKey, Granularity};
 use crate::detector::Detector;
 use crate::event::{AccessSummary, DsmOp, LockId};
 use crate::report::{RaceClass, RaceReport};
@@ -30,10 +30,7 @@ enum AreaState {
     /// Never accessed.
     Virgin,
     /// Accessed by a single process so far.
-    Exclusive {
-        owner: Rank,
-        last: AccessSummary,
-    },
+    Exclusive { owner: Rank, last: AccessSummary },
     /// Accessed by several processes, reads only since sharing began.
     Shared {
         candidates: HashSet<LockId>,
@@ -52,18 +49,16 @@ pub struct LocksetDetector {
     granularity: Granularity,
     states: std::collections::HashMap<AreaKey, AreaState>,
     reports: Vec<RaceReport>,
-    /// Used only for `areas_for` range→area mapping.
-    mapper: ClockStore,
 }
 
 impl LocksetDetector {
     /// A lockset detector for `n` processes at `granularity`.
     pub fn new(n: usize, granularity: Granularity) -> Self {
+        let _ = n; // state is per-area; the process count is implicit
         LocksetDetector {
             granularity,
             states: std::collections::HashMap::new(),
             reports: Vec::new(),
-            mapper: ClockStore::new(n, granularity, false),
         }
     }
 
@@ -104,7 +99,7 @@ impl LocksetDetector {
                     if access.kind.is_write() || last.kind.is_write() {
                         let reported = candidates.is_empty();
                         let report = reported.then(|| RaceReport {
-                            detector: "lockset".to_string(),
+                            detector: "lockset",
                             class: if access.kind.is_write() && last.kind.is_write() {
                                 RaceClass::WriteWrite
                             } else {
@@ -134,12 +129,11 @@ impl LocksetDetector {
                 }
             }
             AreaState::Shared { candidates, last } => {
-                let refined: HashSet<LockId> =
-                    candidates.intersection(held).copied().collect();
+                let refined: HashSet<LockId> = candidates.intersection(held).copied().collect();
                 if access.kind.is_write() {
                     let reported = refined.is_empty();
                     let report = reported.then(|| RaceReport {
-                        detector: "lockset".to_string(),
+                        detector: "lockset",
                         class: RaceClass::ReadWrite,
                         current: access.clone(),
                         previous: Some(last.clone()),
@@ -168,11 +162,10 @@ impl LocksetDetector {
                 last,
                 reported,
             } => {
-                let refined: HashSet<LockId> =
-                    candidates.intersection(held).copied().collect();
+                let refined: HashSet<LockId> = candidates.intersection(held).copied().collect();
                 let newly_empty = refined.is_empty() && !reported;
                 let report = newly_empty.then(|| RaceReport {
-                    detector: "lockset".to_string(),
+                    detector: "lockset",
                     class: if access.kind.is_write() && last.kind.is_write() {
                         RaceClass::WriteWrite
                     } else {
@@ -202,9 +195,12 @@ impl Detector for LocksetDetector {
         "lockset"
     }
 
-    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> Vec<RaceReport> {
+    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize {
+        let before = self.reports.len();
         let held: HashSet<LockId> = held_locks.iter().copied().collect();
-        let mut out = Vec::new();
+        // One zero-width clock per op, shared by its accesses.
+        let no_clock = std::sync::Arc::new(vclock::VectorClock::zero(0));
+        let granularity = self.granularity;
         for (kind, range, access_id) in op.accesses() {
             if range.addr.segment != Segment::Public {
                 continue;
@@ -214,17 +210,17 @@ impl Detector for LocksetDetector {
                 process: op.actor,
                 kind,
                 range,
-                clock: vclock::VectorClock::zero(0), // locksets carry no clocks
+                clock: std::sync::Arc::clone(&no_clock), // locksets carry no clocks
                 atomic: op.is_atomic(),
             };
-            for area in self.mapper.areas_for(&range) {
+            for block in granularity.blocks_of(&range) {
+                let area = AreaKey::new(range.addr.rank, block);
                 if let Some(r) = self.step(area, &access, &held) {
-                    out.push(r);
+                    self.reports.push(r);
                 }
             }
         }
-        self.reports.extend(out.clone());
-        out
+        self.reports.len() - before
     }
 
     fn reports(&self) -> &[RaceReport] {
@@ -287,54 +283,54 @@ mod tests {
     fn single_owner_never_reported() {
         let mut d = LocksetDetector::new(2, Granularity::WORD);
         for i in 0..5 {
-            assert!(d.observe(&wr(i, 0), &[]).is_empty());
+            assert!(d.observe_collect(&wr(i, 0), &[]).is_empty());
         }
     }
 
     #[test]
     fn unlocked_shared_write_reported_once() {
         let mut d = LocksetDetector::new(2, Granularity::WORD);
-        d.observe(&wr(0, 0), &[]);
-        let r = d.observe(&wr(1, 1), &[]);
+        d.observe_collect(&wr(0, 0), &[]);
+        let r = d.observe_collect(&wr(1, 1), &[]);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].class, RaceClass::WriteWrite);
         // Subsequent unlocked writes do not re-report the same area.
-        assert!(d.observe(&wr(2, 0), &[]).is_empty());
+        assert!(d.observe_collect(&wr(2, 0), &[]).is_empty());
         assert_eq!(d.reports().len(), 1);
     }
 
     #[test]
     fn consistent_locking_is_silent() {
         let mut d = LocksetDetector::new(2, Granularity::WORD);
-        d.observe(&wr(0, 0), &[L]);
-        assert!(d.observe(&wr(1, 1), &[L]).is_empty());
-        assert!(d.observe(&wr(2, 0), &[L]).is_empty());
+        d.observe_collect(&wr(0, 0), &[L]);
+        assert!(d.observe_collect(&wr(1, 1), &[L]).is_empty());
+        assert!(d.observe_collect(&wr(2, 0), &[L]).is_empty());
     }
 
     #[test]
     fn dropping_the_lock_later_reports() {
         let mut d = LocksetDetector::new(2, Granularity::WORD);
-        d.observe(&wr(0, 0), &[L]);
-        assert!(d.observe(&wr(1, 1), &[L]).is_empty());
+        d.observe_collect(&wr(0, 0), &[L]);
+        assert!(d.observe_collect(&wr(1, 1), &[L]).is_empty());
         // P0 now writes without the lock: candidate set empties → report.
-        let r = d.observe(&wr(2, 0), &[]);
+        let r = d.observe_collect(&wr(2, 0), &[]);
         assert_eq!(r.len(), 1);
     }
 
     #[test]
     fn read_only_sharing_is_silent() {
         let mut d = LocksetDetector::new(3, Granularity::WORD);
-        d.observe(&rd(0, 0), &[]);
-        assert!(d.observe(&rd(1, 1), &[]).is_empty());
-        assert!(d.observe(&rd(2, 2), &[]).is_empty());
+        d.observe_collect(&rd(0, 0), &[]);
+        assert!(d.observe_collect(&rd(1, 1), &[]).is_empty());
+        assert!(d.observe_collect(&rd(2, 2), &[]).is_empty());
     }
 
     #[test]
     fn write_after_shared_reads_without_lock_reports() {
         let mut d = LocksetDetector::new(2, Granularity::WORD);
-        d.observe(&rd(0, 0), &[]);
-        d.observe(&rd(1, 1), &[]); // shared, candidates = {} (no locks held)
-        let r = d.observe(&wr(2, 0), &[]);
+        d.observe_collect(&rd(0, 0), &[]);
+        d.observe_collect(&rd(1, 1), &[]); // shared, candidates = {} (no locks held)
+        let r = d.observe_collect(&wr(2, 0), &[]);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].class, RaceClass::ReadWrite);
     }
@@ -343,13 +339,13 @@ mod tests {
     fn different_locks_do_not_protect() {
         let mut d = LocksetDetector::new(2, Granularity::WORD);
         let l2: LockId = (0, 64);
-        d.observe(&wr(0, 0), &[L]);
-        let r = d.observe(&wr(1, 1), &[l2]);
+        d.observe_collect(&wr(0, 0), &[L]);
+        let r = d.observe_collect(&wr(1, 1), &[l2]);
         // Candidates start at {l2}∩… — the first shared access seeds with
         // current holds; since the write pair is unprotected by a *common*
         // lock only after refinement, the next access by P0 with L empties.
         assert!(r.is_empty(), "seeding access not yet refutable");
-        let r = d.observe(&wr(2, 0), &[L]);
+        let r = d.observe_collect(&wr(2, 0), &[L]);
         assert_eq!(r.len(), 1, "no common lock → report");
     }
 }

@@ -415,14 +415,14 @@ mod tests {
         use crate::clockstore::AreaKey;
         use crate::event::AccessSummary;
         let mk = |cur: u64, prev: u64| RaceReport {
-            detector: "t".into(),
+            detector: "t",
             class: crate::report::RaceClass::WriteWrite,
             current: AccessSummary {
                 id: cur,
                 process: 0,
                 kind: AccessKind::Write,
                 range: GlobalAddr::public(0, 0).range(8),
-                clock: VectorClock::zero(3),
+                clock: std::sync::Arc::new(VectorClock::zero(3)),
                 atomic: false,
             },
             previous: Some(AccessSummary {
@@ -430,7 +430,7 @@ mod tests {
                 process: 1,
                 kind: AccessKind::Write,
                 range: GlobalAddr::public(0, 0).range(8),
-                clock: VectorClock::zero(3),
+                clock: std::sync::Arc::new(VectorClock::zero(3)),
                 atomic: false,
             }),
             area: AreaKey::new(0, 0),

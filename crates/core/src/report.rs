@@ -44,8 +44,9 @@ impl RaceClass {
 /// conflicts with, with both clocks (which are concurrent by construction).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RaceReport {
-    /// Which detector produced the report.
-    pub detector: String,
+    /// Which detector produced the report (a static label — reports are
+    /// hot-path values; no allocation per report).
+    pub detector: &'static str,
     /// Pair classification.
     pub class: RaceClass,
     /// The access that triggered the detection (the later one).
@@ -128,14 +129,14 @@ mod tests {
             process,
             kind: AccessKind::Write,
             range: GlobalAddr::public(1, 0).range(8),
-            clock: VectorClock::zero(3),
+            clock: std::sync::Arc::new(VectorClock::zero(3)),
             atomic: false,
         }
     }
 
     fn report(cur: u64, prev: u64) -> RaceReport {
         RaceReport {
-            detector: "test".into(),
+            detector: "test",
             class: RaceClass::WriteWrite,
             current: summary(cur, 0),
             previous: Some(summary(prev, 2)),

@@ -83,7 +83,10 @@ pub fn hot_areas(reports: &[RaceReport], min_reports: usize) -> Vec<(AreaKey, us
     for r in reports {
         *counts.entry(r.area).or_insert(0) += 1;
     }
-    let mut v: Vec<_> = counts.into_iter().filter(|(_, c)| *c >= min_reports).collect();
+    let mut v: Vec<_> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_reports)
+        .collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v
 }
@@ -101,11 +104,11 @@ mod tests {
             process,
             kind: AccessKind::Write,
             range: GlobalAddr::public(0, area_block * 8).range(8),
-            clock: VectorClock::zero(2),
+            clock: std::sync::Arc::new(VectorClock::zero(2)),
             atomic: false,
         };
         RaceReport {
-            detector: "t".into(),
+            detector: "t",
             class,
             current: acc(1, p_cur),
             previous: Some(acc(0, p_prev)),

@@ -33,9 +33,9 @@ impl Detector for VanillaDetector {
         "vanilla"
     }
 
-    fn observe(&mut self, _op: &DsmOp, _held_locks: &[LockId]) -> Vec<RaceReport> {
+    fn observe(&mut self, _op: &DsmOp, _held_locks: &[LockId]) -> usize {
         self.ops_seen += 1;
-        Vec::new()
+        0
     }
 
     fn reports(&self) -> &[RaceReport] {
@@ -72,7 +72,7 @@ mod tests {
             },
         };
         for _ in 0..10 {
-            assert!(d.observe(&op, &[]).is_empty());
+            assert!(d.observe_collect(&op, &[]).is_empty());
         }
         assert_eq!(d.ops_seen(), 10);
         assert!(d.reports().is_empty());

@@ -57,7 +57,10 @@ impl std::fmt::Display for DsmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DsmError::OutOfBounds { range, segment_len } => {
-                write!(f, "access {range} out of bounds (segment is {segment_len} bytes)")
+                write!(
+                    f,
+                    "access {range} out of bounds (segment is {segment_len} bytes)"
+                )
             }
             DsmError::PrivateViolation { accessor, addr } => {
                 write!(f, "process P{accessor} accessed private memory {addr}")
@@ -67,7 +70,10 @@ impl std::fmt::Display for DsmError {
             DsmError::HeapExhausted {
                 requested,
                 available,
-            } => write!(f, "symmetric heap exhausted: need {requested}, have {available}"),
+            } => write!(
+                f,
+                "symmetric heap exhausted: need {requested}, have {available}"
+            ),
             DsmError::UnknownOp { token } => write!(f, "unknown RDMA operation token {token}"),
         }
     }

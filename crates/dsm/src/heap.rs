@@ -127,12 +127,7 @@ impl SymmetricHeap {
     /// symmetric object). Returns the per-rank ranges, index = rank.
     pub fn alloc_symmetric(&mut self, len: usize, label: &str) -> Result<Vec<MemRange>, DsmError> {
         // All ranks must agree on the offset: take the max frontier.
-        let base = self
-            .next_free
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0);
+        let base = self.next_free.iter().copied().max().unwrap_or(0);
         let aligned = (base + 7) & !7;
         if aligned + len > self.capacity {
             return Err(DsmError::HeapExhausted {
@@ -168,12 +163,7 @@ impl SymmetricHeap {
             Placement::Owner(rank) => {
                 let whole = self.alloc_on(rank, elems * elem_size, label)?;
                 for i in 0..elems {
-                    out.push(
-                        whole
-                            .addr
-                            .offset_by(i * elem_size)
-                            .range(elem_size),
-                    );
+                    out.push(whole.addr.offset_by(i * elem_size).range(elem_size));
                 }
             }
             Placement::RoundRobin => {

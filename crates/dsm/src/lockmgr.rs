@@ -196,7 +196,13 @@ mod tests {
         assert_eq!(t.queued_count(), 1);
 
         let grants = t.release(a.token()).unwrap();
-        assert_eq!(grants, vec![Grant { token: b.token(), requester: 2 }]);
+        assert_eq!(
+            grants,
+            vec![Grant {
+                token: b.token(),
+                requester: 2
+            }]
+        );
         assert!(t.is_locked(&r(8, 4)));
     }
 

@@ -105,7 +105,12 @@ impl ProcessMemory {
     }
 
     /// Convenience: write a little-endian `u64` at `addr`.
-    pub fn write_u64(&mut self, addr: GlobalAddr, value: u64, accessor: Rank) -> Result<(), DsmError> {
+    pub fn write_u64(
+        &mut self,
+        addr: GlobalAddr,
+        value: u64,
+        accessor: Rank,
+    ) -> Result<(), DsmError> {
         self.write(&addr.range(8), &value.to_le_bytes(), accessor)
     }
 }

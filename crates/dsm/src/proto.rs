@@ -308,11 +308,19 @@ mod tests {
     fn atomic_ops_apply() {
         assert_eq!(AtomicOp::FetchAdd(5).apply(10), (15, 10));
         assert_eq!(
-            AtomicOp::CompareSwap { expected: 10, new: 99 }.apply(10),
+            AtomicOp::CompareSwap {
+                expected: 10,
+                new: 99
+            }
+            .apply(10),
             (99, 10)
         );
         assert_eq!(
-            AtomicOp::CompareSwap { expected: 11, new: 99 }.apply(10),
+            AtomicOp::CompareSwap {
+                expected: 11,
+                new: 99
+            }
+            .apply(10),
             (10, 10)
         );
         assert_eq!(AtomicOp::Swap(7).apply(3), (7, 3));

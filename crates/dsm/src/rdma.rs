@@ -192,6 +192,9 @@ mod tests {
     #[test]
     fn unknown_get_token_errors() {
         let mut e = RdmaEngine::new();
-        assert!(matches!(e.end_get(42), Err(DsmError::UnknownOp { token: 42 })));
+        assert!(matches!(
+            e.end_get(42),
+            Err(DsmError::UnknownOp { token: 42 })
+        ));
     }
 }

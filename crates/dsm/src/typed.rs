@@ -167,7 +167,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "element range width")]
     fn array_width_mismatch_panics() {
-        let _: SharedArray<u64> =
-            SharedArray::from_ranges(vec![GlobalAddr::public(0, 0).range(4)]);
+        let _: SharedArray<u64> = SharedArray::from_ranges(vec![GlobalAddr::public(0, 0).range(4)]);
     }
 }

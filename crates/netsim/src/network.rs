@@ -96,8 +96,11 @@ impl<P: Classify> Network<P> {
     /// Deliver the earliest in-flight message, recording statistics.
     pub fn deliver_next(&mut self) -> Option<(SimTime, Message<P>)> {
         let (at, msg) = self.in_flight.pop()?;
-        self.stats
-            .record(msg.payload.class(), msg.total_bytes(), at.since(msg.sent_at));
+        self.stats.record(
+            msg.payload.class(),
+            msg.total_bytes(),
+            at.since(msg.sent_at),
+        );
         Some((at, msg))
     }
 
@@ -168,11 +171,8 @@ mod tests {
     fn cross_channel_messages_may_reorder() {
         // 0→1 is slow (3 hops on a ring), 2→1 is fast: the later send can
         // arrive first. This is the freedom races live in.
-        let mut net: Network<P> = Network::new(
-            4,
-            Topology::Ring { nodes: 4 },
-            Box::new(Constant::new(100)),
-        );
+        let mut net: Network<P> =
+            Network::new(4, Topology::Ring { nodes: 4 }, Box::new(Constant::new(100)));
         net.send(SimTime::ZERO, 0, 2, P(0, 1)); // 2 hops → 200ns
         net.send(SimTime::from_ns(50), 1, 2, P(1, 1)); // 1 hop → 150ns
         let first = net.deliver_next().unwrap().1;

@@ -138,7 +138,13 @@ impl std::fmt::Display for NetStats {
         for class in OpClass::ALL {
             let m = self.msgs(class);
             if m > 0 {
-                writeln!(f, "{:<10} {:>8} {:>12}", class.label(), m, self.bytes(class))?;
+                writeln!(
+                    f,
+                    "{:<10} {:>8} {:>12}",
+                    class.label(),
+                    m,
+                    self.bytes(class)
+                )?;
             }
         }
         writeln!(

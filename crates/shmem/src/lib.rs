@@ -33,9 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use parking_lot::Mutex;
-use race_core::{
-    Detector, DetectorKind, DsmOp, Granularity, LockId, OpKind, RaceReport,
-};
+use race_core::{Detector, DetectorKind, DsmOp, Granularity, LockId, OpKind, RaceReport};
 
 pub use dsm::addr::{GlobalAddr, MemRange, Segment};
 
@@ -107,11 +105,18 @@ impl Pe {
     }
 
     fn check(&self, range: &MemRange, len: usize) {
-        assert_eq!(range.addr.segment, Segment::Public, "shmem ranges are public");
+        assert_eq!(
+            range.addr.segment,
+            Segment::Public,
+            "shmem ranges are public"
+        );
         assert!(range.addr.rank < self.shared.n, "rank out of range");
         assert!(range.len == len, "buffer length must equal range length");
         let seg_len = self.shared.segments[range.addr.rank].lock().len();
-        assert!(range.end() <= seg_len, "range {range} out of segment bounds");
+        assert!(
+            range.end() <= seg_len,
+            "range {range} out of segment bounds"
+        );
     }
 
     /// One-sided write of `data` into `dst` (any PE's public segment).
@@ -129,7 +134,7 @@ impl Pe {
         };
         let reports = {
             let mut det = self.shared.detector.lock();
-            det.observe(&op, &self.held_locks.borrow())
+            det.observe_collect(&op, &self.held_locks.borrow())
         };
         seg[dst.addr.offset..dst.end()].copy_from_slice(data);
         reports
@@ -151,7 +156,7 @@ impl Pe {
         };
         let reports = {
             let mut det = self.shared.detector.lock();
-            det.observe(&op, &self.held_locks.borrow())
+            det.observe_collect(&op, &self.held_locks.borrow())
         };
         buf.copy_from_slice(&seg[src.addr.offset..src.end()]);
         reports
@@ -226,7 +231,7 @@ impl Pe {
         };
         let reports = {
             let mut det = self.shared.detector.lock();
-            det.observe(&op, &self.held_locks.borrow())
+            det.observe_collect(&op, &self.held_locks.borrow())
         };
         let off = target.addr.offset;
         let old = u64::from_le_bytes(seg[off..off + 8].try_into().expect("8 bytes"));
@@ -272,7 +277,10 @@ pub struct ShmemReport {
 impl ShmemReport {
     /// Reports that are true races under the paper's definition.
     pub fn true_races(&self) -> Vec<&RaceReport> {
-        self.reports.iter().filter(|r| r.class.is_true_race()).collect()
+        self.reports
+            .iter()
+            .filter(|r| r.class.is_true_race())
+            .collect()
     }
 
     /// Read back a u64 from a final segment image.

@@ -32,9 +32,7 @@ use dsm::proto::{AtomicOp, DsmPayload, OpToken};
 use dsm::rdma::{DeferredPut, RdmaEngine};
 use dsm::ProcessMemory;
 use netsim::{EventQueue, Message, NetStats, Network, SimTime};
-use race_core::{
-    dedup_reports, AccessKind, Detector, DsmOp, LockId, OpKind, RaceReport, Trace,
-};
+use race_core::{dedup_reports, AccessKind, Detector, DsmOp, LockId, OpKind, RaceReport, Trace};
 
 use crate::config::SimConfig;
 use crate::program::{Instr, Program, Src};
@@ -232,7 +230,10 @@ pub struct RunResult {
 impl RunResult {
     /// Reports whose class is a true race (filters read-read FPs).
     pub fn true_races(&self) -> Vec<&RaceReport> {
-        self.deduped.iter().filter(|r| r.class.is_true_race()).collect()
+        self.deduped
+            .iter()
+            .filter(|r| r.class.is_true_race())
+            .collect()
     }
 
     /// Convenience: read a u64 from a final memory image.
@@ -422,8 +423,7 @@ impl Engine {
                     Src::Imm(v) => (None, Some(v)),
                 };
                 let kind = OpKind::Put {
-                    src: src_range
-                        .unwrap_or_else(|| dsm::GlobalAddr::private(rank, 0).range(0)),
+                    src: src_range.unwrap_or_else(|| dsm::GlobalAddr::private(rank, 0).range(0)),
                     dst,
                 };
                 let op = DsmOp {
@@ -624,7 +624,12 @@ impl Engine {
                 // Consume a grant stashed by the handler, if we were woken
                 // by one.
                 if let Some(grant) = self.procs[rank].last_grant.take() {
-                    self.procs[rank].plan.as_mut().expect("plan").det_locks.push(grant);
+                    self.procs[rank]
+                        .plan
+                        .as_mut()
+                        .expect("plan")
+                        .det_locks
+                        .push(grant);
                     self.step_done(rank, 0);
                     return;
                 }
@@ -708,9 +713,8 @@ impl Engine {
                         self.step_done(rank, LOCAL_LOCK_NS);
                     }
                     None => {
-                        self.errors.push(format!(
-                            "P{rank}: unlock of {range} which is not held"
-                        ));
+                        self.errors
+                            .push(format!("P{rank}: unlock of {range} which is not held"));
                         self.step_done(rank, 0);
                     }
                 }
@@ -754,7 +758,13 @@ impl Engine {
                     (None, Some(v)) => v.clone(),
                     (None, None) => Vec::new(),
                 };
-                let op = self.procs[rank].plan.as_ref().expect("plan").op.clone().expect("op");
+                let op = self.procs[rank]
+                    .plan
+                    .as_ref()
+                    .expect("plan")
+                    .op
+                    .clone()
+                    .expect("op");
                 let held = self.procs[rank].held_lock_ids();
                 // Source-side read access happens now (trace), unless imm.
                 if let Some(r) = src {
@@ -802,7 +812,13 @@ impl Engine {
                 self.step_done(rank, LOCAL_ACCESS_NS);
             }
             Step::GetData { src, dst } => {
-                let op = self.procs[rank].plan.as_ref().expect("plan").op.clone().expect("op");
+                let op = self.procs[rank]
+                    .plan
+                    .as_ref()
+                    .expect("plan")
+                    .op
+                    .clone()
+                    .expect("op");
                 let owner = src.addr.rank;
                 let t = self.token(TokenUse::GetReply {
                     actor: rank,
@@ -822,7 +838,13 @@ impl Engine {
                 op: aop,
                 fetch_into,
             } => {
-                let op = self.procs[rank].plan.as_ref().expect("plan").op.clone().expect("op");
+                let op = self.procs[rank]
+                    .plan
+                    .as_ref()
+                    .expect("plan")
+                    .op
+                    .clone()
+                    .expect("op");
                 let held = self.procs[rank].held_lock_ids();
                 let owner = target.addr.rank;
                 if owner == rank {
@@ -847,7 +869,13 @@ impl Engine {
                 }
             }
             Step::LocalAccess { range, write } => {
-                let op = self.procs[rank].plan.as_ref().expect("plan").op.clone().expect("op");
+                let op = self.procs[rank]
+                    .plan
+                    .as_ref()
+                    .expect("plan")
+                    .op
+                    .clone()
+                    .expect("op");
                 let held = self.procs[rank].held_lock_ids();
                 match &write {
                     Some(value) => {
@@ -887,9 +915,8 @@ impl Engine {
                 // Process stays blocked until BarrierRelease.
             }
             Step::ReleaseDetLocks => {
-                let locks = std::mem::take(
-                    &mut self.procs[rank].plan.as_mut().expect("plan").det_locks,
-                );
+                let locks =
+                    std::mem::take(&mut self.procs[rank].plan.as_mut().expect("plan").det_locks);
                 for (owner, tok) in locks {
                     self.release_lock(rank, owner, tok);
                 }
@@ -918,7 +945,8 @@ impl Engine {
     /// Map from (owner, table lock token) to the engine completion token of
     /// a *local* waiter (remote waiters are keyed by the message token).
     fn local_waiters_insert(&mut self, owner: Rank, table_token: u64, engine_token: OpToken) {
-        self.local_waiters.insert((owner, table_token), engine_token);
+        self.local_waiters
+            .insert((owner, table_token), engine_token);
     }
 
     /// Release a lock (local table call or remote message) and deliver any
@@ -1010,7 +1038,8 @@ impl Engine {
         let (actor, op) = match self.tokens.get(&token) {
             Some(TokenUse::GetReply { actor, op, .. }) => (*actor, op.clone()),
             _ => {
-                self.errors.push(format!("get request with unknown token {token}"));
+                self.errors
+                    .push(format!("get request with unknown token {token}"));
                 return;
             }
         };
@@ -1024,10 +1053,14 @@ impl Engine {
                 if local {
                     self.finish_get(token, Bytes::from(data), self.now + LOCAL_ACCESS_NS);
                 } else {
-                    self.send(owner, actor, DsmPayload::GetReply {
-                        token,
-                        data: Bytes::from(data),
-                    });
+                    self.send(
+                        owner,
+                        actor,
+                        DsmPayload::GetReply {
+                            token,
+                            data: Bytes::from(data),
+                        },
+                    );
                 }
             }
             Err(e) => {
@@ -1036,10 +1069,14 @@ impl Engine {
                 if local {
                     self.finish_get(token, Bytes::new(), self.now);
                 } else {
-                    self.send(owner, actor, DsmPayload::GetReply {
-                        token,
-                        data: Bytes::new(),
-                    });
+                    self.send(
+                        owner,
+                        actor,
+                        DsmPayload::GetReply {
+                            token,
+                            data: Bytes::new(),
+                        },
+                    );
                 }
             }
         }
@@ -1055,7 +1092,8 @@ impl Engine {
             src_owner,
         }) = self.tokens.remove(&token)
         else {
-            self.errors.push(format!("get reply with unknown token {token}"));
+            self.errors
+                .push(format!("get reply with unknown token {token}"));
             return;
         };
         if !data.is_empty() {
@@ -1140,7 +1178,8 @@ impl Engine {
     fn store_atomic_result(&mut self, rank: Rank, fetch_into: Option<MemRange>, old: u64) {
         if let Some(dst) = fetch_into {
             if let Err(e) = self.memories[rank].write(&dst, &old.to_le_bytes(), rank) {
-                self.errors.push(format!("atomic fetch store at P{rank}: {e}"));
+                self.errors
+                    .push(format!("atomic fetch store at P{rank}: {e}"));
             }
         }
     }
@@ -1156,7 +1195,11 @@ impl Engine {
             src, dst, payload, ..
         } = msg;
         match payload {
-            DsmPayload::PutData { dst: range, data, token } => {
+            DsmPayload::PutData {
+                dst: range,
+                data,
+                token,
+            } => {
                 self.apply_put_at_owner(
                     dst,
                     DeferredPut {
@@ -1176,38 +1219,31 @@ impl Engine {
             DsmPayload::GetReply { token, data } => {
                 self.finish_get(token, data, self.now);
             }
-            DsmPayload::LockRequest { range, token } => {
-                match self.locks[dst].acquire(range, src) {
-                    LockOutcome::Granted(lock_token) => {
-                        self.send(dst, src, DsmPayload::LockGrant { token, lock_token });
-                    }
-                    LockOutcome::Queued(lock_token) => {
-                        self.remote_waiters
-                            .insert((dst, lock_token), (src, token));
-                    }
+            DsmPayload::LockRequest { range, token } => match self.locks[dst].acquire(range, src) {
+                LockOutcome::Granted(lock_token) => {
+                    self.send(dst, src, DsmPayload::LockGrant { token, lock_token });
                 }
-            }
-            DsmPayload::LockGrant { token, lock_token } => {
-                match self.tokens.remove(&token) {
-                    Some(TokenUse::DetLockGrant(rank)) => {
-                        self.procs[rank].last_grant = Some((src, lock_token));
-                        self.wake(rank, self.now);
-                    }
-                    Some(TokenUse::ProgLockGrant(rank, _range)) => {
-                        self.procs[rank].last_grant = Some((src, lock_token));
-                        self.wake(rank, self.now);
-                    }
-                    other => self
-                        .errors
-                        .push(format!("lock grant with unexpected token use {other:?}")),
+                LockOutcome::Queued(lock_token) => {
+                    self.remote_waiters.insert((dst, lock_token), (src, token));
                 }
-            }
-            DsmPayload::LockRelease { lock_token } => {
-                match self.locks[dst].release(lock_token) {
-                    Ok(grants) => self.dispatch_grants(dst, grants),
-                    Err(e) => self.errors.push(format!("remote release: {e}")),
+            },
+            DsmPayload::LockGrant { token, lock_token } => match self.tokens.remove(&token) {
+                Some(TokenUse::DetLockGrant(rank)) => {
+                    self.procs[rank].last_grant = Some((src, lock_token));
+                    self.wake(rank, self.now);
                 }
-            }
+                Some(TokenUse::ProgLockGrant(rank, _range)) => {
+                    self.procs[rank].last_grant = Some((src, lock_token));
+                    self.wake(rank, self.now);
+                }
+                other => self
+                    .errors
+                    .push(format!("lock grant with unexpected token use {other:?}")),
+            },
+            DsmPayload::LockRelease { lock_token } => match self.locks[dst].release(lock_token) {
+                Ok(grants) => self.dispatch_grants(dst, grants),
+                Err(e) => self.errors.push(format!("remote release: {e}")),
+            },
             DsmPayload::ClockReadRequest { range, token } => {
                 let v = self.clock_payload();
                 let w = self.clock_payload();
@@ -1233,9 +1269,14 @@ impl Engine {
                     self.wake(rank, self.now);
                 }
             }
-            DsmPayload::AtomicRequest { range, op: aop, token } => {
+            DsmPayload::AtomicRequest {
+                range,
+                op: aop,
+                token,
+            } => {
                 let Some((op, held)) = self.atomic_ctx.remove(&token) else {
-                    self.errors.push(format!("atomic request with unknown token {token}"));
+                    self.errors
+                        .push(format!("atomic request with unknown token {token}"));
                     return;
                 };
                 let old = self.apply_atomic_at_owner(dst, range, aop, &op, &held);
@@ -1306,10 +1347,7 @@ mod tests {
         let priv_r = GlobalAddr::private(0, 0).range(8);
         let empty = pub_range(0, 0, 0);
         let real = pub_range(1, 0, 8);
-        assert_eq!(
-            Engine::lock_ranges(Some(priv_r), Some(real)),
-            vec![real]
-        );
+        assert_eq!(Engine::lock_ranges(Some(priv_r), Some(real)), vec![real]);
         assert!(Engine::lock_ranges(Some(empty), None).is_empty());
     }
 

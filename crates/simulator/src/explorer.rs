@@ -40,7 +40,10 @@ pub struct ExplorationSummary {
 impl ExplorationSummary {
     /// Seeds in which the detector reported at least one race.
     pub fn seeds_with_reports(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.reported_pairs > 0).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.reported_pairs > 0)
+            .count()
     }
 
     /// Seeds in which the oracle found at least one true race.
@@ -77,23 +80,22 @@ impl ExplorationSummary {
 }
 
 /// Run `programs` under `seeds`, one engine per seed, in parallel threads
-/// (crossbeam scoped threads; the per-seed engines are fully independent).
+/// (std scoped threads; the per-seed engines are fully independent).
 pub fn explore(cfg: &SimConfig, programs: &[Program], seeds: &[u64]) -> ExplorationSummary {
     let mut outcomes: Vec<Option<SeedOutcome>> = Vec::new();
     outcomes.resize_with(seeds.len(), || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (slot, &seed) in seeds.iter().enumerate() {
             let cfg = cfg.clone().with_seed(seed);
             let programs = programs.to_vec();
-            handles.push((slot, scope.spawn(move |_| run_one(cfg, programs, seed))));
+            handles.push((slot, scope.spawn(move || run_one(cfg, programs, seed))));
         }
         for (slot, h) in handles {
             outcomes[slot] = Some(h.join().expect("seed thread panicked"));
         }
-    })
-    .expect("exploration scope");
+    });
 
     ExplorationSummary {
         outcomes: outcomes.into_iter().map(|o| o.expect("filled")).collect(),
@@ -137,8 +139,16 @@ mod tests {
         let cfg = SimConfig::debugging(3);
         let summary = explore(&cfg, &racy_programs(), &[1, 2, 3, 4]);
         assert_eq!(summary.outcomes.len(), 4);
-        assert_eq!(summary.seeds_with_truth(), 4, "the WW race exists in every schedule");
-        assert_eq!(summary.seeds_with_reports(), 4, "dual clock catches it in every schedule");
+        assert_eq!(
+            summary.seeds_with_truth(),
+            4,
+            "the WW race exists in every schedule"
+        );
+        assert_eq!(
+            summary.seeds_with_reports(),
+            4,
+            "dual clock catches it in every schedule"
+        );
     }
 
     #[test]

@@ -236,7 +236,12 @@ impl ProgramBuilder {
     }
 
     /// Append an atomic fetch-add on a public u64 word.
-    pub fn fetch_add(mut self, target: MemRange, addend: u64, fetch_into: Option<MemRange>) -> Self {
+    pub fn fetch_add(
+        mut self,
+        target: MemRange,
+        addend: u64,
+        fetch_into: Option<MemRange>,
+    ) -> Self {
         self.instrs.push(Instr::Atomic {
             target,
             op: AtomicOp::FetchAdd(addend),

@@ -201,8 +201,14 @@ mod tests {
         b.record_access(5, 2, AccessKind::Read, w(0));
         b.record_access(7, 2, AccessKind::Write, w(0));
         let o = Oracle::analyze(&b.finish());
-        assert!(!o.truth().contains(&(1, 7)), "post-read write ordered after w1");
-        assert!(!o.truth().contains(&(3, 7)), "post-read write ordered after w3");
+        assert!(
+            !o.truth().contains(&(1, 7)),
+            "post-read write ordered after w1"
+        );
+        assert!(
+            !o.truth().contains(&(3, 7)),
+            "post-read write ordered after w3"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub fn fig1() -> Workload {
         programs: vec![
             // P0 gets from P1's public memory into its own private memory
             // (after the value is surely there — simple time separation).
-            ProgramBuilder::new(0).compute(100_000).get(a, scratch(0, 0)).build(),
+            ProgramBuilder::new(0)
+                .compute(100_000)
+                .get(a, scratch(0, 0))
+                .build(),
             // P1 initialises its public word.
             ProgramBuilder::new(1).local_write_u64(a, 0xA1).build(),
             // P2 puts into P1's neighbour word and its own public word.
@@ -102,9 +105,18 @@ pub fn fig4() -> Workload {
         name: "fig4-concurrent-gets".into(),
         n: 3,
         programs: vec![
-            ProgramBuilder::new(0).barrier().get(a, scratch(0, 0)).build(),
-            ProgramBuilder::new(1).local_write_u64(a, 0xAA).barrier().build(),
-            ProgramBuilder::new(2).barrier().get(a, scratch(2, 0)).build(),
+            ProgramBuilder::new(0)
+                .barrier()
+                .get(a, scratch(0, 0))
+                .build(),
+            ProgramBuilder::new(1)
+                .local_write_u64(a, 0xAA)
+                .barrier()
+                .build(),
+            ProgramBuilder::new(2)
+                .barrier()
+                .get(a, scratch(2, 0))
+                .build(),
         ],
         races_expected: Some(false),
     }
@@ -140,7 +152,10 @@ pub fn fig5b() -> Workload {
         name: "fig5b-causal-chain".into(),
         n: 3,
         programs: vec![
-            ProgramBuilder::new(0).local_write_u64(x, 5).barrier().build(),
+            ProgramBuilder::new(0)
+                .local_write_u64(x, 5)
+                .barrier()
+                .build(),
             ProgramBuilder::new(1)
                 .barrier()
                 .get(x, scratch(1, 0))

@@ -21,11 +21,16 @@ use super::Workload;
 pub fn racy(workers: usize, rounds: usize) -> Workload {
     let n = workers + 1;
     let slot = GlobalAddr::public(0, 0).range(8);
-    let mut programs = vec![ProgramBuilder::new(0).compute(10_000).local_read(slot).build()];
+    let mut programs = vec![ProgramBuilder::new(0)
+        .compute(10_000)
+        .local_read(slot)
+        .build()];
     for w in 1..n {
         let mut b = ProgramBuilder::new(w);
         for r in 0..rounds {
-            b = b.compute(500 * w as u64).put_u64((w * 1000 + r) as u64, slot);
+            b = b
+                .compute(500 * w as u64)
+                .put_u64((w * 1000 + r) as u64, slot);
         }
         programs.push(b.build());
     }
@@ -54,7 +59,9 @@ pub fn slotted(workers: usize, rounds: usize) -> Workload {
         let slot = GlobalAddr::public(0, w * 8).range(8);
         let mut b = ProgramBuilder::new(w);
         for r in 0..rounds {
-            b = b.compute(500 * w as u64).put_u64((w * 1000 + r) as u64, slot);
+            b = b
+                .compute(500 * w as u64)
+                .put_u64((w * 1000 + r) as u64, slot);
         }
         programs.push(b.barrier().build());
     }

@@ -43,11 +43,7 @@ pub struct MatVec {
 /// Expected `y[i] = Σ_j A[i][j] * x[j]` with `A[i][j] = i+j`, `x[j] = j+1`.
 pub fn expected_y(dim: usize) -> Vec<u64> {
     (0..dim)
-        .map(|i| {
-            (0..dim)
-                .map(|j| ((i + j) as u64) * ((j + 1) as u64))
-                .sum()
-        })
+        .map(|i| (0..dim).map(|j| ((i + j) as u64) * ((j + 1) as u64)).sum())
         .collect()
 }
 
@@ -139,8 +135,7 @@ mod tests {
         assert_eq!(mv.workload.n, 3);
         assert_eq!(mv.y.len(), 4);
         // Round-robin placement spreads y across ranks.
-        let ranks: std::collections::HashSet<_> =
-            mv.y.iter().map(|r| r.addr.rank).collect();
+        let ranks: std::collections::HashSet<_> = mv.y.iter().map(|r| r.addr.rank).collect();
         assert_eq!(ranks.len(), 3);
     }
 }

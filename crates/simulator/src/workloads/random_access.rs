@@ -144,8 +144,9 @@ mod tests {
     #[test]
     fn words_spread_across_ranks() {
         let spec = RandomSpec::default();
-        let ranks: std::collections::HashSet<_> =
-            (0..spec.hot_words).map(|i| word(&spec, i).addr.rank).collect();
+        let ranks: std::collections::HashSet<_> = (0..spec.hot_words)
+            .map(|i| word(&spec, i).addr.rank)
+            .collect();
         assert_eq!(ranks.len(), spec.n.min(spec.hot_words));
     }
 }

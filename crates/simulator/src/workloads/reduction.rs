@@ -89,7 +89,10 @@ pub fn onesided_unsynced(n: usize) -> Workload {
 /// Everyone puts into one accumulator word at the root: deliberate WW race.
 pub fn push_racy(n: usize) -> Workload {
     let acc = GlobalAddr::public(0, 0).range(8);
-    let mut programs = vec![ProgramBuilder::new(0).compute(50_000).local_read(acc).build()];
+    let mut programs = vec![ProgramBuilder::new(0)
+        .compute(50_000)
+        .local_read(acc)
+        .build()];
     for r in 1..n {
         programs.push(ProgramBuilder::new(r).put_u64((r + 1) as u64, acc).build());
     }

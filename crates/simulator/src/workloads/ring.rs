@@ -28,7 +28,10 @@ pub fn pipeline(n: usize, laps: usize) -> Workload {
         let next = (rank + 1) % n;
         let mut b = ProgramBuilder::new(rank);
         if rank == 0 {
-            b = b.lock(inbox(1 % n)).put_u64(1, inbox(1 % n)).unlock(inbox(1 % n));
+            b = b
+                .lock(inbox(1 % n))
+                .put_u64(1, inbox(1 % n))
+                .unlock(inbox(1 % n));
         }
         for lap in 0..laps {
             let my_turn = (lap * n + rank) as u64;

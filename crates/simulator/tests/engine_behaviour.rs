@@ -31,7 +31,10 @@ fn get_fetches_remote_data() {
     let src = GlobalAddr::public(0, 0).range(8);
     let dst = GlobalAddr::private(1, 0).range(8);
     let programs = vec![
-        ProgramBuilder::new(0).local_write_u64(src, 77).barrier().build(),
+        ProgramBuilder::new(0)
+            .local_write_u64(src, 77)
+            .barrier()
+            .build(),
         ProgramBuilder::new(1).barrier().get(src, dst).build(),
     ];
     let r = run(SimConfig::lockstep(2, 100), programs);
@@ -57,8 +60,14 @@ fn fig2_with_detection_adds_clock_and_lock_traffic() {
     let cfg = SimConfig::lockstep(w.n, 100).with_detector(DetectorKind::Dual);
     let r = run(cfg, w.programs);
     assert_eq!(r.stats.msgs(OpClass::PutData), 1, "data plane unchanged");
-    assert!(r.stats.msgs(OpClass::Clock) > 0, "Algorithms 1-2 clock traffic");
-    assert!(r.stats.msgs(OpClass::Lock) > 0, "Algorithms 1-2 lock traffic");
+    assert!(
+        r.stats.msgs(OpClass::Clock) > 0,
+        "Algorithms 1-2 clock traffic"
+    );
+    assert!(
+        r.stats.msgs(OpClass::Lock) > 0,
+        "Algorithms 1-2 lock traffic"
+    );
 }
 
 #[test]
@@ -76,11 +85,7 @@ fn fig3_put_overlapping_get_is_deferred() {
     let deferred_delay = r.put_apply_delays[0];
 
     // Baseline: same put with no concurrent get.
-    let baseline_programs = vec![
-        w.programs[0].clone(),
-        Program::new(),
-        Program::new(),
-    ];
+    let baseline_programs = vec![w.programs[0].clone(), Program::new(), Program::new()];
     let rb = run(cfg, baseline_programs);
     let base_delay = rb.put_apply_delays[0];
     assert!(
@@ -88,7 +93,12 @@ fn fig3_put_overlapping_get_is_deferred() {
         "Fig 3: put delayed behind the get ({deferred_delay} ns vs {base_delay} ns)"
     );
     // Final memory holds the put's value (applied after the get).
-    assert_eq!(r.memories[1].read(&GlobalAddr::public(1, 0).range(4), 1).unwrap(), vec![0xFF; 4]);
+    assert_eq!(
+        r.memories[1]
+            .read(&GlobalAddr::public(1, 0).range(4), 1)
+            .unwrap(),
+        vec![0xFF; 4]
+    );
 }
 
 #[test]
@@ -210,7 +220,10 @@ fn locks_provide_mutual_exclusion_and_silence_detectors() {
 fn racy_master_worker_detected_and_not_fatal() {
     let w = master_worker::racy(4, 2);
     let r = run(SimConfig::debugging(w.n), w.programs);
-    assert!(!r.deduped.is_empty(), "the §IV-D intentional race is signalled");
+    assert!(
+        !r.deduped.is_empty(),
+        "the §IV-D intentional race is signalled"
+    );
     // §IV-D: execution completed normally (run() already asserts no stuck
     // processes); the slot holds one of the workers' values.
     let v = r.read_u64(GlobalAddr::public(0, 0).range(8));
@@ -284,7 +297,10 @@ fn random_locked_workload_is_race_free_for_oracle() {
     });
     let r = run(SimConfig::debugging(w.n), w.programs);
     let oracle = Oracle::analyze(&r.trace);
-    assert!(oracle.truth().is_empty(), "locked discipline orders everything");
+    assert!(
+        oracle.truth().is_empty(),
+        "locked discipline orders everything"
+    );
     assert!(r.deduped.is_empty(), "{:?}", r.deduped);
 }
 

@@ -167,7 +167,10 @@ mod tests {
             delta_bytes += d.wire_size();
             dense_bytes += truth.dense_wire_size();
             let got = dec.decode(&d);
-            assert!(truth.leq(got) && got.leq(&truth), "stream reconstructs exactly");
+            assert!(
+                truth.leq(got) && got.leq(&truth),
+                "stream reconstructs exactly"
+            );
         }
         assert!(
             delta_bytes < dense_bytes / 2,

@@ -14,7 +14,9 @@ use serde::{Deserialize, Serialize};
 /// 1. before every local event, `tick()`;
 /// 2. on message receipt carrying timestamp `t`, `observe(t)` then `tick()`
 ///    (combined in [`LamportClock::receive`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LamportClock(u64);
 
 impl LamportClock {

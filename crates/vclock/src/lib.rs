@@ -20,6 +20,15 @@
 //! [`delta`] adds delta-encoded clock updates (a §IV-C traffic
 //! optimisation measured by the EXT-delta accounting).
 //!
+//! [`epoch`] provides the FastTrack-style fast path: an [`Epoch`] names one
+//! event as a `(rank, count)` pair, and an [`AreaClock`] adaptively stores a
+//! join of event clocks as `Bottom` → `Epoch` → `Vector`, collapsing the
+//! happens-before test to one integer compare (and updates to two word
+//! writes) while an area's accesses stay totally ordered — O(1) in the
+//! common case versus the paper's O(n) compare, with demotion to the exact
+//! dense join on genuine concurrency and re-promotion when an access
+//! dominates again.
+//!
 //! The comparison and merge procedures printed in the paper (Algorithms 3
 //! and 4) are provided verbatim in [`compare`], including the paper's
 //! *literal* strict comparison (which differs from the standard vector-clock
@@ -30,6 +39,7 @@
 
 pub mod compare;
 pub mod delta;
+pub mod epoch;
 pub mod lamport;
 pub mod matrix;
 pub mod sparse;
@@ -37,6 +47,7 @@ pub mod vector;
 
 pub use compare::{compare_clocks, literal_less, max_clock};
 pub use delta::{ClockDelta, DeltaDecoder, DeltaEncoder};
+pub use epoch::{AreaClock, Epoch};
 pub use lamport::LamportClock;
 pub use matrix::MatrixClock;
 pub use sparse::SparseClock;

@@ -74,6 +74,14 @@ impl MatrixClock {
         self.rows[owner].merge(clock);
     }
 
+    /// Merge knowledge attributed to the owner itself into the owner's row
+    /// only — `observe(owner, clock)` without the redundant second merge of
+    /// the same row. Used by the detector hot path when a read absorbs an
+    /// area's write clock.
+    pub fn absorb(&mut self, clock: &VectorClock) {
+        self.rows[self.owner].merge(clock);
+    }
+
     /// Merge an entire remote matrix (gossip-style exchange): component-wise
     /// maximum of every row. Used by the clock-update traffic accounting.
     pub fn merge_matrix(&mut self, other: &MatrixClock) {

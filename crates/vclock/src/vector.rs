@@ -70,6 +70,7 @@ impl VectorClock {
     ///
     /// # Panics
     /// Panics when `rank >= self.len()`; clocks in one run always share `n`.
+    #[inline]
     pub fn get(&self, rank: Rank) -> u64 {
         self.components[rank]
     }
@@ -84,6 +85,17 @@ impl VectorClock {
     pub fn tick(&mut self, owner: Rank) -> u64 {
         self.components[owner] += 1;
         self.components[owner]
+    }
+
+    /// Reset every component to zero in place (scratch-clock reuse on the
+    /// detector hot path — avoids reallocating a zero clock per operation).
+    pub fn clear(&mut self) {
+        self.components.fill(0);
+    }
+
+    /// True when every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.components.iter().all(|&c| c == 0)
     }
 
     /// Algorithm 4 (`max_clock`): component-wise maximum, in place.
@@ -110,8 +122,36 @@ impl VectorClock {
         out
     }
 
+    /// Merge `other` in (Algorithm 4) and report whether `self ≤ other`
+    /// held *before* the merge — i.e. whether `other` dominated and the
+    /// result equals `other`. One pass, for the area-clock re-promotion
+    /// test fused with the update.
+    ///
+    /// # Panics
+    /// Panics if the clocks have different widths.
+    #[inline]
+    pub fn merge_dominated(&mut self, other: &VectorClock) -> bool {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "merging clocks of different widths ({} vs {})",
+            self.len(),
+            other.len()
+        );
+        let mut dominated = true;
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            if *a > *b {
+                dominated = false;
+            } else {
+                *a = *b;
+            }
+        }
+        dominated
+    }
+
     /// Standard vector-clock comparison: `self ≤ other` iff every component
     /// is `≤`.
+    #[inline]
     pub fn leq(&self, other: &VectorClock) -> bool {
         debug_assert_eq!(self.len(), other.len());
         self.components
@@ -135,8 +175,28 @@ impl VectorClock {
     /// Corollary 1 of the paper: no ordering can be determined between the
     /// two clocks. A pair of *conflicting* accesses with concurrent clocks
     /// is a race condition (`e1 × e2`).
+    ///
+    /// Single pass with early exit: returns as soon as a component pair in
+    /// each direction has been seen (detector antichain scans call this per
+    /// recorded access).
+    #[inline]
     pub fn concurrent_with(&self, other: &VectorClock) -> bool {
-        self.relation(other) == ClockRelation::Concurrent
+        debug_assert_eq!(self.len(), other.len());
+        let (mut le, mut ge) = (true, true);
+        for (a, b) in self.components.iter().zip(&other.components) {
+            if a < b {
+                ge = false;
+                if !le {
+                    return true;
+                }
+            } else if a > b {
+                le = false;
+                if !ge {
+                    return true;
+                }
+            }
+        }
+        false // comparable in at least one direction (or equal)
     }
 
     /// Raw component view.
@@ -300,10 +360,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn components_roundtrip() {
         let c = vc(&[3, 1, 4]);
-        let s = serde_json::to_string(&c).unwrap();
-        let back: VectorClock = serde_json::from_str(&s).unwrap();
+        let back = VectorClock::from_components(c.components().to_vec());
         assert_eq!(c, back);
     }
 }

@@ -94,13 +94,12 @@ struct Execution {
 }
 
 fn arb_execution() -> impl Strategy<Value = Execution> {
-    proptest::collection::vec((0usize..N, 0usize..N), 1..30)
-        .prop_map(|raw| Execution {
-            msgs: raw
-                .into_iter()
-                .map(|(s, r)| (s, if r == s { (r + 1) % N } else { r }))
-                .collect(),
-        })
+    proptest::collection::vec((0usize..N, 0usize..N), 1..30).prop_map(|raw| Execution {
+        msgs: raw
+            .into_iter()
+            .map(|(s, r)| (s, if r == s { (r + 1) % N } else { r }))
+            .collect(),
+    })
 }
 
 proptest! {

@@ -21,7 +21,10 @@ fn main() {
     assert!(result.stuck.is_empty());
 
     println!("one-sided reduction over {n} processes (simulator):");
-    println!("  get requests : {}", result.stats.msgs(OpClass::GetRequest));
+    println!(
+        "  get requests : {}",
+        result.stats.msgs(OpClass::GetRequest)
+    );
     println!("  get replies  : {}", result.stats.msgs(OpClass::GetReply));
     println!("  put messages : {}", result.stats.msgs(OpClass::PutData));
     assert_eq!(
@@ -43,7 +46,10 @@ fn main() {
     // the gets after the contributions).
     let detected = Engine::new(SimConfig::debugging(n), w.programs).run();
     assert!(detected.deduped.is_empty(), "{:?}", detected.deduped);
-    println!("  race reports : {} (barrier-ordered)", detected.deduped.len());
+    println!(
+        "  race reports : {} (barrier-ordered)",
+        detected.deduped.len()
+    );
 
     // ---- Part 2: on real threads (shmem backend) -----------------------
     let report = shmem::run(shmem::ShmemConfig::new(n), |pe| {

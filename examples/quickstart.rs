@@ -25,7 +25,10 @@ fn main() {
 
     println!("virtual completion time : {}", result.virtual_time);
     println!("messages on the wire    : {}", result.stats.total_msgs());
-    println!("clock storage           : {} bytes", result.clock_memory_bytes);
+    println!(
+        "clock storage           : {} bytes",
+        result.clock_memory_bytes
+    );
     println!();
 
     // §IV-D: races are signalled, never fatal.

@@ -12,12 +12,34 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`vclock`] | Lamport / vector / matrix clocks, the paper's Algorithms 3–4 |
+//! | [`vclock`] | Lamport / vector / matrix clocks, the paper's Algorithms 3–4, and the `epoch` fast-path module |
 //! | [`netsim`] | deterministic discrete-event interconnect + RDMA NIC model |
 //! | [`dsm`] | global address space, symmetric heap, NIC area locks, Fig 3 put-deferral |
 //! | [`race_core`] | the paper's detector (Algorithms 1–2, dual clock) + baselines + oracle |
 //! | [`simulator`] | process/program model, DES engine, workloads, interleaving explorer |
 //! | [`shmem`] | the same algorithms on real OS threads (§III-B's SHMEM extension) |
+//!
+//! ## The detection hot path
+//!
+//! `race_core::HbDetector` runs the paper's per-access check-and-update in
+//! O(1) in the common case instead of the naive O(n):
+//!
+//! * **epoch fast path** (`vclock::AreaClock`): while an area's accesses
+//!   are totally ordered, its `V`/`W` joins are FastTrack-style epochs
+//!   `(rank, count)` — the Algorithm-3 compare is one integer test, the
+//!   Algorithm-5 update two word writes. Genuine concurrency demotes the
+//!   clock to the exact dense join (O(n) again); a later dominating access
+//!   re-promotes it.
+//! * **flat sharded store** (`race_core::ClockStore`): per-rank dense
+//!   slabs indexed by block number — no hashing on the access path.
+//! * **allocation-free observe**: one shared `Arc` clock snapshot per
+//!   operation, a reused absorb scratch clock, reports appended straight
+//!   to the detector log.
+//!
+//! Report parity with the unoptimised implementation
+//! (`race_core::ReferenceHbDetector`) is enforced by differential property
+//! tests across all detector modes and granularities; the measured speedup
+//! is tracked in `BENCH_0001.json` (`repro --bench`).
 //!
 //! ## Quickstart
 //!
@@ -48,9 +70,7 @@ pub use vclock;
 pub mod prelude {
     pub use dsm::{GlobalAddr, MemRange, Placement, Segment, SymmetricHeap};
     pub use netsim::{OpClass, SimTime, Topology};
-    pub use race_core::{
-        DetectorKind, Granularity, Oracle, RaceClass, RaceReport, Score,
-    };
+    pub use race_core::{DetectorKind, Granularity, Oracle, RaceClass, RaceReport, Score};
     pub use simulator::{
         explore, Engine, Instr, LatencySpec, Program, ProgramBuilder, RunResult, SimConfig,
     };

@@ -60,11 +60,7 @@ fn fig4_parity() {
                 .get(sim_word(0, 0), GlobalAddr::private(2, 0).range(8))
                 .build(),
         ];
-        let sim = Engine::new(
-            SimConfig::debugging(3).with_detector(kind),
-            programs,
-        )
-        .run();
+        let sim = Engine::new(SimConfig::debugging(3).with_detector(kind), programs).run();
 
         let thr = shmem::run(ShmemConfig::new(3).with_detector(kind), |pe| {
             if pe.my_pe() == 0 {

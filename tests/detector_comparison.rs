@@ -90,15 +90,16 @@ fn literal_mode_misses_write_after_read_races() {
             .get(word, GlobalAddr::private(0, 0).range(8))
             .build(),
         Program::new(),
-        ProgramBuilder::new(2).compute(200_000).put_u64(9, word).build(),
+        ProgramBuilder::new(2)
+            .compute(200_000)
+            .put_u64(9, word)
+            .build(),
     ];
     let (dual, _, dual_sites) = run_with(DetectorKind::Dual, &programs, 3, 1);
     let (literal, _, lit_sites) = run_with(DetectorKind::Literal, &programs, 3, 1);
 
     assert!(
-        dual.deduped
-            .iter()
-            .any(|r| r.class == RaceClass::ReadWrite),
+        dual.deduped.iter().any(|r| r.class == RaceClass::ReadWrite),
         "dual clock catches the WAR race"
     );
     assert_eq!(dual_sites.false_negatives, 0);

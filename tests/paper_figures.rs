@@ -149,7 +149,10 @@ fn fig5a_clock_values_match_figure() {
 fn fig5b_chain_is_race_free() {
     let w = figures::fig5b();
     for seed in 1..=6 {
-        let r = run(SimConfig::debugging(w.n).with_seed(seed), w.programs.clone());
+        let r = run(
+            SimConfig::debugging(w.n).with_seed(seed),
+            w.programs.clone(),
+        );
         assert!(r.deduped.is_empty(), "seed {seed}: {:?}", r.deduped);
         assert_eq!(r.read_u64(GlobalAddr::public(0, 0).range(8)), 7);
     }
@@ -180,5 +183,8 @@ fn fig5c_strict_comparison_explains_the_papers_x() {
     let m4 = VectorClock::from_components(vec![2, 0, 2, 2]);
     assert!(m1.leq(&m4), "standard: causally ordered");
     let strict_race = !literal_less(&m1, &m4) && !literal_less(&m4, &m1);
-    assert!(strict_race, "the strict Algorithm 3 reproduces the figure's X");
+    assert!(
+        strict_race,
+        "the strict Algorithm 3 reproduces the figure's X"
+    );
 }
