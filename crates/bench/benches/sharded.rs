@@ -1,0 +1,61 @@
+//! The sharded-pipeline bench: `race_core::ShardedDetector` at 1/2/4
+//! worker shards versus the sequential epoch detector, on the same
+//! detector-only op streams as the `epoch` bench.
+//!
+//! `detector_shards/{stencil,random_access}/{seq,shards-k}` is the pair the
+//! BENCH_0002 acceptance criterion reads; `repro --bench-sharded` prints
+//! the same comparison as JSON. Shard scaling needs real cores: on a host
+//! with fewer than `k + 1` usable cores (workers plus the router) the
+//! `shards-k` rows measure pipeline overhead, not parallelism — the
+//! committed JSON records `host_cores` for exactly this reason.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_bench::opstream::{self, StreamEvent};
+use race_core::{Granularity, HbDetector, HbMode, MemOp, ShardedDetector};
+use simulator::workloads::random_access::RandomSpec;
+
+fn bench_set(c: &mut Criterion, label: &str, n: usize, events: &[StreamEvent]) {
+    let batch: Vec<MemOp> = opstream::memops(events);
+    let mut group = c.benchmark_group(format!("detector_shards/{label}"));
+    group.bench_with_input(BenchmarkId::from_parameter("seq"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = HbDetector::new(n, Granularity::WORD, HbMode::Dual);
+            opstream::drive(&mut det, events)
+        });
+    });
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("shards-{shards}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, shards);
+                    det.observe_batch(&batch)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn stencil_stream(c: &mut Criterion) {
+    let n = 16;
+    let events = opstream::stencil(n, 16, 4);
+    bench_set(c, "stencil", n, &events);
+}
+
+fn random_stream(c: &mut Criterion) {
+    let spec = RandomSpec {
+        n: 8,
+        ops_per_rank: 128,
+        hot_words: 256,
+        p_write: 0.25,
+        locked: false,
+        seed: 0xB0,
+    };
+    let events = opstream::random(spec);
+    bench_set(c, "random_access", spec.n, &events);
+}
+
+criterion_group!(benches, stencil_stream, random_stream);
+criterion_main!(benches);

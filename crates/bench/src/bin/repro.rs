@@ -2,14 +2,32 @@
 //! detector perf summary.
 //!
 //! Usage:
-//!   repro             # all experiment tables (the EXPERIMENTS.md content)
-//!   repro FIG2 SEC5A  # a selection by experiment id
-//!   repro --bench     # single-line JSON perf rows (the BENCH_0001.json
-//!                     # content): epoch fast path vs full-vector-clock
-//!                     # reference on stencil / random_access at WORD
+//!   repro                 # all experiment tables (the EXPERIMENTS.md content)
+//!   repro FIG2 SEC5A      # a selection by experiment id
+//!   repro --bench         # single-line JSON perf rows (the BENCH_0001.json
+//!                         # content): epoch fast path vs full-vector-clock
+//!                         # reference on stencil / random_access at WORD
+//!   repro --bench-sharded # the BENCH_0002.json content: the sharded
+//!                         # pipeline at 1/2/4/8 worker shards vs the
+//!                         # sequential epoch detector on the same streams
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--bench-sharded") {
+        let rows = dsm_bench::perfjson::bench_rows_sharded();
+        for row in &rows {
+            println!("{}", row.to_json());
+        }
+        for (workload, shards, speedup) in dsm_bench::perfjson::sharded_speedups(&rows) {
+            eprintln!("# {workload}: {shards} shard(s) {speedup:.2}x vs sequential epoch");
+        }
+        eprintln!(
+            "# host cores: {} (scaling needs >= shards+1 cores)",
+            dsm_bench::perfjson::host_cores()
+        );
+        return;
+    }
 
     if args.iter().any(|a| a == "--bench") {
         let rows = dsm_bench::perfjson::bench_rows();

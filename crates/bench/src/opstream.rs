@@ -8,7 +8,7 @@
 //! synchronisation events, and [`drive`] feeds them straight into a
 //! [`Detector`].
 
-use race_core::{Detector, DsmOp, OpKind};
+use race_core::{Detector, DsmOp, MemOp, OpKind, ShardedDetector};
 use simulator::workloads::random_access::RandomSpec;
 
 use dsm::GlobalAddr;
@@ -136,6 +136,27 @@ pub fn drive(detector: &mut dyn Detector, events: &[StreamEvent]) -> usize {
     reports
 }
 
+/// The stream as [`MemOp`] events for the batched sharded pipeline.
+pub fn memops(events: &[StreamEvent]) -> Vec<MemOp> {
+    events
+        .iter()
+        .map(|e| match e {
+            StreamEvent::Op(op) => MemOp::Op(op.clone()),
+            StreamEvent::Barrier => MemOp::Barrier,
+        })
+        .collect()
+}
+
+/// Feed a pre-converted stream through the sharded pipeline in batches of
+/// `batch` events; returns the total number of reports.
+pub fn drive_batched(detector: &mut ShardedDetector, events: &[MemOp], batch: usize) -> usize {
+    let mut reports = 0;
+    for chunk in events.chunks(batch.max(1)) {
+        reports += detector.observe_batch(chunk);
+    }
+    reports
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +195,25 @@ mod tests {
         let b = drive(&mut slow, &events);
         assert_eq!(a, b);
         assert!(a > 0, "unlocked random traffic must race");
+    }
+
+    #[test]
+    fn batched_sharded_drive_matches_sequential() {
+        let spec = RandomSpec {
+            n: 6,
+            ops_per_rank: 40,
+            hot_words: 12,
+            p_write: 0.5,
+            locked: false,
+            seed: 7,
+        };
+        let events = random(spec);
+        let mut seq = HbDetector::new(spec.n, Granularity::WORD, HbMode::Dual);
+        let a = drive(&mut seq, &events);
+        let mut par = race_core::ShardedDetector::new(spec.n, Granularity::WORD, HbMode::Dual, 4);
+        let b = drive_batched(&mut par, &memops(&events), 64);
+        assert_eq!(a, b);
+        assert_eq!(seq.reports(), par.reports());
     }
 
     #[test]

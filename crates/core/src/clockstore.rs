@@ -255,7 +255,7 @@ impl AreaHistory {
 /// corresponding clock messages when an actor touches a remote area.)
 ///
 /// Storage is a flat per-rank slab indexed by block number — no hashing on
-/// the access path for the first [`DENSE_BLOCKS`] blocks of each segment,
+/// the access path for the first `DENSE_BLOCKS` (65536) blocks of each segment,
 /// with a spillover map above that bound, so one word written at the end
 /// of a huge public segment costs one map entry, never a dense array
 /// spanning the whole segment.
@@ -276,7 +276,7 @@ pub struct ClockStore {
 /// `DENSE_BLOCKS × sizeof(Option<AreaHistory>)` (~7 MiB) per rank plus one
 /// map entry per actually-touched sparse area — never by the highest
 /// touched block index.
-const DENSE_BLOCKS: usize = 1 << 16;
+pub(crate) const DENSE_BLOCKS: usize = 1 << 16;
 
 /// Per-rank area storage: dense direct-indexed prefix (the hot path — two
 /// array indexings, no hashing) plus a map for pathological high blocks.

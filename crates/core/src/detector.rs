@@ -90,6 +90,14 @@ pub trait Detector: Send {
 
     /// A barrier completed among all ranks.
     fn on_barrier(&mut self) {}
+
+    /// Drain any internally buffered operations so that [`Detector::reports`]
+    /// reflects everything observed so far. A no-op for the inline detectors;
+    /// the batching front-end of the sharded pipeline
+    /// ([`crate::sharded::BatchingDetector`]) accumulates operations between
+    /// flushes, and backends must call this before reading the final report
+    /// log.
+    fn flush(&mut self) {}
 }
 
 /// Detector selection for harnesses and config files.
@@ -137,6 +145,18 @@ impl DetectorKind {
             )),
             DetectorKind::Lockset => Box::new(crate::lockset::LocksetDetector::new(n, granularity)),
             DetectorKind::Vanilla => Box::new(crate::vanilla::VanillaDetector::new()),
+        }
+    }
+
+    /// The happens-before mode this kind runs, for the clock-based kinds —
+    /// the ones the sharded pipeline can partition (`None` for the lockset
+    /// and vanilla baselines, which keep no area clocks).
+    pub fn hb_mode(self) -> Option<crate::hb::HbMode> {
+        match self {
+            DetectorKind::Dual => Some(crate::hb::HbMode::Dual),
+            DetectorKind::Single => Some(crate::hb::HbMode::Single),
+            DetectorKind::Literal => Some(crate::hb::HbMode::Literal),
+            DetectorKind::Lockset | DetectorKind::Vanilla => None,
         }
     }
 

@@ -102,6 +102,30 @@ impl HbMode {
 }
 
 /// The clock-based detector.
+///
+/// Observing an operation runs Algorithms 1–5 for each access it induces
+/// and returns the number of new race reports (accumulated in
+/// [`Detector::reports`] — signalled, never fatal):
+///
+/// ```
+/// use dsm::GlobalAddr;
+/// use race_core::{Detector, DsmOp, Granularity, HbDetector, HbMode, OpKind, RaceClass};
+///
+/// let mut det = HbDetector::new(3, Granularity::WORD, HbMode::Dual);
+/// // Fig 5a: P0 and P2 put to the same word of P1's memory, unsynchronised.
+/// let dst = GlobalAddr::public(1, 0).range(8);
+/// let put = |op_id, actor: usize| DsmOp {
+///     op_id,
+///     actor,
+///     kind: OpKind::Put {
+///         src: GlobalAddr::private(actor, 0).range(8),
+///         dst,
+///     },
+/// };
+/// assert_eq!(det.observe(&put(0, 0), &[]), 0); // first write: silent
+/// assert_eq!(det.observe(&put(1, 2), &[]), 1); // concurrent write: a race
+/// assert_eq!(det.reports()[0].class, RaceClass::WriteWrite);
+/// ```
 pub struct HbDetector {
     mode: HbMode,
     store: ClockStore,
@@ -148,63 +172,68 @@ impl HbDetector {
             .filter(|r| r.class.is_true_race())
             .collect()
     }
+}
 
-    /// Check one access against one area's history, per the mode's rules,
-    /// appending reports to `out`. Does not record the access.
-    ///
-    /// The epoch guards make the common ordered case O(1): if the area's
-    /// `W` (resp. `V`) join precedes the access's clock, every recorded
-    /// write (resp. read) does too, and the scan is skipped wholesale.
-    fn check_access(
-        mode: HbMode,
-        hist: &AreaHistory,
-        access: &AccessSummary,
-        area: AreaKey,
-        w_le: bool,
-        v_le: bool,
-        out: &mut Vec<RaceReport>,
-    ) {
-        let (check_writes, check_reads) = mode.checks(access.kind);
-        if check_writes && !hist.writes.is_empty() && !w_le {
-            for prev in &hist.writes {
-                if access.atomic && prev.atomic {
-                    continue; // NIC serialises atomic-atomic pairs
-                }
-                if prev.process != access.process && prev.clock.concurrent_with(&access.clock) {
-                    let class = if access.kind.is_write() {
-                        RaceClass::WriteWrite
-                    } else {
-                        RaceClass::ReadWrite
-                    };
-                    out.push(RaceReport {
-                        detector: mode.detector_name(),
-                        class,
-                        current: access.clone(),
-                        previous: Some(prev.clone()),
-                        area,
-                    });
-                }
+/// Check one access against one area's history, per the mode's rules,
+/// appending reports to `out`. Does not record the access.
+///
+/// The epoch guards make the common ordered case O(1): if the area's
+/// `W` (resp. `V`) join precedes the access's clock (`w_le` / `v_le`,
+/// computed by the caller against the authoritative [`AreaHistory`]), every
+/// recorded write (resp. read) does too, and the scan is skipped wholesale.
+///
+/// Shared by the sequential [`HbDetector`] and the per-shard workers of
+/// [`crate::sharded::ShardedDetector`] — one body, so the two pipelines
+/// cannot drift apart in what they report.
+pub(crate) fn check_access(
+    mode: HbMode,
+    hist: &AreaHistory,
+    access: &AccessSummary,
+    area: AreaKey,
+    w_le: bool,
+    v_le: bool,
+    out: &mut Vec<RaceReport>,
+) {
+    let (check_writes, check_reads) = mode.checks(access.kind);
+    if check_writes && !hist.writes.is_empty() && !w_le {
+        for prev in &hist.writes {
+            if access.atomic && prev.atomic {
+                continue; // NIC serialises atomic-atomic pairs
+            }
+            if prev.process != access.process && prev.clock.concurrent_with(&access.clock) {
+                let class = if access.kind.is_write() {
+                    RaceClass::WriteWrite
+                } else {
+                    RaceClass::ReadWrite
+                };
+                out.push(RaceReport {
+                    detector: mode.detector_name(),
+                    class,
+                    current: access.clone(),
+                    previous: Some(prev.clone()),
+                    area,
+                });
             }
         }
-        if check_reads && !hist.reads.is_empty() && !v_le {
-            for prev in &hist.reads {
-                if access.atomic && prev.atomic {
-                    continue;
-                }
-                if prev.process != access.process && prev.clock.concurrent_with(&access.clock) {
-                    let class = if access.kind.is_write() {
-                        RaceClass::ReadWrite
-                    } else {
-                        RaceClass::ReadRead
-                    };
-                    out.push(RaceReport {
-                        detector: mode.detector_name(),
-                        class,
-                        current: access.clone(),
-                        previous: Some(prev.clone()),
-                        area,
-                    });
-                }
+    }
+    if check_reads && !hist.reads.is_empty() && !v_le {
+        for prev in &hist.reads {
+            if access.atomic && prev.atomic {
+                continue;
+            }
+            if prev.process != access.process && prev.clock.concurrent_with(&access.clock) {
+                let class = if access.kind.is_write() {
+                    RaceClass::ReadWrite
+                } else {
+                    RaceClass::ReadRead
+                };
+                out.push(RaceReport {
+                    detector: mode.detector_name(),
+                    class,
+                    current: access.clone(),
+                    previous: Some(prev.clone()),
+                    area,
+                });
             }
         }
     }
@@ -219,7 +248,7 @@ impl Detector for HbDetector {
         let before = self.reports.len();
         // Algorithm 1/2 step: update_local_clock before the event. One
         // snapshot allocation per op, shared by every access via Arc.
-        let actor_clock = Arc::new(self.clocks[op.actor].tick());
+        let actor_clock = self.clocks[op.actor].tick_shared();
         // Scratch absorb clock is cleared lazily, on the first merge.
         let mut absorbed = false;
         let granularity = self.store.granularity();
@@ -250,7 +279,7 @@ impl Detector for HbDetector {
                 let w_le = hist.w.leq(&access.clock);
                 let v_le = hist.v.leq(&access.clock);
                 // Check first (Algorithms 1–2 compare before updating)…
-                Self::check_access(
+                check_access(
                     self.mode,
                     hist,
                     &access,
@@ -318,34 +347,60 @@ impl Detector for HbDetector {
     }
 
     fn on_release(&mut self, rank: usize, lock: LockId) {
-        // The release carries the releaser's current clock; a subsequent
-        // acquirer becomes causally dependent on everything the releaser
-        // did before releasing.
-        let snapshot = self.clocks[rank].own_row().clone();
-        self.lock_clocks
-            .entry(lock)
-            .and_modify(|c| c.merge(&snapshot))
-            .or_insert(snapshot);
+        release_clock(&self.clocks, &mut self.lock_clocks, rank, lock);
     }
 
     fn on_acquire(&mut self, rank: usize, lock: LockId) {
-        if let Some(c) = self.lock_clocks.get(&lock) {
-            let c = c.clone();
-            self.clocks[rank].absorb(&c);
-        }
+        acquire_clock(&mut self.clocks, &self.lock_clocks, rank, lock);
     }
 
     fn on_barrier(&mut self) {
-        // Barrier release: everyone's clock becomes the join of all
-        // participants' clocks (the release messages carry the coordinator's
-        // merged clock).
-        let mut join = VectorClock::zero(self.n);
-        for c in &self.clocks {
-            join.merge(c.own_row());
-        }
-        for c in self.clocks.iter_mut() {
-            c.absorb(&join);
-        }
+        barrier_join(&mut self.clocks);
+    }
+}
+
+/// Lock release: the release message carries the releaser's current clock;
+/// a subsequent acquirer becomes causally dependent on everything the
+/// releaser did before releasing. Shared by [`HbDetector`] and the sharded
+/// pipeline's router so the two cannot drift apart in hand-off semantics.
+pub(crate) fn release_clock(
+    clocks: &[MatrixClock],
+    lock_clocks: &mut std::collections::HashMap<LockId, VectorClock>,
+    rank: Rank,
+    lock: LockId,
+) {
+    let snapshot = clocks[rank].own_row().clone();
+    lock_clocks
+        .entry(lock)
+        .and_modify(|c| c.merge(&snapshot))
+        .or_insert(snapshot);
+}
+
+/// Lock acquire: merge the lock's last-release clock into the acquirer
+/// (the grant message carries the clock). Shared with the sharded router.
+pub(crate) fn acquire_clock(
+    clocks: &mut [MatrixClock],
+    lock_clocks: &std::collections::HashMap<LockId, VectorClock>,
+    rank: Rank,
+    lock: LockId,
+) {
+    if let Some(c) = lock_clocks.get(&lock) {
+        let c = c.clone();
+        clocks[rank].absorb(&c);
+    }
+}
+
+/// Barrier release: everyone's clock becomes the join of all participants'
+/// clocks (the release messages carry the coordinator's merged clock).
+/// Shared with the sharded router.
+pub(crate) fn barrier_join(clocks: &mut [MatrixClock]) {
+    let n = clocks.len();
+    let mut join = VectorClock::zero(n);
+    for c in clocks.iter() {
+        join.merge(c.own_row());
+    }
+    for c in clocks.iter_mut() {
+        c.absorb(&join);
     }
 }
 

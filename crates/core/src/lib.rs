@@ -20,6 +20,11 @@
 //!   - [`hb::HbMode::Literal`] — the protocol exactly as printed (puts check
 //!     only `W`, gets check `V`): misses write-after-read races and keeps
 //!     the read-read false positives. Experiment ABL-lit.
+//! * [`sharded::ShardedDetector`] — the same algorithm with the per-area
+//!   check-and-update partitioned across worker threads (areas are disjoint,
+//!   so detection over them is embarrassingly parallel); batch ingestion via
+//!   [`sharded::ShardedDetector::observe_batch`], report stream
+//!   byte-identical to [`hb::HbDetector`]'s.
 //! * [`lockset::LocksetDetector`] — an Eraser-style lockset baseline adapted
 //!   to DSM areas (context: the MARMOT checker the paper cites).
 //! * [`vanilla::VanillaDetector`] — no detection; the overhead baseline.
@@ -28,8 +33,8 @@
 //!   detectors.
 //!
 //! All detectors implement [`detector::Detector`] and are driven by the
-//! `simulator` engine (discrete-event backend) or by the `shmem` crate
-//! (real-thread backend).
+//! `simulator` engine (discrete-event backend, per-op or batched/sharded
+//! drain) or by the `shmem` crate (real-thread backend).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +47,7 @@ pub mod lockset;
 pub mod oracle;
 pub mod reference;
 pub mod report;
+pub mod sharded;
 pub mod summary;
 pub mod vanilla;
 
@@ -53,6 +59,7 @@ pub use lockset::LocksetDetector;
 pub use oracle::{Oracle, Score, Trace, TraceAccess};
 pub use reference::ReferenceHbDetector;
 pub use report::{dedup_reports, RaceClass, RaceReport};
+pub use sharded::{BatchingDetector, MemOp, ShardedDetector};
 pub use summary::{hot_areas, RaceSummary};
 pub use vanilla::VanillaDetector;
 

@@ -1,0 +1,1011 @@
+//! Sharded parallel detection: the per-area check-and-update fanned out
+//! over worker threads, with a byte-identical report stream.
+//!
+//! The paper keeps two clocks *per memory area* (§IV-A), which makes areas
+//! natural shard keys: the expensive part of detection — the Algorithm-3
+//! antichain scans and the Algorithm-5 clock updates — touches exactly one
+//! area, and areas are disjoint. [`ShardedDetector`] exploits this:
+//!
+//! ```text
+//!            ┌───────────── router (sequential) ─────────────┐
+//!  MemOp ──▶ │ tick actor clock · read-absorb · sync events   │
+//!            │ hash(area) → shard, stream items in chunks     │
+//!            └──────┬──────────────┬──────────────┬───────────┘
+//!                   ▼              ▼              ▼
+//!             shard 0        shard 1        shard k-1     (OS threads)
+//!             own ClockStore own ClockStore own ClockStore
+//!             check+update   check+update   check+update
+//!                   └──────────────┴──────────────┘
+//!                                  ▼
+//!                  deterministic key-sorted report merge
+//! ```
+//!
+//! **Router (sequential).** Per-process state couples areas: every op ticks
+//! its actor's matrix clock, and a *read* absorbs the area's write clock
+//! into the reader (§IV-B — the get reply carries the clock). The router
+//! therefore owns the actor clocks and replays exactly the sequential
+//! detector's clock evolution, using lightweight per-area *join replicas*
+//! (`JoinClock`: the epoch trick of [`vclock::AreaClock`], holding the
+//! dominating snapshot behind an `Arc` instead of resolving through
+//! antichains). Barriers and lock hand-offs only touch actor clocks, so
+//! they are router-local too.
+//!
+//! **Shards (parallel).** Everything per-area — slab lookup, happens-before
+//! guards, antichain race scan, history recording — runs on worker threads,
+//! each owning the [`ClockStore`] slab set for the areas that hash to it.
+//! Work is streamed in chunks while the router is still routing, so router
+//! and shards overlap.
+//!
+//! **Determinism.** Each routed access carries a key `(op sequence, access
+//! slot, block, report index)` that totally orders reports exactly as the
+//! sequential [`crate::HbDetector`] emits them (ops in order; within an op the
+//! read side before the write side; within an access, blocks ascending;
+//! within a block, antichain order). Per-shard logs are already sorted by
+//! that key; the merge sorts the concatenation, so the final stream is
+//! **byte-identical** to the single-shard detector's — the differential
+//! property tests in `tests/differential.rs` enforce this against both
+//! [`crate::HbDetector`] and [`crate::ReferenceHbDetector`].
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dsm::addr::Segment;
+use vclock::{MatrixClock, VectorClock};
+
+use crate::clockstore::{AreaKey, ClockStore, Granularity, DENSE_BLOCKS};
+use crate::detector::Detector;
+use crate::event::{AccessKind, AccessSummary, DsmOp, LockId};
+use crate::hb::{acquire_clock, barrier_join, check_access, release_clock, HbMode};
+use crate::report::RaceReport;
+use crate::Rank;
+
+/// One element of a batched detection stream: an operation or a
+/// synchronisation event, in program order.
+///
+/// The batched pipeline must see sync events *in sequence* with the
+/// operations (a barrier orders everything before it against everything
+/// after), so backends that buffer ops buffer these alongside.
+#[derive(Debug, Clone)]
+pub enum MemOp {
+    /// A DSM operation (put/get/local/atomic accesses).
+    Op(DsmOp),
+    /// A barrier completed among all ranks.
+    Barrier,
+    /// `rank` acquired program lock `lock` (after someone's release).
+    Acquire {
+        /// Acquiring process.
+        rank: Rank,
+        /// The program lock.
+        lock: LockId,
+    },
+    /// `rank` released program lock `lock`.
+    Release {
+        /// Releasing process.
+        rank: Rank,
+        /// The program lock.
+        lock: LockId,
+    },
+}
+
+/// Items per chunk streamed to a shard while routing (keeps workers busy
+/// before the batch is fully routed).
+const SHARD_CHUNK: usize = 512;
+
+/// Totally orders reports as the sequential detector emits them:
+/// `(op sequence, access slot within op, block within access, report index
+/// within (op, access, block))`.
+type ReportKey = (u64, u8, usize, u32);
+
+/// One access routed to a shard.
+struct ShardItem {
+    seq: u64,
+    slot: u8,
+    area: AreaKey,
+    access: AccessSummary,
+}
+
+enum ToShard {
+    Items(Vec<ShardItem>),
+    Flush,
+    /// On-demand accounting: reply with the O(touched)-to-compute epoch
+    /// census, which is deliberately *not* piggybacked on every `Flush`
+    /// (the per-op `Detector` path fences per access and must stay O(1)
+    /// in the number of touched areas).
+    CountEpochs,
+}
+
+struct ShardReply {
+    reports: Vec<(ReportKey, RaceReport)>,
+    clock_bytes: usize,
+    touched: usize,
+    /// Present only in replies to [`ToShard::CountEpochs`].
+    epoch_areas: Option<usize>,
+}
+
+/// The router's replica of one area clock join — [`vclock::AreaClock`]'s
+/// adaptive representation, but self-contained: the `Epoch` state keeps the
+/// dominating event's full snapshot behind its `Arc` (the snapshot already
+/// exists, shared with the access), so no antichain resolver is needed.
+///
+/// The represented value always equals the authoritative area clock held by
+/// the owning shard: both are the join of the same access clocks, updated
+/// by the same promote/demote rules.
+#[derive(Debug, Clone, Default)]
+enum JoinClock {
+    /// Nothing recorded: the zero clock.
+    #[default]
+    Bottom,
+    /// The join equals this one event's clock (totally ordered so far).
+    Epoch {
+        rank: Rank,
+        count: u64,
+        clock: Arc<VectorClock>,
+    },
+    /// Concurrent events recorded: the dense component-wise join.
+    Vector(VectorClock),
+}
+
+impl JoinClock {
+    /// `join ≤ c` — O(1) in `Bottom`/`Epoch`, O(n) in `Vector`.
+    #[inline]
+    fn leq(&self, c: &VectorClock) -> bool {
+        match self {
+            JoinClock::Bottom => true,
+            JoinClock::Epoch { rank, count, .. } => *count <= c.get(*rank),
+            JoinClock::Vector(v) => v.leq(c),
+        }
+    }
+
+    /// Merge the join into `dst` (the read-absorb of Algorithm 4).
+    fn merge_into(&self, dst: &mut VectorClock) {
+        match self {
+            JoinClock::Bottom => {}
+            JoinClock::Epoch { clock, .. } => dst.merge(clock),
+            JoinClock::Vector(v) => dst.merge(v),
+        }
+    }
+
+    /// Record the event `(rank, clock)` into the join: promote to `Epoch`
+    /// when the new clock dominates (O(1) plus one refcount), demote to the
+    /// dense join when concurrent.
+    fn record(&mut self, rank: Rank, clock: &Arc<VectorClock>) {
+        if self.leq(clock) {
+            *self = JoinClock::Epoch {
+                rank,
+                count: clock.get(rank),
+                clock: Arc::clone(clock),
+            };
+            return;
+        }
+        match self {
+            JoinClock::Bottom => unreachable!("bottom precedes every clock"),
+            JoinClock::Epoch { clock: old, .. } => {
+                let mut v = (**old).clone();
+                v.merge(clock);
+                *self = JoinClock::Vector(v);
+            }
+            JoinClock::Vector(v) => v.merge(clock),
+        }
+    }
+}
+
+/// The `(V, W)` join replicas for one area.
+#[derive(Debug, Default)]
+struct AreaJoins {
+    v: JoinClock,
+    w: JoinClock,
+}
+
+/// Per-rank join storage, same flat-slab layout as [`ClockStore`] (dense
+/// direct-indexed prefix, spillover map for pathological high blocks).
+#[derive(Debug, Default)]
+struct JoinSlab {
+    dense: Vec<Option<AreaJoins>>,
+    sparse: HashMap<usize, AreaJoins>,
+}
+
+#[derive(Debug, Default)]
+struct JoinStore {
+    slabs: Vec<JoinSlab>,
+}
+
+impl JoinStore {
+    fn get_mut(&mut self, key: AreaKey) -> &mut AreaJoins {
+        if key.rank >= self.slabs.len() {
+            self.slabs.resize_with(key.rank + 1, JoinSlab::default);
+        }
+        let slab = &mut self.slabs[key.rank];
+        if key.block < DENSE_BLOCKS {
+            if key.block >= slab.dense.len() {
+                slab.dense.resize_with(key.block + 1, || None);
+            }
+            slab.dense[key.block].get_or_insert_with(AreaJoins::default)
+        } else {
+            slab.sparse.entry(key.block).or_default()
+        }
+    }
+}
+
+/// `area → shard` routing: a multiplicative hash of `(rank, block)` so
+/// neighbouring blocks spread across shards. Deterministic — the partition
+/// is part of the detector's observable state (per-shard memory accounting).
+#[inline]
+fn shard_of(area: AreaKey, shards: usize) -> usize {
+    let h = (area.rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (area.block as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    (h.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % shards
+}
+
+struct Worker {
+    tx: Option<Sender<ToShard>>,
+    rx: Receiver<ShardReply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The per-shard worker loop: owns this shard's [`ClockStore`] and runs the
+/// authoritative check-and-update for every area that hashes here.
+fn shard_worker(
+    mode: HbMode,
+    n: usize,
+    granularity: Granularity,
+    rx: Receiver<ToShard>,
+    tx: Sender<ShardReply>,
+) {
+    let mut store = ClockStore::new(n, granularity, mode != HbMode::Single);
+    let mut pending: Vec<(ReportKey, RaceReport)> = Vec::new();
+    let mut scratch: Vec<RaceReport> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Items(items) => {
+                for item in items {
+                    let hist = store.history_mut(item.area);
+                    // Same guard-once discipline as HbDetector::observe.
+                    let w_le = hist.w.leq(&item.access.clock);
+                    let v_le = hist.v.leq(&item.access.clock);
+                    check_access(
+                        mode,
+                        hist,
+                        &item.access,
+                        item.area,
+                        w_le,
+                        v_le,
+                        &mut scratch,
+                    );
+                    for (sub, report) in scratch.drain(..).enumerate() {
+                        let key = (item.seq, item.slot, item.area.block, sub as u32);
+                        pending.push((key, report));
+                    }
+                    match item.access.kind {
+                        AccessKind::Write => hist.record_write_hinted(item.access, v_le, w_le),
+                        AccessKind::Read => hist.record_read_hinted(item.access, v_le),
+                    }
+                }
+            }
+            ToShard::Flush => {
+                let reply = ShardReply {
+                    reports: std::mem::take(&mut pending),
+                    clock_bytes: store.clock_memory_bytes(),
+                    touched: store.touched_areas(),
+                    epoch_areas: None,
+                };
+                if tx.send(reply).is_err() {
+                    break; // detector dropped mid-flush
+                }
+            }
+            ToShard::CountEpochs => {
+                let reply = ShardReply {
+                    reports: Vec::new(),
+                    clock_bytes: store.clock_memory_bytes(),
+                    touched: store.touched_areas(),
+                    epoch_areas: Some(store.epoch_areas()),
+                };
+                if tx.send(reply).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The clock-based detector with its per-area work partitioned across `k`
+/// worker threads (see the module docs for the pipeline).
+///
+/// Construction spawns the workers; they live until the detector is
+/// dropped. [`ShardedDetector::observe_batch`] is the intended entry point;
+/// the [`Detector`] impl routes single ops through one-element batches so
+/// the sharded pipeline is a drop-in (slower per call — each `observe` is a
+/// full fan-out/fan-in round trip; batch when you can).
+///
+/// ```
+/// use dsm::GlobalAddr;
+/// use race_core::sharded::{MemOp, ShardedDetector};
+/// use race_core::{DsmOp, Granularity, HbMode, OpKind};
+///
+/// let mut det = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 2);
+/// // Fig 5a: P0 and P2 put to the same word of P1's memory, unsynchronised.
+/// let dst = GlobalAddr::public(1, 0).range(8);
+/// let batch: Vec<MemOp> = [0usize, 2]
+///     .iter()
+///     .enumerate()
+///     .map(|(i, &actor)| {
+///         MemOp::Op(DsmOp {
+///             op_id: i as u64,
+///             actor,
+///             kind: OpKind::Put {
+///                 src: GlobalAddr::private(actor, 0).range(8),
+///                 dst,
+///             },
+///         })
+///     })
+///     .collect();
+/// assert_eq!(det.observe_batch(&batch), 1); // exactly one write-write race
+/// ```
+pub struct ShardedDetector {
+    mode: HbMode,
+    granularity: Granularity,
+    n: usize,
+    /// One matrix clock per process (§IV-B) — router-owned.
+    clocks: Vec<MatrixClock>,
+    /// Router-side `(V, W)` join replicas (see [`JoinClock`]).
+    joins: JoinStore,
+    /// Clock snapshots taken at program-lock releases (grant carries them).
+    lock_clocks: HashMap<LockId, VectorClock>,
+    /// Scratch clock for the read-absorb merge, reused across ops.
+    absorb: VectorClock,
+    /// Global operation sequence across all batches (orders the merge).
+    seq: u64,
+    /// Per-shard outgoing chunks being filled.
+    buffers: Vec<Vec<ShardItem>>,
+    workers: Vec<Worker>,
+    /// Merged, deterministically ordered report log.
+    reports: Vec<RaceReport>,
+    /// Per-shard accounting, refreshed at every batch fence.
+    shard_clock_bytes: Vec<usize>,
+    shard_touched: Vec<usize>,
+}
+
+impl ShardedDetector {
+    /// A detector for `n` processes at `granularity`, partitioned over
+    /// `shards` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(n: usize, granularity: Granularity, mode: HbMode, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        let workers = (0..shards)
+            .map(|_| {
+                let (tx, worker_rx) = channel();
+                let (reply_tx, rx) = channel();
+                let handle = std::thread::spawn(move || {
+                    shard_worker(mode, n, granularity, worker_rx, reply_tx)
+                });
+                Worker {
+                    tx: Some(tx),
+                    rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardedDetector {
+            mode,
+            granularity,
+            n,
+            clocks: (0..n).map(|i| MatrixClock::zero(i, n)).collect(),
+            joins: JoinStore::default(),
+            lock_clocks: HashMap::new(),
+            absorb: VectorClock::zero(n),
+            seq: 0,
+            buffers: (0..shards)
+                .map(|_| Vec::with_capacity(SHARD_CHUNK))
+                .collect(),
+            workers,
+            reports: Vec::new(),
+            shard_clock_bytes: vec![0; shards],
+            shard_touched: vec![0; shards],
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The actor's current vector clock (parity tests and traces).
+    pub fn process_clock(&self, rank: Rank) -> &VectorClock {
+        self.clocks[rank].own_row()
+    }
+
+    /// Touched areas summed over all shards (accounting parity with
+    /// [`ClockStore::touched_areas`]).
+    pub fn touched_areas(&self) -> usize {
+        self.shard_touched.iter().sum()
+    }
+
+    /// Areas currently in the O(1) epoch representation, summed over
+    /// shards. Costs one accounting round trip per shard plus an
+    /// O(touched-areas) census on each — instrumentation for tests and
+    /// benches, kept off the fence path on purpose.
+    pub fn epoch_areas(&mut self) -> usize {
+        for worker in &self.workers {
+            worker
+                .tx
+                .as_ref()
+                .expect("worker alive")
+                .send(ToShard::CountEpochs)
+                .expect("shard worker alive");
+        }
+        let mut total = 0;
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let reply = worker.rx.recv().expect("shard worker alive");
+            self.shard_clock_bytes[shard] = reply.clock_bytes;
+            self.shard_touched[shard] = reply.touched;
+            total += reply.epoch_areas.expect("accounting reply");
+        }
+        total
+    }
+
+    /// Observe a batch of operations and synchronisation events, running
+    /// the per-area checks on the worker shards. Returns the number of new
+    /// race reports; the merged log ([`Detector::reports`]) grows by
+    /// exactly that many, in the sequential detector's emission order.
+    ///
+    /// Synchronous: when this returns, every report triggered by the batch
+    /// is in the log and the per-shard accounting is up to date.
+    pub fn observe_batch(&mut self, batch: &[MemOp]) -> usize {
+        let before = self.reports.len();
+        for event in batch {
+            match event {
+                MemOp::Op(op) => self.route_op(op),
+                MemOp::Barrier => self.barrier_event(),
+                MemOp::Acquire { rank, lock } => self.acquire_event(*rank, *lock),
+                MemOp::Release { rank, lock } => self.release_event(*rank, *lock),
+            }
+        }
+        self.fence();
+        self.reports.len() - before
+    }
+
+    /// Route one op: tick the actor, replay the read-absorb against the
+    /// join replicas, and stream every public access to its area's shard.
+    fn route_op(&mut self, op: &DsmOp) {
+        let seq = self.seq;
+        self.seq += 1;
+        let actor_clock = self.clocks[op.actor].tick_shared();
+        // Take the scratch clock out so area-join borrows don't conflict.
+        let mut absorb = std::mem::replace(&mut self.absorb, VectorClock::zero(0));
+        let mut absorbed = false;
+        // Single/Literal reads also absorb the general clock V; Dual needs
+        // only W, so the router skips V bookkeeping entirely in Dual mode.
+        let track_v = self.mode != HbMode::Dual;
+
+        for (slot, (kind, range, access_id)) in op.accesses().into_iter().enumerate() {
+            if range.addr.segment != Segment::Public {
+                continue; // private memory cannot race (§IV-A)
+            }
+            let access = AccessSummary {
+                id: access_id,
+                process: op.actor,
+                kind,
+                range,
+                clock: Arc::clone(&actor_clock),
+                atomic: op.is_atomic(),
+            };
+            for block in self.granularity.blocks_of(&range) {
+                let area = AreaKey::new(range.addr.rank, block);
+                {
+                    let joins = self.joins.get_mut(area);
+                    match kind {
+                        AccessKind::Write => {
+                            joins.w.record(op.actor, &access.clock);
+                            if track_v {
+                                joins.v.record(op.actor, &access.clock);
+                            }
+                        }
+                        AccessKind::Read => {
+                            // Absorb *before* recording, from the pre-access
+                            // joins, exactly as HbDetector::observe does.
+                            if !joins.w.leq(&access.clock) {
+                                if !absorbed {
+                                    absorb.clear();
+                                    absorbed = true;
+                                }
+                                joins.w.merge_into(&mut absorb);
+                            }
+                            if track_v {
+                                if !joins.v.leq(&access.clock) {
+                                    if !absorbed {
+                                        absorb.clear();
+                                        absorbed = true;
+                                    }
+                                    joins.v.merge_into(&mut absorb);
+                                }
+                                joins.v.record(op.actor, &access.clock);
+                            }
+                        }
+                    }
+                }
+                let shard = shard_of(area, self.workers.len());
+                self.buffers[shard].push(ShardItem {
+                    seq,
+                    slot: slot as u8,
+                    area,
+                    access: access.clone(),
+                });
+                if self.buffers[shard].len() >= SHARD_CHUNK {
+                    self.ship(shard);
+                }
+            }
+        }
+
+        if absorbed {
+            self.clocks[op.actor].absorb(&absorb);
+        }
+        self.absorb = absorb;
+    }
+
+    /// Send a shard's filled chunk.
+    fn ship(&mut self, shard: usize) {
+        let items = std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(SHARD_CHUNK));
+        self.workers[shard]
+            .tx
+            .as_ref()
+            .expect("worker alive")
+            .send(ToShard::Items(items))
+            .expect("shard worker alive");
+    }
+
+    /// Batch fence: flush every shard, collect replies, merge reports into
+    /// the log in deterministic key order.
+    fn fence(&mut self) {
+        for shard in 0..self.workers.len() {
+            if !self.buffers[shard].is_empty() {
+                self.ship(shard);
+            }
+            self.workers[shard]
+                .tx
+                .as_ref()
+                .expect("worker alive")
+                .send(ToShard::Flush)
+                .expect("shard worker alive");
+        }
+        let mut merged: Vec<(ReportKey, RaceReport)> = Vec::new();
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let reply = worker.rx.recv().expect("shard worker alive");
+            self.shard_clock_bytes[shard] = reply.clock_bytes;
+            self.shard_touched[shard] = reply.touched;
+            merged.extend(reply.reports);
+        }
+        // Keys are unique (one per (op, slot, block, index)), so unstable
+        // sorting is deterministic.
+        merged.sort_unstable_by_key(|(key, _)| *key);
+        self.reports.extend(merged.into_iter().map(|(_, r)| r));
+    }
+
+    // The sync-event clock semantics are the exact shared bodies the
+    // sequential detector uses (hb::barrier_join / release_clock /
+    // acquire_clock) — one implementation, no parity drift.
+
+    fn barrier_event(&mut self) {
+        barrier_join(&mut self.clocks);
+    }
+
+    fn release_event(&mut self, rank: Rank, lock: LockId) {
+        release_clock(&self.clocks, &mut self.lock_clocks, rank, lock);
+    }
+
+    fn acquire_event(&mut self, rank: Rank, lock: LockId) {
+        acquire_clock(&mut self.clocks, &self.lock_clocks, rank, lock);
+    }
+}
+
+impl Detector for ShardedDetector {
+    fn name(&self) -> &'static str {
+        self.mode.detector_name()
+    }
+
+    fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> usize {
+        self.observe_batch(&[MemOp::Op(op.clone())])
+    }
+
+    fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    fn clock_components_per_area(&self) -> usize {
+        match self.mode {
+            HbMode::Dual | HbMode::Literal => 2 * self.n,
+            HbMode::Single => self.n,
+        }
+    }
+
+    fn clock_memory_bytes(&self) -> usize {
+        self.shard_clock_bytes.iter().sum()
+    }
+
+    fn requires_locking(&self) -> bool {
+        true
+    }
+
+    fn on_release(&mut self, rank: usize, lock: LockId) {
+        self.release_event(rank, lock);
+    }
+
+    fn on_acquire(&mut self, rank: usize, lock: LockId) {
+        self.acquire_event(rank, lock);
+    }
+
+    fn on_barrier(&mut self) {
+        self.barrier_event();
+    }
+}
+
+impl Drop for ShardedDetector {
+    fn drop(&mut self) {
+        // Close the channels (workers exit their recv loop), then join.
+        for worker in &mut self.workers {
+            worker.tx = None;
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A buffering front-end that turns the per-op [`Detector`] interface into
+/// batched [`ShardedDetector::observe_batch`] calls.
+///
+/// Operations and sync events accumulate (in order) until the buffer holds
+/// `capacity` events or [`Detector::flush`] is called, then drain as one
+/// batch. The engine's batched drain mode wraps the sharded detector in
+/// this to amortise the fan-out over many ops.
+///
+/// Contract difference from the inline detectors: [`Detector::observe`]
+/// returns 0 while buffering and the whole batch's report count at the
+/// observe that triggers a drain, so per-op report attribution is only
+/// available at batch fences. Backends must call `flush()` before reading
+/// the final log.
+pub struct BatchingDetector {
+    inner: ShardedDetector,
+    buf: Vec<MemOp>,
+    capacity: usize,
+}
+
+impl BatchingDetector {
+    /// Wrap `inner`, draining every `capacity` buffered events.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(inner: ShardedDetector, capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        BatchingDetector {
+            inner,
+            buf: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The wrapped sharded detector.
+    pub fn inner(&self) -> &ShardedDetector {
+        &self.inner
+    }
+
+    fn drain(&mut self) -> usize {
+        if self.buf.is_empty() {
+            return 0;
+        }
+        let batch = std::mem::take(&mut self.buf);
+        let new = self.inner.observe_batch(&batch);
+        self.buf = batch; // reuse the allocation
+        self.buf.clear();
+        new
+    }
+
+    fn push(&mut self, event: MemOp) -> usize {
+        self.buf.push(event);
+        if self.buf.len() >= self.capacity {
+            self.drain()
+        } else {
+            0
+        }
+    }
+}
+
+impl Detector for BatchingDetector {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> usize {
+        self.push(MemOp::Op(op.clone()))
+    }
+
+    fn reports(&self) -> &[RaceReport] {
+        self.inner.reports()
+    }
+
+    fn clock_components_per_area(&self) -> usize {
+        self.inner.clock_components_per_area()
+    }
+
+    fn clock_memory_bytes(&self) -> usize {
+        self.inner.clock_memory_bytes()
+    }
+
+    fn requires_locking(&self) -> bool {
+        true
+    }
+
+    fn on_release(&mut self, rank: usize, lock: LockId) {
+        self.push(MemOp::Release { rank, lock });
+    }
+
+    fn on_acquire(&mut self, rank: usize, lock: LockId) {
+        self.push(MemOp::Acquire { rank, lock });
+    }
+
+    fn on_barrier(&mut self) {
+        self.push(MemOp::Barrier);
+    }
+
+    fn flush(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpKind;
+    use crate::hb::HbDetector;
+    use dsm::addr::GlobalAddr;
+
+    fn put(op_id: u64, actor: Rank, dst_rank: Rank, dst_off: usize) -> DsmOp {
+        DsmOp {
+            op_id,
+            actor,
+            kind: OpKind::Put {
+                src: GlobalAddr::private(actor, 0).range(8),
+                dst: GlobalAddr::public(dst_rank, dst_off).range(8),
+            },
+        }
+    }
+
+    fn get(op_id: u64, actor: Rank, src_rank: Rank, src_off: usize) -> DsmOp {
+        DsmOp {
+            op_id,
+            actor,
+            kind: OpKind::Get {
+                src: GlobalAddr::public(src_rank, src_off).range(8),
+                dst: GlobalAddr::private(actor, 0).range(8),
+            },
+        }
+    }
+
+    /// A small mixed stream touching several areas, with a barrier, lock
+    /// hand-off and an atomic, that races on some ops.
+    fn mixed_stream(n: usize) -> Vec<MemOp> {
+        let mut ops = Vec::new();
+        let mut id = 0u64;
+        let mut op = |kind: OpKind, actor: Rank, ops: &mut Vec<MemOp>| {
+            ops.push(MemOp::Op(DsmOp {
+                op_id: id,
+                actor,
+                kind,
+            }));
+            id += 1;
+        };
+        for rank in 0..n {
+            op(
+                OpKind::LocalWrite {
+                    range: GlobalAddr::public(rank, 0).range(24),
+                },
+                rank,
+                &mut ops,
+            );
+        }
+        // Concurrent cross-writes: races.
+        op(
+            OpKind::Put {
+                src: GlobalAddr::private(0, 0).range(8),
+                dst: GlobalAddr::public(1, 0).range(8),
+            },
+            0,
+            &mut ops,
+        );
+        ops.push(MemOp::Barrier);
+        for rank in 0..n {
+            let next = (rank + 1) % n;
+            op(
+                OpKind::Get {
+                    src: GlobalAddr::public(next, 8).range(8),
+                    dst: GlobalAddr::private(rank, 0).range(8),
+                },
+                rank,
+                &mut ops,
+            );
+        }
+        ops.push(MemOp::Release {
+            rank: 0,
+            lock: (1, 0),
+        });
+        ops.push(MemOp::Acquire {
+            rank: 2 % n,
+            lock: (1, 0),
+        });
+        op(
+            OpKind::AtomicRmw {
+                range: GlobalAddr::public(0, 32).range(8),
+            },
+            1,
+            &mut ops,
+        );
+        op(
+            OpKind::Put {
+                src: GlobalAddr::private(2 % n, 0).range(8),
+                dst: GlobalAddr::public(0, 32).range(8),
+            },
+            2 % n,
+            &mut ops,
+        );
+        ops
+    }
+
+    /// Drive the same stream through the sequential detector (per op) and
+    /// a sharded one (batched), asserting identical logs and clocks.
+    fn assert_parity(mode: HbMode, shards: usize, batch: usize) {
+        let n = 4;
+        let stream = mixed_stream(n);
+        let mut seq = HbDetector::new(n, Granularity::WORD, mode);
+        let mut par = ShardedDetector::new(n, Granularity::WORD, mode, shards);
+        for event in &stream {
+            match event {
+                MemOp::Op(op) => {
+                    seq.observe(op, &[]);
+                }
+                MemOp::Barrier => seq.on_barrier(),
+                MemOp::Acquire { rank, lock } => seq.on_acquire(*rank, *lock),
+                MemOp::Release { rank, lock } => seq.on_release(*rank, *lock),
+            }
+        }
+        for chunk in stream.chunks(batch) {
+            par.observe_batch(chunk);
+        }
+        assert_eq!(
+            seq.reports(),
+            par.reports(),
+            "report stream must be byte-identical"
+        );
+        assert_eq!(seq.clock_memory_bytes(), par.clock_memory_bytes());
+        for rank in 0..n {
+            assert_eq!(seq.process_clock(rank), par.process_clock(rank));
+        }
+    }
+
+    #[test]
+    fn parity_across_modes_shards_and_batch_sizes() {
+        for mode in [HbMode::Dual, HbMode::Single, HbMode::Literal] {
+            for shards in [1, 2, 3, 4] {
+                for batch in [1, 3, 64] {
+                    assert_parity(mode, shards, batch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig5a_race_found_once() {
+        let mut det = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 2);
+        let batch = vec![MemOp::Op(put(0, 0, 1, 0)), MemOp::Op(put(1, 2, 1, 0))];
+        assert_eq!(det.observe_batch(&batch), 1);
+        assert_eq!(det.reports().len(), 1);
+        let r = &det.reports()[0];
+        assert!(r
+            .current
+            .clock
+            .concurrent_with(&r.previous.as_ref().unwrap().clock));
+    }
+
+    #[test]
+    fn read_absorb_crosses_shards() {
+        // P2 gets P1's word (absorbing P1's write clock) then puts to it:
+        // causally ordered, silent — even when the areas and the absorb
+        // bookkeeping live on different sides of the router/shard split.
+        let mut det = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 4);
+        let init = DsmOp {
+            op_id: 0,
+            actor: 1,
+            kind: OpKind::LocalWrite {
+                range: GlobalAddr::public(1, 0).range(8),
+            },
+        };
+        det.observe_batch(&[MemOp::Op(init)]);
+        det.observe_batch(&[MemOp::Op(get(1, 2, 1, 0))]);
+        let before = det.reports().len();
+        det.observe_batch(&[MemOp::Op(put(2, 2, 1, 0))]);
+        assert_eq!(det.reports().len(), before, "causal chain must be silent");
+    }
+
+    #[test]
+    fn batch_split_does_not_change_the_log() {
+        let stream = mixed_stream(4);
+        let mut whole = ShardedDetector::new(4, Granularity::WORD, HbMode::Dual, 3);
+        whole.observe_batch(&stream);
+        let mut split = ShardedDetector::new(4, Granularity::WORD, HbMode::Dual, 3);
+        for event in &stream {
+            split.observe_batch(std::slice::from_ref(event));
+        }
+        assert_eq!(whole.reports(), split.reports());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let stream = mixed_stream(4);
+        let run = || {
+            let mut d = ShardedDetector::new(4, Granularity::WORD, HbMode::Dual, 4);
+            d.observe_batch(&stream);
+            d.reports().to_vec()
+        };
+        let a = run();
+        assert!(!a.is_empty(), "stream must race for the test to bite");
+        for _ in 0..5 {
+            assert_eq!(a, run(), "merge order must not depend on scheduling");
+        }
+    }
+
+    #[test]
+    fn accounting_sums_across_shards() {
+        let mut seq = HbDetector::new(4, Granularity::WORD, HbMode::Dual);
+        let mut par = ShardedDetector::new(4, Granularity::WORD, HbMode::Dual, 4);
+        let stream = mixed_stream(4);
+        par.observe_batch(&stream);
+        for event in &stream {
+            if let MemOp::Op(op) = event {
+                seq.observe(op, &[]);
+            } else if let MemOp::Barrier = event {
+                seq.on_barrier();
+            }
+        }
+        assert_eq!(par.touched_areas(), seq.store().touched_areas());
+        assert!(par.epoch_areas() <= par.touched_areas());
+    }
+
+    #[test]
+    fn batching_front_end_flushes_on_capacity_and_flush() {
+        let inner = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 2);
+        let mut det = BatchingDetector::new(inner, 2);
+        assert_eq!(det.observe(&put(0, 0, 1, 0), &[]), 0, "buffered");
+        // Second op fills the buffer: the drain reports the race.
+        assert_eq!(det.observe(&put(1, 2, 1, 0), &[]), 1);
+        // P2's second put races with P0's (its own earlier write is program
+        // ordered) — but it stays buffered until the explicit flush.
+        det.observe(&put(2, 2, 1, 0), &[]);
+        assert_eq!(det.reports().len(), 1, "third op still buffered");
+        det.flush();
+        assert_eq!(det.reports().len(), 2, "flush drains the remainder");
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_total() {
+        for shards in [1usize, 2, 3, 8] {
+            for rank in 0..4 {
+                for block in 0..64 {
+                    let area = AreaKey::new(rank, block);
+                    let s = shard_of(area, shards);
+                    assert!(s < shards);
+                    assert_eq!(s, shard_of(area, shards));
+                }
+            }
+        }
+        // The hash actually spreads: 64 consecutive blocks over 4 shards
+        // must not all collapse onto one.
+        let mut seen = std::collections::HashSet::new();
+        for block in 0..64 {
+            seen.insert(shard_of(AreaKey::new(0, block), 4));
+        }
+        assert!(seen.len() > 1);
+    }
+}

@@ -78,6 +78,21 @@ impl<T: Pod> SharedVar<T> {
 
 /// A typed shared array with one element per range (possibly distributed
 /// across ranks by the allocator's placement policy).
+///
+/// ```
+/// use dsm::{GlobalAddr, SharedArray};
+///
+/// // One u64 element on each of two ranks (a cyclic placement).
+/// let arr: SharedArray<u64> = SharedArray::from_ranges(vec![
+///     GlobalAddr::public(0, 0).range(8),
+///     GlobalAddr::public(1, 0).range(8),
+/// ]);
+/// assert_eq!(arr.len(), 2);
+/// assert_eq!(arr.var(1).addr().rank, 1);
+/// // Elements encode/decode through their typed views.
+/// let bytes = arr.var(0).encode(42u64);
+/// assert_eq!(arr.var(0).decode(&bytes), 42);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SharedArray<T: Pod> {
     elems: Vec<MemRange>,

@@ -53,6 +53,14 @@ pub struct ShmemConfig {
     pub detector: DetectorKind,
     /// Clock granularity.
     pub granularity: Granularity,
+    /// Detection shard count. `1` (the default) runs the detector inline
+    /// under the detector lock; `> 1` partitions the per-area
+    /// check-and-update across that many `race_core::ShardedDetector`
+    /// worker threads (in addition to the PE threads). Per-access report
+    /// semantics are unchanged — the sharded observe is synchronous and
+    /// byte-identical — so [`Pe::put`]/[`Pe::get`] still return the exact
+    /// reports the access triggered. Clock-based detector kinds only.
+    pub detector_shards: usize,
 }
 
 impl ShmemConfig {
@@ -63,6 +71,7 @@ impl ShmemConfig {
             public_len: 1 << 16,
             detector: DetectorKind::Dual,
             granularity: Granularity::WORD,
+            detector_shards: 1,
         }
     }
 
@@ -70,6 +79,30 @@ impl ShmemConfig {
     pub fn with_detector(mut self, d: DetectorKind) -> Self {
         self.detector = d;
         self
+    }
+
+    /// Shard the detection work over `shards` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one detection shard");
+        self.detector_shards = shards;
+        self
+    }
+
+    /// Build the configured detector (sharded when requested and the kind
+    /// keeps area clocks).
+    fn build_detector(&self) -> Box<dyn Detector> {
+        match self.detector.hb_mode() {
+            Some(mode) if self.detector_shards > 1 => Box::new(race_core::ShardedDetector::new(
+                self.n,
+                self.granularity,
+                mode,
+                self.detector_shards,
+            )),
+            _ => self.detector.build(self.n, self.granularity),
+        }
     }
 }
 
@@ -306,7 +339,7 @@ where
         segments: (0..cfg.n)
             .map(|_| Mutex::new(vec![0u8; cfg.public_len].into_boxed_slice()))
             .collect(),
-        detector: Mutex::new(cfg.detector.build(cfg.n, cfg.granularity)),
+        detector: Mutex::new(cfg.build_detector()),
         lock_registry: LockRegistry::new(),
         barrier: Barrier::new(cfg.n),
         op_ids: AtomicU64::new(0),
@@ -499,6 +532,40 @@ mod tests {
         run(ShmemConfig::new(1), |pe| {
             pe.put_u64(GlobalAddr::public(0, 1 << 20).range(8), 1);
         });
+    }
+
+    #[test]
+    fn sharded_detection_matches_inline_on_threads() {
+        // The same programs under inline and sharded detection must agree
+        // on the verdict classes (exact report interleaving is
+        // schedule-dependent on real threads, but clock verdicts are not).
+        let quiet = |shards: usize| {
+            let cfg = if shards > 1 {
+                ShmemConfig::new(4).with_shards(shards)
+            } else {
+                ShmemConfig::new(4)
+            };
+            run(cfg, |pe| {
+                pe.put_u64(word(pe.my_pe(), 0), 7);
+                pe.barrier();
+                let next = (pe.my_pe() + 1) % pe.n_pes();
+                let _ = pe.get_u64(word(next, 0));
+            })
+        };
+        assert!(quiet(1).reports.is_empty());
+        assert!(quiet(3).reports.is_empty(), "sharded: barrier still orders");
+
+        for _ in 0..3 {
+            let racy = run(ShmemConfig::new(2).with_shards(2), |pe| {
+                pe.put_u64(word(0, 0), pe.my_pe() as u64 + 1);
+            });
+            let ww: Vec<_> = racy
+                .reports
+                .iter()
+                .filter(|r| r.class == RaceClass::WriteWrite)
+                .collect();
+            assert_eq!(ww.len(), 1, "sharded detection still finds the WW race");
+        }
     }
 
     #[test]

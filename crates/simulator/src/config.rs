@@ -58,6 +58,14 @@ pub struct SimConfig {
     pub granularity: Granularity,
     /// Which detector to run.
     pub detector: DetectorKind,
+    /// Detection shard count. `1` (the default) runs the detector inline,
+    /// per op. `> 1` switches the engine to the **batched drain**: observed
+    /// operations and sync events buffer up and drain in batches through
+    /// `race_core::ShardedDetector`, which partitions the per-area
+    /// check-and-update across this many worker threads. Only meaningful
+    /// for the clock-based detector kinds; lockset/vanilla ignore it. The
+    /// report stream is byte-identical either way.
+    pub detector_shards: usize,
 }
 
 impl SimConfig {
@@ -74,6 +82,7 @@ impl SimConfig {
             public_len: 1 << 16,
             granularity: Granularity::WORD,
             detector: DetectorKind::Dual,
+            detector_shards: 1,
         }
     }
 
@@ -89,6 +98,18 @@ impl SimConfig {
         self
     }
 
+    /// Same configuration with detection sharded over `shards` worker
+    /// threads (the engine's batched drain mode; see
+    /// [`SimConfig::detector_shards`]).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one detection shard");
+        self.detector_shards = shards;
+        self
+    }
+
     /// Deterministic constant-latency variant (unit tests that predict
     /// exact arrival times).
     pub fn lockstep(n: usize, ns: u64) -> Self {
@@ -101,6 +122,7 @@ impl SimConfig {
             public_len: 1 << 12,
             granularity: Granularity::WORD,
             detector: DetectorKind::Dual,
+            detector_shards: 1,
         }
     }
 }
@@ -123,6 +145,19 @@ mod tests {
             .with_detector(DetectorKind::Vanilla);
         assert_eq!(c.seed, 9);
         assert_eq!(c.detector, DetectorKind::Vanilla);
+    }
+
+    #[test]
+    fn sharding_defaults_off_and_builds_on() {
+        assert_eq!(SimConfig::debugging(4).detector_shards, 1);
+        assert_eq!(SimConfig::lockstep(4, 100).detector_shards, 1);
+        assert_eq!(SimConfig::debugging(4).with_shards(4).detector_shards, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_shards_rejected() {
+        let _ = SimConfig::debugging(4).with_shards(0);
     }
 
     #[test]

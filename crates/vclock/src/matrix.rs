@@ -56,6 +56,18 @@ impl MatrixClock {
         self.rows[owner].clone()
     }
 
+    /// [`MatrixClock::tick`] returning the snapshot behind an
+    /// [`std::sync::Arc`] — the *shard-safe* form of the event clock.
+    ///
+    /// The detectors attach one snapshot per operation to every access the
+    /// operation induces; the sharded pipeline additionally ships those
+    /// snapshots to worker threads. `Arc<VectorClock>` is `Send + Sync`
+    /// (the clock is immutable once snapshotted), so the same allocation is
+    /// shared across accesses, shards and reports without copying.
+    pub fn tick_shared(&mut self) -> std::sync::Arc<VectorClock> {
+        std::sync::Arc::new(self.tick())
+    }
+
     /// The owner's current vector clock (row `owner`), without ticking.
     pub fn own_row(&self) -> &VectorClock {
         &self.rows[self.owner]
@@ -133,6 +145,18 @@ mod tests {
         assert_eq!(snap.components(), &[1, 0]);
         assert_eq!(m.row(0).components(), &[1, 0]);
         assert_eq!(m.row(1).components(), &[0, 0]);
+    }
+
+    #[test]
+    fn tick_shared_snapshots_are_send_sync() {
+        fn assert_shard_safe<T: Send + Sync>(_: &T) {}
+        let mut m = MatrixClock::zero(0, 2);
+        let snap = m.tick_shared();
+        assert_shard_safe(&snap);
+        assert_eq!(snap.components(), &[1, 0]);
+        // Sharing does not copy: a clone is the same allocation.
+        let other = std::sync::Arc::clone(&snap);
+        assert!(std::sync::Arc::ptr_eq(&snap, &other));
     }
 
     #[test]
