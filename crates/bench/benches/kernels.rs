@@ -1,0 +1,105 @@
+//! Clock-kernel microbenches: the chunked branch-free inner loops of
+//! `vclock::kernels` against naive scalar loops, at the widths the
+//! detectors actually run (n = 4…128 processes).
+//!
+//! Two input shapes per width:
+//! * `ordered` — `a ≤ b` everywhere (the epoch-guard common case): the
+//!   scalar early-exit never fires, so the loops run full length and the
+//!   chunked accumulation can vectorise.
+//! * `concurrent` — a single divergence in each direction placed in the
+//!   *last* chunk, the worst case for between-chunk early exits.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vclock::kernels;
+
+const WIDTHS: [usize; 4] = [4, 16, 64, 128];
+
+fn scalar_leq(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+fn scalar_merge(a: &mut [u64], b: &[u64]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = (*x).max(*y);
+    }
+}
+
+fn inputs(n: usize) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let a: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+    let ordered: Vec<u64> = a.iter().map(|&x| x + 1).collect();
+    let mut concurrent = ordered.clone();
+    // One component in each direction, late in the vector.
+    concurrent[n - 1] = 0;
+    (a, ordered, concurrent)
+}
+
+fn bench_leq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/leq");
+    for n in WIDTHS {
+        let (a, ordered, concurrent) = inputs(n);
+        group.bench_with_input(BenchmarkId::new("chunked_ordered", n), &(), |b, _| {
+            b.iter(|| kernels::leq(black_box(&a), black_box(&ordered)))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_ordered", n), &(), |b, _| {
+            b.iter(|| scalar_leq(black_box(&a), black_box(&ordered)))
+        });
+        group.bench_with_input(BenchmarkId::new("chunked_concurrent", n), &(), |b, _| {
+            b.iter(|| kernels::leq(black_box(&a), black_box(&concurrent)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dominance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/dominance");
+    for n in WIDTHS {
+        let (a, ordered, concurrent) = inputs(n);
+        group.bench_with_input(BenchmarkId::new("ordered", n), &(), |b, _| {
+            b.iter(|| kernels::dominance(black_box(&a), black_box(&ordered)))
+        });
+        group.bench_with_input(BenchmarkId::new("concurrent", n), &(), |b, _| {
+            b.iter(|| kernels::dominance(black_box(&a), black_box(&concurrent)))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_two_pass", n), &(), |b, _| {
+            b.iter(|| {
+                (
+                    !scalar_leq(black_box(&a), black_box(&ordered)),
+                    !scalar_leq(black_box(&ordered), black_box(&a)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/merge");
+    for n in WIDTHS {
+        let (a, ordered, _) = inputs(n);
+        group.bench_with_input(BenchmarkId::new("chunked", n), &(), |b, _| {
+            let mut dst = a.clone();
+            b.iter(|| {
+                dst.copy_from_slice(&a);
+                kernels::merge(black_box(&mut dst), black_box(&ordered));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", n), &(), |b, _| {
+            let mut dst = a.clone();
+            b.iter(|| {
+                dst.copy_from_slice(&a);
+                scalar_merge(black_box(&mut dst), black_box(&ordered));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused_dominated", n), &(), |b, _| {
+            let mut dst = a.clone();
+            b.iter(|| {
+                dst.copy_from_slice(&a);
+                kernels::merge_dominated(black_box(&mut dst), black_box(&ordered))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leq, bench_dominance, bench_merge);
+criterion_main!(benches);

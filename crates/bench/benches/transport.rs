@@ -1,0 +1,69 @@
+//! Shard-transport microbenches: what moving the check-and-update across
+//! the router/worker boundary costs, on top of the work itself.
+//!
+//! * `transport/<workload>/epoch` — the sequential epoch detector, the
+//!   per-access floor.
+//! * `transport/<workload>/inline@1` — `ShardedDetector::new(.., 1)`: the
+//!   batch API over the degenerate inline shard (API overhead only).
+//! * `transport/<workload>/threaded@1` — `ShardedDetector::threaded(.., 1)`:
+//!   the full zero-copy transport with nothing to parallelise; the gap to
+//!   `epoch` is the transport + router-replica cost per access.
+//! * `transport/<workload>/threaded@2` — the production threaded pipeline.
+//!
+//! On hosts with one usable core the threaded rows measure serialized
+//! pipeline cost, not scaling — see docs/BENCHMARKS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_bench::opstream::{self, StreamEvent};
+use race_core::{Granularity, HbDetector, HbMode, MemOp, ShardedDetector, StoreConfig};
+
+fn bench_workload(c: &mut Criterion, label: &str, n: usize, events: &[StreamEvent]) {
+    let batch: Vec<MemOp> = opstream::memops(events);
+    let mut group = c.benchmark_group(format!("transport/{label}"));
+    group.bench_with_input(BenchmarkId::from_parameter("epoch"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = HbDetector::new(n, Granularity::WORD, HbMode::Dual);
+            opstream::drive(&mut det, events)
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("inline@1"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 1);
+            det.observe_batch(&batch)
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("threaded@1"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = ShardedDetector::threaded(
+                n,
+                Granularity::WORD,
+                HbMode::Dual,
+                1,
+                StoreConfig::default(),
+            );
+            det.observe_batch(&batch)
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("threaded@2"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 2);
+            det.observe_batch(&batch)
+        });
+    });
+    group.finish();
+}
+
+fn stencil(c: &mut Criterion) {
+    let n = 16;
+    let events = opstream::stencil(n, 16, 8);
+    bench_workload(c, "stencil", n, &events);
+}
+
+fn hotspot(c: &mut Criterion) {
+    let n = 8;
+    let events = opstream::hotspot(n, 128, 8);
+    bench_workload(c, "hotspot", n, &events);
+}
+
+criterion_group!(benches, stencil, hotspot);
+criterion_main!(benches);

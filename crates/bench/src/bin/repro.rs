@@ -7,23 +7,49 @@
 //!   repro --bench         # single-line JSON perf rows (the BENCH_0001.json
 //!                         # content): epoch fast path vs full-vector-clock
 //!                         # reference on stencil / random_access at WORD
-//!   repro --bench-sharded # the BENCH_0002.json content: the sharded
-//!                         # pipeline at 1/2/4/8 worker shards vs the
-//!                         # sequential epoch detector on the same streams
+//!   repro --bench-sharded # the BENCH_0003.json content: the sharded
+//!                         # pipeline at 1/2/4/8 worker shards (plus the
+//!                         # forced-threaded single shard, `sharded-mt`) vs
+//!                         # the sequential epoch detector on the stencil,
+//!                         # random_access and hotspot streams
+//!   repro --bench-check   # CI perf smoke: fails (exit 1) if the epoch
+//!                         # detector's throughput drops below the
+//!                         # reference detector's on either seed workload
+//!                         # (order-inversion check only — robust on
+//!                         # shared runners)
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--bench-check") {
+        // Rows to stdout, verdicts to stderr — the one measurement serves
+        // as both the BENCH_0001-shaped summary and the smoke verdict.
+        let check = dsm_bench::perfjson::bench_check();
+        for row in &check.rows {
+            println!("{}", row.to_json());
+        }
+        for line in &check.lines {
+            eprintln!("{line}");
+        }
+        if !check.ok {
+            eprintln!("bench-check: epoch/reference throughput order inverted");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if args.iter().any(|a| a == "--bench-sharded") {
         let rows = dsm_bench::perfjson::bench_rows_sharded();
         for row in &rows {
             println!("{}", row.to_json());
         }
-        for (workload, shards, speedup) in dsm_bench::perfjson::sharded_speedups(&rows) {
-            eprintln!("# {workload}: {shards} shard(s) {speedup:.2}x vs sequential epoch");
+        for (workload, detector, shards, speedup) in dsm_bench::perfjson::sharded_speedups(&rows) {
+            eprintln!(
+                "# {workload}: {detector} @ {shards} shard(s) {speedup:.2}x vs sequential epoch"
+            );
         }
         eprintln!(
-            "# host cores: {} (scaling needs >= shards+1 cores)",
+            "# host cores: {} (threaded scaling needs >= shards+1 cores)",
             dsm_bench::perfjson::host_cores()
         );
         return;

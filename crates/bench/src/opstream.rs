@@ -124,6 +124,42 @@ pub fn random(spec: RandomSpec) -> Vec<StreamEvent> {
     events
 }
 
+/// The `hotspot` pattern: every rank hammers the same few words of rank
+/// 0's public segment, completely unsynchronised, ~25% writes. Maximum
+/// contention for the detector: the hot areas demote to dense joins, the
+/// antichains grow to the concurrency width, every access runs the O(n)
+/// scan, and the report stream is dense — the worst case for the sharded
+/// pipeline's routing (all areas hash to a handful of shards) and report
+/// merge. Deterministic, no RNG.
+pub fn hotspot(n: usize, ops_per_rank: usize, hot_words: usize) -> Vec<StreamEvent> {
+    assert!(n >= 2 && hot_words >= 1);
+    let mut events = Vec::new();
+    for op_index in 0..ops_per_rank {
+        for rank in 0..n {
+            let word = (op_index * 7 + rank) % hot_words;
+            let target = GlobalAddr::public(0, word * 8).range(8);
+            let op_id = (op_index * n + rank) as u64;
+            let kind = if (op_index + rank) % 4 == 0 {
+                OpKind::Put {
+                    src: GlobalAddr::private(rank, 0).range(8),
+                    dst: target,
+                }
+            } else {
+                OpKind::Get {
+                    src: target,
+                    dst: GlobalAddr::private(rank, 0).range(8),
+                }
+            };
+            events.push(StreamEvent::Op(DsmOp {
+                op_id,
+                actor: rank,
+                kind,
+            }));
+        }
+    }
+    events
+}
+
 /// Feed a stream through a detector; returns the total number of reports.
 pub fn drive(detector: &mut dyn Detector, events: &[StreamEvent]) -> usize {
     let mut reports = 0;
@@ -141,7 +177,7 @@ pub fn memops(events: &[StreamEvent]) -> Vec<MemOp> {
     events
         .iter()
         .map(|e| match e {
-            StreamEvent::Op(op) => MemOp::Op(op.clone()),
+            StreamEvent::Op(op) => MemOp::Op(*op),
             StreamEvent::Barrier => MemOp::Barrier,
         })
         .collect()
@@ -214,6 +250,21 @@ mod tests {
         let b = drive_batched(&mut par, &memops(&events), 64);
         assert_eq!(a, b);
         assert_eq!(seq.reports(), par.reports());
+    }
+
+    #[test]
+    fn hotspot_is_racy_and_matches_reference() {
+        let events = hotspot(4, 32, 4);
+        let mut fast = HbDetector::new(4, Granularity::WORD, HbMode::Dual);
+        let mut slow = ReferenceHbDetector::new(4, Granularity::WORD, HbMode::Dual);
+        let a = drive(&mut fast, &events);
+        let b = drive(&mut slow, &events);
+        assert_eq!(a, b);
+        assert!(a > 0, "unsynchronised hotspot traffic must race");
+        let mut par = race_core::ShardedDetector::new(4, Granularity::WORD, HbMode::Dual, 3);
+        let c = drive_batched(&mut par, &memops(&events), 32);
+        assert_eq!(a, c);
+        assert_eq!(fast.reports(), par.reports());
     }
 
     #[test]

@@ -3,14 +3,21 @@
 //! `repro --bench` prints one line per measured configuration; the
 //! committed `BENCH_0001.json` is exactly that output, seeding the repo's
 //! perf trajectory. `repro --bench-sharded` measures the sharded pipeline
-//! at 1/2/4/8 shards against the same sequential epoch detector; its output
-//! is committed as `BENCH_0002.json`. Hand-formatted JSON — no
-//! serialisation dependency.
+//! against the same sequential epoch detector; its output was committed as
+//! `BENCH_0002.json` (the PR-2 transport) and, after the zero-copy
+//! transport rework, as `BENCH_0003.json` — adding the high-contention
+//! `hotspot` workload and, at one shard, both the production configuration
+//! (`sharded`, which runs the degenerate single shard inline) and the
+//! forced-threaded pipeline (`sharded-mt`, which measures the transport
+//! itself). `repro --bench-check` is the CI perf smoke: it fails when the
+//! epoch detector stops beating the full-vector-clock reference.
+//! Hand-formatted JSON — no serialisation dependency.
 
 use std::time::Instant;
 
 use race_core::{
     Detector, Granularity, HbDetector, HbMode, MemOp, ReferenceHbDetector, ShardedDetector,
+    StoreConfig,
 };
 use simulator::workloads::random_access::RandomSpec;
 
@@ -146,7 +153,8 @@ pub fn bench_rows() -> Vec<PerfRow> {
     rows
 }
 
-/// One measured sharded-pipeline configuration (the `BENCH_0002` shape).
+/// One measured sharded-pipeline configuration (the `BENCH_0002` /
+/// `BENCH_0003` shape).
 ///
 /// `shards == 0` marks the sequential epoch-detector baseline row the
 /// speedups are computed against. `host_cores` records the measuring
@@ -154,9 +162,11 @@ pub fn bench_rows() -> Vec<PerfRow> {
 /// when `host_cores >= shards + 1` (workers plus the router), so committed
 /// rows stay interpretable across hosts.
 pub struct ShardRow {
-    /// Workload label (`stencil` / `random_access`).
+    /// Workload label (`stencil` / `random_access` / `hotspot`).
     pub workload: &'static str,
-    /// Detector label (`epoch` baseline or `sharded`).
+    /// Detector label: `epoch` baseline, `sharded` (production pipeline —
+    /// inline at one shard), or `sharded-mt` (threaded even at one shard,
+    /// isolating the transport cost).
     pub detector: &'static str,
     /// Worker shard count (0 for the sequential baseline).
     pub shards: usize,
@@ -209,20 +219,31 @@ fn measure_sharded(
     n: usize,
     shards: usize,
     events: &[StreamEvent],
+    force_threaded: bool,
 ) -> ShardRow {
     let accesses = opstream::access_count(events);
     let batch: Vec<MemOp> = opstream::memops(events);
     // A fresh detector per run — so each timed run includes spawning and
     // joining the worker threads. Detector state cannot be reused across
     // runs (replaying the stream against populated area clocks changes the
-    // verdicts), which is why BENCH_0002 uses long streams: they amortise
+    // verdicts), which is why these rows use long streams: they amortise
     // the per-run setup to noise and measure steady-state throughput.
     let mut runs = 1u32;
     let (reports, elapsed) = loop {
         let t = Instant::now();
         let mut reports = 0;
         for _ in 0..runs {
-            let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, shards);
+            let mut det = if force_threaded {
+                ShardedDetector::threaded(
+                    n,
+                    Granularity::WORD,
+                    HbMode::Dual,
+                    shards,
+                    StoreConfig::default(),
+                )
+            } else {
+                ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, shards)
+            };
             reports = det.observe_batch(&batch);
         }
         let elapsed = t.elapsed();
@@ -235,7 +256,11 @@ fn measure_sharded(
     let secs = elapsed.as_secs_f64();
     ShardRow {
         workload,
-        detector: "sharded",
+        detector: if force_threaded {
+            "sharded-mt"
+        } else {
+            "sharded"
+        },
         shards,
         n,
         accesses,
@@ -246,13 +271,15 @@ fn measure_sharded(
     }
 }
 
-/// The `BENCH_0002` measurement set: the sharded pipeline at 1/2/4/8
-/// worker shards versus the sequential epoch detector (the PR-1 fast
-/// path), on the stencil and random-access patterns at WORD granularity.
+/// The `BENCH_0003` measurement set: the sharded pipeline versus the
+/// sequential epoch detector (the PR-1 fast path) at WORD granularity, on
+/// the stencil, random-access and high-contention hotspot patterns.
 ///
-/// Same patterns as `BENCH_0001`, but longer streams (batch pipelines
-/// target sustained traffic, and a long stream keeps the per-run worker
-/// spawn out of the steady-state numbers).
+/// Per workload: the sequential baseline (`shards: 0`), the production
+/// pipeline at 1/2/4/8 shards (`sharded` — one shard runs inline), and the
+/// forced-threaded single shard (`sharded-mt`), which isolates what the
+/// zero-copy transport itself costs. Long streams keep the per-run worker
+/// spawn out of the steady-state numbers.
 pub fn bench_rows_sharded() -> Vec<ShardRow> {
     let cores = host_cores();
     let mut rows = Vec::new();
@@ -268,10 +295,13 @@ pub fn bench_rows_sharded() -> Vec<ShardRow> {
         seed: 0xB0,
     };
     let random_events = opstream::random(spec);
+    let hotspot_n = 8;
+    let hotspot_events = opstream::hotspot(hotspot_n, 512, 8);
 
     for (label, events, n) in [
         ("stencil", &stencil_events, stencil_n),
         ("random_access", &random_events, spec.n),
+        ("hotspot", &hotspot_events, hotspot_n),
     ] {
         // Sequential baseline: the PR-1 epoch detector driven per op.
         let base = measure(label, "epoch", n, events, || {
@@ -289,29 +319,77 @@ pub fn bench_rows_sharded() -> Vec<ShardRow> {
             host_cores: cores,
         });
         for shards in [1usize, 2, 4, 8] {
-            rows.push(measure_sharded(label, n, shards, events));
+            rows.push(measure_sharded(label, n, shards, events, false));
         }
+        rows.push(measure_sharded(label, n, 1, events, true));
     }
     rows
 }
 
 /// Speedup table derived from [`bench_rows_sharded`] output: each sharded
-/// row against its workload's sequential epoch baseline.
-pub fn sharded_speedups(rows: &[ShardRow]) -> Vec<(String, usize, f64)> {
+/// row (both pipeline variants) against its workload's sequential epoch
+/// baseline, as `(workload, detector, shards, speedup)`.
+pub fn sharded_speedups(rows: &[ShardRow]) -> Vec<(String, String, usize, f64)> {
     let mut out = Vec::new();
-    for r in rows.iter().filter(|r| r.detector == "sharded") {
+    for r in rows.iter().filter(|r| r.detector != "epoch") {
         if let Some(base) = rows
             .iter()
             .find(|b| b.detector == "epoch" && b.workload == r.workload)
         {
             out.push((
                 r.workload.to_string(),
+                r.detector.to_string(),
                 r.shards,
                 base.ns_per_access / r.ns_per_access,
             ));
         }
     }
     out
+}
+
+/// Outcome of the CI perf smoke: the measured rows (so callers can print
+/// them without re-running the measurement), the human-readable verdict
+/// lines, and the overall pass/fail.
+pub struct BenchCheck {
+    /// The `bench_rows` measurements the verdicts were derived from.
+    pub rows: Vec<PerfRow>,
+    /// One verdict line per seed workload.
+    pub lines: Vec<String>,
+    /// False when an order inversion was measured.
+    pub ok: bool,
+}
+
+/// The CI perf smoke (`repro --bench-check`): on each seed workload the
+/// epoch detector's measured throughput must not drop below the
+/// full-vector-clock reference's — an order-inversion check only, which
+/// stays robust on noisy shared runners where absolute thresholds flake.
+/// One [`bench_rows`] measurement serves both the verdicts and the row
+/// printout, so CI pays the calibrated timing loops once.
+pub fn bench_check() -> BenchCheck {
+    let rows = bench_rows();
+    let mut lines = Vec::new();
+    let mut ok = true;
+    for workload in ["stencil", "random_access"] {
+        let find = |detector: &str| {
+            rows.iter()
+                .find(|r| r.workload == workload && r.detector == detector)
+                .expect("bench_rows emits both detectors per workload")
+        };
+        let epoch = find("epoch");
+        let reference = find("reference");
+        let ratio = epoch.ops_per_sec / reference.ops_per_sec;
+        let verdict = if epoch.ops_per_sec >= reference.ops_per_sec {
+            "ok"
+        } else {
+            ok = false;
+            "REGRESSION"
+        };
+        lines.push(format!(
+            "bench-check {workload}: epoch {:.0} ops/s vs reference {:.0} ops/s ({ratio:.2}x) … {verdict}",
+            epoch.ops_per_sec, reference.ops_per_sec,
+        ));
+    }
+    BenchCheck { rows, lines, ok }
 }
 
 /// Speedup table derived from [`bench_rows`] output (epoch vs reference
@@ -371,11 +449,17 @@ mod tests {
             reports: 0,
             host_cores: 1,
         };
-        let rows = vec![mk("epoch", 0, 300.0), mk("sharded", 2, 150.0)];
+        let rows = vec![
+            mk("epoch", 0, 300.0),
+            mk("sharded", 2, 150.0),
+            mk("sharded-mt", 1, 600.0),
+        ];
         let s = sharded_speedups(&rows);
-        assert_eq!(s.len(), 1);
-        assert_eq!(s[0].1, 2);
-        assert!((s[0].2 - 2.0).abs() < 1e-9);
+        assert_eq!(s.len(), 2);
+        assert_eq!((s[0].1.as_str(), s[0].2), ("sharded", 2));
+        assert!((s[0].3 - 2.0).abs() < 1e-9);
+        assert_eq!((s[1].1.as_str(), s[1].2), ("sharded-mt", 1));
+        assert!((s[1].3 - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -249,34 +249,60 @@ impl AreaHistory {
     }
 }
 
+/// Tuning knobs for the per-rank slab layout shared by [`ClockStore`] and
+/// the sharded router's join replicas.
+///
+/// The detectors accept one of these on their `with_config` constructors;
+/// the plain constructors use [`StoreConfig::default`], which preserves the
+/// original hardcoded layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Blocks held in the direct-indexed dense prefix of each rank's slab.
+    /// Blocks at or above this index fall back to the spillover map, so
+    /// slab memory is bounded by `dense_blocks × sizeof(Option<AreaHistory>)`
+    /// per rank plus one map entry per actually-touched sparse area — never
+    /// by the highest touched block index. Lower it for segment-sparse
+    /// deployments (tiny dense arrays, more hashing); raise it when the
+    /// working set is dense and hashing must stay off the hot path.
+    pub dense_blocks: usize,
+}
+
+impl StoreConfig {
+    /// The default dense-prefix bound: 65536 blocks (offsets up to 512 KiB
+    /// at WORD granularity, ~7 MiB of slab per rank when fully touched).
+    pub const DEFAULT_DENSE_BLOCKS: usize = 1 << 16;
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            dense_blocks: Self::DEFAULT_DENSE_BLOCKS,
+        }
+    }
+}
+
 /// The clock table for the whole global address space, from the omniscient
 /// simulator's point of view. (In a real deployment each rank's NIC holds
 /// the rows for its own areas; the `simulator` engine charges the
 /// corresponding clock messages when an actor touches a remote area.)
 ///
 /// Storage is a flat per-rank slab indexed by block number — no hashing on
-/// the access path for the first `DENSE_BLOCKS` (65536) blocks of each segment,
-/// with a spillover map above that bound, so one word written at the end
-/// of a huge public segment costs one map entry, never a dense array
-/// spanning the whole segment.
+/// the access path for the first [`StoreConfig::dense_blocks`] blocks of
+/// each segment, with a spillover map above that bound, so one word written
+/// at the end of a huge public segment costs one map entry, never a dense
+/// array spanning the whole segment.
 #[derive(Debug)]
 pub struct ClockStore {
     n: usize,
     granularity: Granularity,
     dual: bool,
+    /// Dense-prefix bound from the [`StoreConfig`].
+    dense_blocks: usize,
     /// One slab per owning rank.
     slabs: Vec<RankSlab>,
     /// Number of touched areas across all slabs.
     touched: usize,
 }
-
-/// Blocks held in the direct-indexed dense prefix of a rank's slab. Blocks
-/// at or above this index (offsets past 512 KiB at WORD granularity) fall
-/// back to the spillover map, so slab memory is bounded by
-/// `DENSE_BLOCKS × sizeof(Option<AreaHistory>)` (~7 MiB) per rank plus one
-/// map entry per actually-touched sparse area — never by the highest
-/// touched block index.
-pub(crate) const DENSE_BLOCKS: usize = 1 << 16;
 
 /// Per-rank area storage: dense direct-indexed prefix (the hot path — two
 /// array indexings, no hashing) plus a map for pathological high blocks.
@@ -287,8 +313,8 @@ struct RankSlab {
 }
 
 impl RankSlab {
-    fn get(&self, block: usize) -> Option<&AreaHistory> {
-        if block < DENSE_BLOCKS {
+    fn get(&self, block: usize, dense_blocks: usize) -> Option<&AreaHistory> {
+        if block < dense_blocks {
             self.dense.get(block)?.as_ref()
         } else {
             self.sparse.get(&block)
@@ -303,14 +329,33 @@ impl RankSlab {
 impl ClockStore {
     /// A store for `n` processes at `granularity`. `dual` selects whether a
     /// separate write clock is kept (§IV-D memory accounting: the dual
-    /// store costs exactly twice the single store).
+    /// store costs exactly twice the single store). Uses the default
+    /// [`StoreConfig`]; see [`ClockStore::with_config`].
     pub fn new(n: usize, granularity: Granularity, dual: bool) -> Self {
+        ClockStore::with_config(n, granularity, dual, StoreConfig::default())
+    }
+
+    /// [`ClockStore::new`] with an explicit slab layout configuration.
+    pub fn with_config(
+        n: usize,
+        granularity: Granularity,
+        dual: bool,
+        config: StoreConfig,
+    ) -> Self {
         ClockStore {
             n,
             granularity,
             dual,
+            dense_blocks: config.dense_blocks,
             slabs: (0..n).map(|_| RankSlab::default()).collect(),
             touched: 0,
+        }
+    }
+
+    /// The slab layout configuration this store was built with.
+    pub fn config(&self) -> StoreConfig {
+        StoreConfig {
+            dense_blocks: self.dense_blocks,
         }
     }
 
@@ -343,7 +388,7 @@ impl ClockStore {
             self.slabs.resize_with(key.rank + 1, RankSlab::default);
         }
         let slab = &mut self.slabs[key.rank];
-        if key.block < DENSE_BLOCKS {
+        if key.block < self.dense_blocks {
             if key.block >= slab.dense.len() {
                 slab.dense.resize_with(key.block + 1, || None);
             }
@@ -367,7 +412,7 @@ impl ClockStore {
 
     /// Read-only history access.
     pub fn history(&self, key: &AreaKey) -> Option<&AreaHistory> {
-        self.slabs.get(key.rank)?.get(key.block)
+        self.slabs.get(key.rank)?.get(key.block, self.dense_blocks)
     }
 
     /// Number of areas that have been touched.
@@ -544,6 +589,43 @@ mod tests {
         // The dense prefix was never grown; the area lives in the map.
         assert!(s.slabs[0].dense.is_empty());
         assert_eq!(s.slabs[0].sparse.len(), 1);
+    }
+
+    #[test]
+    fn configurable_dense_boundary_places_areas_correctly() {
+        // A tiny dense prefix: blocks 0..4 dense, 4.. spill to the map.
+        let cfg = StoreConfig { dense_blocks: 4 };
+        let mut s = ClockStore::with_config(2, Granularity::WORD, true, cfg);
+        assert_eq!(s.config(), cfg);
+        // Straddle the boundary: the last dense block, the first sparse
+        // block, and one beyond.
+        for block in [3usize, 4, 5] {
+            s.history_mut(AreaKey::new(0, block)).record_write(summary(
+                block as u64,
+                0,
+                vec![1, 0],
+            ));
+        }
+        assert_eq!(s.touched_areas(), 3);
+        assert_eq!(s.slabs[0].dense.len(), 4, "dense prefix capped at 4");
+        assert_eq!(s.slabs[0].sparse.len(), 2, "blocks 4 and 5 spilled");
+        // Reads resolve across the boundary identically.
+        for block in [3usize, 4, 5] {
+            let h = s.history(&AreaKey::new(0, block)).expect("touched");
+            assert_eq!(h.writes.len(), 1, "block {block}");
+        }
+        assert!(s.history(&AreaKey::new(0, 6)).is_none());
+        // Re-touching an area on either side never double-counts.
+        s.history_mut(AreaKey::new(0, 3));
+        s.history_mut(AreaKey::new(0, 4));
+        assert_eq!(s.touched_areas(), 3);
+        // Accounting is layout-independent: the default layout holding the
+        // same areas reports identical clock memory.
+        let mut dflt = ClockStore::new(2, Granularity::WORD, true);
+        for block in [3usize, 4, 5] {
+            dflt.history_mut(AreaKey::new(0, block));
+        }
+        assert_eq!(s.clock_memory_bytes(), dflt.clock_memory_bytes());
     }
 
     #[test]

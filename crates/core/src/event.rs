@@ -76,7 +76,11 @@ pub enum OpKind {
 }
 
 /// One DSM operation presented to a detector.
-#[derive(Debug, Clone)]
+///
+/// `Copy`: an op is three plain words plus a [`OpKind`] of inline ranges,
+/// so buffering front-ends (the sharded pipeline's batching layer) store
+/// ops by value without heap traffic.
+#[derive(Debug, Clone, Copy)]
 pub struct DsmOp {
     /// Engine-assigned operation id; access ids derive from it (see
     /// [`DsmOp::read_access_id`] / [`DsmOp::write_access_id`]) so that

@@ -58,7 +58,7 @@ use std::sync::Arc;
 use dsm::addr::Segment;
 use vclock::{MatrixClock, VectorClock};
 
-use crate::clockstore::{AreaHistory, AreaKey, ClockStore, Granularity};
+use crate::clockstore::{AreaHistory, AreaKey, ClockStore, Granularity, StoreConfig};
 use crate::detector::Detector;
 use crate::event::{AccessKind, AccessSummary, DsmOp, LockId};
 use crate::report::{RaceClass, RaceReport};
@@ -141,11 +141,23 @@ pub struct HbDetector {
 }
 
 impl HbDetector {
-    /// A detector for `n` processes at the given area granularity.
+    /// A detector for `n` processes at the given area granularity, with the
+    /// default clock-store layout.
     pub fn new(n: usize, granularity: Granularity, mode: HbMode) -> Self {
+        HbDetector::with_config(n, granularity, mode, StoreConfig::default())
+    }
+
+    /// [`HbDetector::new`] with an explicit [`StoreConfig`] (dense-prefix
+    /// spill threshold of the per-rank slabs).
+    pub fn with_config(
+        n: usize,
+        granularity: Granularity,
+        mode: HbMode,
+        store: StoreConfig,
+    ) -> Self {
         HbDetector {
             mode,
-            store: ClockStore::new(n, granularity, mode != HbMode::Single),
+            store: ClockStore::with_config(n, granularity, mode != HbMode::Single, store),
             clocks: (0..n).map(|i| MatrixClock::zero(i, n)).collect(),
             lock_clocks: std::collections::HashMap::new(),
             reports: Vec::new(),

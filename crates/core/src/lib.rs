@@ -50,8 +50,9 @@ pub mod report;
 pub mod sharded;
 pub mod summary;
 pub mod vanilla;
+pub mod wire;
 
-pub use clockstore::{AreaKey, ClockStore, Granularity};
+pub use clockstore::{AreaKey, ClockStore, Granularity, StoreConfig};
 pub use detector::{Detector, DetectorKind};
 pub use event::{AccessKind, AccessList, AccessSummary, DsmOp, LockId, OpKind};
 pub use hb::{HbDetector, HbMode};
@@ -62,6 +63,7 @@ pub use report::{dedup_reports, RaceClass, RaceReport};
 pub use sharded::{BatchingDetector, MemOp, ShardedDetector};
 pub use summary::{hot_areas, RaceSummary};
 pub use vanilla::VanillaDetector;
+pub use wire::{ClockCache, ClockEncoder, ClockWire};
 
 /// A process identifier (dense rank).
 pub type Rank = usize;

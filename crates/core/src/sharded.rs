@@ -9,15 +9,15 @@
 //! ```text
 //!            ┌───────────── router (sequential) ─────────────┐
 //!  MemOp ──▶ │ tick actor clock · read-absorb · sync events   │
-//!            │ hash(area) → shard, stream items in chunks     │
+//!            │ hash(area) → shard, epoch-delta clock encoding │
 //!            └──────┬──────────────┬──────────────┬───────────┘
-//!                   ▼              ▼              ▼
+//!         recycled  ▼              ▼              ▼   batch buffers
 //!             shard 0        shard 1        shard k-1     (OS threads)
 //!             own ClockStore own ClockStore own ClockStore
 //!             check+update   check+update   check+update
 //!                   └──────────────┴──────────────┘
 //!                                  ▼
-//!                  deterministic key-sorted report merge
+//!                   k-way merge of key-sorted report logs
 //! ```
 //!
 //! **Router (sequential).** Per-process state couples areas: every op ticks
@@ -25,10 +25,27 @@
 //! into the reader (§IV-B — the get reply carries the clock). The router
 //! therefore owns the actor clocks and replays exactly the sequential
 //! detector's clock evolution, using lightweight per-area *join replicas*
-//! (`JoinClock`: the epoch trick of [`vclock::AreaClock`], holding the
-//! dominating snapshot behind an `Arc` instead of resolving through
-//! antichains). Barriers and lock hand-offs only touch actor clocks, so
-//! they are router-local too.
+//! (`JoinClock`: the epoch trick of [`vclock::AreaClock`], reconstructing
+//! event clocks from per-actor generation-base snapshots instead of
+//! resolving through antichains). Barriers and lock hand-offs only touch
+//! actor clocks, so they are router-local too.
+//!
+//! **Zero-copy transport.** Routed accesses travel in preallocated
+//! `ShardItem` batch buffers that cycle router → shard → router through a
+//! recycle channel, so the steady state allocates nothing per batch. Access
+//! clocks use the epoch-delta encoding of [`crate::wire`]: a shared
+//! generation-base snapshot crosses the thread boundary only when the
+//! actor's clock changed in a non-own component since the last send to
+//! that shard (sync events); otherwise the wire carries a one-word
+//! `(count)` delta — or nothing at all for further accesses of the same op
+//! — that the shard applies to its cached copy. The dominant per-access
+//! costs of the naive transport (cross-thread `Arc` refcount traffic and
+//! cache misses on router-owned clock data) disappear; see the `wire`
+//! module docs for the protocol.
+//!
+//! A single-shard detector skips all of this: `new(.., 1)` runs the
+//! check-and-update inline on the caller thread (see
+//! [`ShardedDetector::new`]).
 //!
 //! **Shards (parallel).** Everything per-area — slab lookup, happens-before
 //! guards, antichain race scan, history recording — runs on worker threads,
@@ -40,25 +57,27 @@
 //! slot, block, report index)` that totally orders reports exactly as the
 //! sequential [`crate::HbDetector`] emits them (ops in order; within an op the
 //! read side before the write side; within an access, blocks ascending;
-//! within a block, antichain order). Per-shard logs are already sorted by
-//! that key; the merge sorts the concatenation, so the final stream is
-//! **byte-identical** to the single-shard detector's — the differential
-//! property tests in `tests/differential.rs` enforce this against both
-//! [`crate::HbDetector`] and [`crate::ReferenceHbDetector`].
+//! within a block, antichain order). Each shard's log is emitted already
+//! sorted by that key (items arrive in routing order), so the fence runs a
+//! k-way merge over the per-shard replies — no re-sort — and the final
+//! stream is **byte-identical** to the single-shard detector's. The
+//! differential property tests in `tests/differential.rs` enforce this
+//! against both [`crate::HbDetector`] and [`crate::ReferenceHbDetector`].
 
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use dsm::addr::Segment;
+use dsm::addr::{MemRange, Segment};
 use vclock::{MatrixClock, VectorClock};
 
-use crate::clockstore::{AreaKey, ClockStore, Granularity, DENSE_BLOCKS};
+use crate::clockstore::{AreaKey, ClockStore, Granularity, StoreConfig};
 use crate::detector::Detector;
 use crate::event::{AccessKind, AccessSummary, DsmOp, LockId};
 use crate::hb::{acquire_clock, barrier_join, check_access, release_clock, HbMode};
 use crate::report::RaceReport;
+use crate::wire::{ClockCache, ClockEncoder, ClockWire};
 use crate::Rank;
 
 /// One element of a batched detection stream: an operation or a
@@ -66,8 +85,9 @@ use crate::Rank;
 ///
 /// The batched pipeline must see sync events *in sequence* with the
 /// operations (a barrier orders everything before it against everything
-/// after), so backends that buffer ops buffer these alongside.
-#[derive(Debug, Clone)]
+/// after), so backends that buffer ops buffer these alongside. `Copy`: the
+/// whole event is a few plain words, so buffering never touches the heap.
+#[derive(Debug, Clone, Copy)]
 pub enum MemOp {
     /// A DSM operation (put/get/local/atomic accesses).
     Op(DsmOp),
@@ -93,17 +113,42 @@ pub enum MemOp {
 /// before the batch is fully routed).
 const SHARD_CHUNK: usize = 512;
 
+/// Effective streaming threshold: mid-batch streaming overlaps router and
+/// workers, which is pure overhead (one context-switch pair per chunk) when
+/// the host cannot run a worker beside the router. On single-core hosts
+/// everything ships at the fence instead; buffers grow past [`SHARD_CHUNK`]
+/// but are recycled with their capacity, so steady state stays
+/// allocation-free either way.
+fn stream_threshold() -> usize {
+    match std::thread::available_parallelism() {
+        Ok(cores) if cores.get() > 1 => SHARD_CHUNK,
+        _ => usize::MAX,
+    }
+}
+
 /// Totally orders reports as the sequential detector emits them:
 /// `(op sequence, access slot within op, block within access, report index
 /// within (op, access, block))`.
 type ReportKey = (u64, u8, usize, u32);
 
-/// One access routed to a shard.
+/// One access routed to a shard: the flat access fields plus the
+/// epoch-delta-encoded clock — no shared state with the router except the
+/// rare [`ClockWire::Rebase`] base snapshot.
 struct ShardItem {
     seq: u64,
     slot: u8,
+    kind: AccessKind,
+    atomic: bool,
+    /// `W-join ≤ access clock`, computed once by the router against its
+    /// join replica — which represents exactly the value of the shard's
+    /// authoritative write clock, so the shard reuses it instead of
+    /// re-running the compare (an O(n) sweep on demoted areas).
+    w_le: bool,
+    id: u64,
+    process: Rank,
+    range: MemRange,
     area: AreaKey,
-    access: AccessSummary,
+    clock: ClockWire,
 }
 
 enum ToShard {
@@ -126,8 +171,12 @@ struct ShardReply {
 
 /// The router's replica of one area clock join — [`vclock::AreaClock`]'s
 /// adaptive representation, but self-contained: the `Epoch` state keeps the
-/// dominating event's full snapshot behind its `Arc` (the snapshot already
-/// exists, shared with the access), so no antichain resolver is needed.
+/// dominating event as `(rank, count)` plus the actor's **generation base**
+/// (the once-per-sync-generation row snapshot, shared by every area the
+/// actor writes in that generation). Since non-own components are frozen
+/// within a generation, the event's full clock is exactly "base with the
+/// own component raised to `count`" — so promotion costs two words and a
+/// refcount, never a row clone.
 ///
 /// The represented value always equals the authoritative area clock held by
 /// the owning shard: both are the join of the same access clocks, updated
@@ -137,11 +186,12 @@ enum JoinClock {
     /// Nothing recorded: the zero clock.
     #[default]
     Bottom,
-    /// The join equals this one event's clock (totally ordered so far).
+    /// The join equals this one event's clock (totally ordered so far):
+    /// non-own components from `base`, own component `count`.
     Epoch {
         rank: Rank,
         count: u64,
-        clock: Arc<VectorClock>,
+        base: Arc<VectorClock>,
     },
     /// Concurrent events recorded: the dense component-wise join.
     Vector(VectorClock),
@@ -162,31 +212,55 @@ impl JoinClock {
     fn merge_into(&self, dst: &mut VectorClock) {
         match self {
             JoinClock::Bottom => {}
-            JoinClock::Epoch { clock, .. } => dst.merge(clock),
+            JoinClock::Epoch { rank, count, base } => {
+                dst.merge(base);
+                if *count > dst.get(*rank) {
+                    dst.set(*rank, *count);
+                }
+            }
             JoinClock::Vector(v) => dst.merge(v),
         }
     }
 
-    /// Record the event `(rank, clock)` into the join: promote to `Epoch`
-    /// when the new clock dominates (O(1) plus one refcount), demote to the
-    /// dense join when concurrent.
-    fn record(&mut self, rank: Rank, clock: &Arc<VectorClock>) {
-        if self.leq(clock) {
+    /// Record the write event `(rank, count, base)` into the join —
+    /// `base` being `rank`'s current generation base, so the event's clock
+    /// is base-with-own-raised-to-`count`. The caller has already computed
+    /// `join ≤ event clock` as `le` (the same guard it shares with the
+    /// absorb decision): promotion is O(1), demotion materialises the dense
+    /// join once.
+    fn record(&mut self, rank: Rank, count: u64, base: &Arc<VectorClock>, le: bool) {
+        if le {
             *self = JoinClock::Epoch {
                 rank,
-                count: clock.get(rank),
-                clock: Arc::clone(clock),
+                count,
+                base: Arc::clone(base),
             };
             return;
         }
         match self {
             JoinClock::Bottom => unreachable!("bottom precedes every clock"),
-            JoinClock::Epoch { clock: old, .. } => {
-                let mut v = (**old).clone();
-                v.merge(clock);
+            JoinClock::Epoch {
+                rank: r0,
+                count: c0,
+                base: b0,
+            } => {
+                // Demote: materialise the old event's clock, merge the new.
+                let mut v = (**b0).clone();
+                if *c0 > v.get(*r0) {
+                    v.set(*r0, *c0);
+                }
+                v.merge(base);
+                if count > v.get(rank) {
+                    v.set(rank, count);
+                }
                 *self = JoinClock::Vector(v);
             }
-            JoinClock::Vector(v) => v.merge(clock),
+            JoinClock::Vector(v) => {
+                v.merge(base);
+                if count > v.get(rank) {
+                    v.set(rank, count);
+                }
+            }
         }
     }
 }
@@ -199,25 +273,37 @@ struct AreaJoins {
 }
 
 /// Per-rank join storage, same flat-slab layout as [`ClockStore`] (dense
-/// direct-indexed prefix, spillover map for pathological high blocks).
+/// direct-indexed prefix, spillover map for pathological high blocks),
+/// sharing the detector's [`StoreConfig`] dense bound.
 #[derive(Debug, Default)]
 struct JoinSlab {
     dense: Vec<Option<AreaJoins>>,
     sparse: HashMap<usize, AreaJoins>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct JoinStore {
     slabs: Vec<JoinSlab>,
+    /// Dense-prefix bound, fixed at construction (same hazard-avoidance as
+    /// [`ClockStore`]: a per-call bound could place one area on both sides
+    /// of the dense/spillover split).
+    dense_blocks: usize,
 }
 
 impl JoinStore {
+    fn new(config: StoreConfig) -> Self {
+        JoinStore {
+            slabs: Vec::new(),
+            dense_blocks: config.dense_blocks,
+        }
+    }
+
     fn get_mut(&mut self, key: AreaKey) -> &mut AreaJoins {
         if key.rank >= self.slabs.len() {
             self.slabs.resize_with(key.rank + 1, JoinSlab::default);
         }
         let slab = &mut self.slabs[key.rank];
-        if key.block < DENSE_BLOCKS {
+        if key.block < self.dense_blocks {
             if key.block >= slab.dense.len() {
                 slab.dense.resize_with(key.block + 1, || None);
             }
@@ -229,13 +315,16 @@ impl JoinStore {
 }
 
 /// `area → shard` routing: a multiplicative hash of `(rank, block)` so
-/// neighbouring blocks spread across shards. Deterministic — the partition
-/// is part of the detector's observable state (per-shard memory accounting).
+/// neighbouring blocks spread across shards, reduced to the shard range by
+/// the multiply-shift trick (`(h × shards) >> 64`) — no hardware divide on
+/// the per-access path. Deterministic — the partition is part of the
+/// detector's observable state (per-shard memory accounting).
 #[inline]
 fn shard_of(area: AreaKey, shards: usize) -> usize {
     let h = (area.rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (area.block as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
-    (h.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % shards
+    let h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    ((h as u128 * shards as u128) >> 64) as usize
 }
 
 struct Worker {
@@ -245,43 +334,57 @@ struct Worker {
 }
 
 /// The per-shard worker loop: owns this shard's [`ClockStore`] and runs the
-/// authoritative check-and-update for every area that hashes here.
+/// authoritative check-and-update for every area that hashes here. Consumed
+/// batch buffers go back to the router through `recycle` instead of being
+/// dropped, closing the allocation-free loop.
 fn shard_worker(
     mode: HbMode,
     n: usize,
     granularity: Granularity,
+    config: StoreConfig,
     rx: Receiver<ToShard>,
     tx: Sender<ShardReply>,
+    recycle: Sender<Vec<ShardItem>>,
 ) {
-    let mut store = ClockStore::new(n, granularity, mode != HbMode::Single);
+    let mut store = ClockStore::with_config(n, granularity, mode != HbMode::Single, config);
+    let mut cache = ClockCache::new(n);
     let mut pending: Vec<(ReportKey, RaceReport)> = Vec::new();
     let mut scratch: Vec<RaceReport> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            ToShard::Items(items) => {
-                for item in items {
+            ToShard::Items(mut items) => {
+                for item in items.drain(..) {
+                    // Rebuild the access clock from the delta stream; the
+                    // resulting Arc lives and dies on this thread.
+                    let clock = cache.apply(item.process, item.clock);
+                    let access = AccessSummary {
+                        id: item.id,
+                        process: item.process,
+                        kind: item.kind,
+                        range: item.range,
+                        clock,
+                        atomic: item.atomic,
+                    };
                     let hist = store.history_mut(item.area);
-                    // Same guard-once discipline as HbDetector::observe.
-                    let w_le = hist.w.leq(&item.access.clock);
-                    let v_le = hist.v.leq(&item.access.clock);
-                    check_access(
-                        mode,
-                        hist,
-                        &item.access,
-                        item.area,
-                        w_le,
-                        v_le,
-                        &mut scratch,
-                    );
+                    // Same guard-once discipline as HbDetector::observe; the
+                    // W guard rides the item (the router computed it against
+                    // the join replica, which represents the same value).
+                    let w_le = item.w_le;
+                    debug_assert_eq!(w_le, hist.w.leq(&access.clock));
+                    let v_le = hist.v.leq(&access.clock);
+                    check_access(mode, hist, &access, item.area, w_le, v_le, &mut scratch);
                     for (sub, report) in scratch.drain(..).enumerate() {
                         let key = (item.seq, item.slot, item.area.block, sub as u32);
                         pending.push((key, report));
                     }
-                    match item.access.kind {
-                        AccessKind::Write => hist.record_write_hinted(item.access, v_le, w_le),
-                        AccessKind::Read => hist.record_read_hinted(item.access, v_le),
+                    match item.kind {
+                        AccessKind::Write => hist.record_write_hinted(access, v_le, w_le),
+                        AccessKind::Read => hist.record_read_hinted(access, v_le),
                     }
                 }
+                // Hand the emptied buffer back for reuse (the router may
+                // already be gone during teardown — then it just drops).
+                let _ = recycle.send(items);
             }
             ToShard::Flush => {
                 let reply = ShardReply {
@@ -309,14 +412,63 @@ fn shard_worker(
     }
 }
 
+/// K-way merge of per-shard report logs — each already sorted by
+/// [`ReportKey`] — into `out`, preserving the sequential emission order.
+/// Keys are globally unique (one per `(op, slot, block, index)`), so the
+/// merge is deterministic. Replaces the old concat-then-sort: O(total · k)
+/// head compares with tiny `k`, no intermediate buffer, and the common
+/// single-source case is a plain `extend`.
+fn merge_sorted_reports(replies: Vec<Vec<(ReportKey, RaceReport)>>, out: &mut Vec<RaceReport>) {
+    debug_assert!(replies
+        .iter()
+        .all(|r| r.windows(2).all(|w| w[0].0 < w[1].0)));
+    match replies.len() {
+        0 => {}
+        1 => {
+            let only = replies.into_iter().next().expect("one reply");
+            out.extend(only.into_iter().map(|(_, r)| r));
+        }
+        _ => {
+            out.reserve(replies.iter().map(Vec::len).sum());
+            let mut tails: Vec<_> = replies.into_iter().map(Vec::into_iter).collect();
+            let mut heads: Vec<Option<(ReportKey, RaceReport)>> =
+                tails.iter_mut().map(Iterator::next).collect();
+            loop {
+                let mut best: Option<(usize, ReportKey)> = None;
+                for (i, head) in heads.iter().enumerate() {
+                    if let Some((key, _)) = head {
+                        if best.is_none_or(|(_, b)| *key < b) {
+                            best = Some((i, *key));
+                        }
+                    }
+                }
+                let Some((i, _)) = best else { break };
+                let (_, report) = heads[i].take().expect("best head present");
+                out.push(report);
+                heads[i] = tails[i].next();
+            }
+        }
+    }
+}
+
 /// The clock-based detector with its per-area work partitioned across `k`
 /// worker threads (see the module docs for the pipeline).
 ///
-/// Construction spawns the workers; they live until the detector is
-/// dropped. [`ShardedDetector::observe_batch`] is the intended entry point;
-/// the [`Detector`] impl routes single ops through one-element batches so
-/// the sharded pipeline is a drop-in (slower per call — each `observe` is a
-/// full fan-out/fan-in round trip; batch when you can).
+/// **Degenerate single-shard case.** One shard has no parallelism to buy,
+/// so [`ShardedDetector::new`] with `shards == 1` runs the whole
+/// check-and-update inline on the caller thread — the sequential detector
+/// behind the batch API, with zero transport cost (the same convention as
+/// every work-distribution runtime: never pay fan-out for a fleet of one).
+/// The report stream is identical either way; benchmarks that want to
+/// measure the threaded transport at one shard use
+/// [`ShardedDetector::threaded`].
+///
+/// Construction spawns the workers (none for the inline case); they live
+/// until the detector is dropped. [`ShardedDetector::observe_batch`] is the
+/// intended entry point; the [`Detector`] impl routes single ops by
+/// reference — no buffering, no clone — but still pays a full
+/// fan-out/fan-in round trip per call on the threaded pipeline; batch when
+/// you can.
 ///
 /// ```
 /// use dsm::GlobalAddr;
@@ -343,11 +495,37 @@ fn shard_worker(
 /// assert_eq!(det.observe_batch(&batch), 1); // exactly one write-write race
 /// ```
 pub struct ShardedDetector {
+    pipeline: Pipeline,
+}
+
+enum Pipeline {
+    /// `shards == 1`: the sequential detector run inline — no worker
+    /// thread, no transport, no join replicas (the authoritative store is
+    /// right here, so the read-absorb needs no replica).
+    Inline(Box<crate::hb::HbDetector>),
+    /// `shards >= 2`: router + worker threads over the zero-copy transport.
+    Threaded(Box<Threaded>),
+}
+
+/// The threaded pipeline: router state plus worker handles.
+struct Threaded {
     mode: HbMode,
     granularity: Granularity,
     n: usize,
     /// One matrix clock per process (§IV-B) — router-owned.
     clocks: Vec<MatrixClock>,
+    /// Per-actor sync generation: bumped whenever the actor's clock may
+    /// have changed in a non-own component (read-absorb, barrier, lock
+    /// acquire). The delta encoding is valid exactly while it is stable.
+    sync_gen: Vec<u64>,
+    /// Per-actor generation base: a row snapshot taken once per sync
+    /// generation (lazily, at the first op that needs it). Within a
+    /// generation only the own component moves, so `base` + an own-count
+    /// reconstructs any event clock — the join replicas and the wire's
+    /// [`ClockWire::Rebase`] both lean on this instead of per-op clones.
+    bases: Vec<Arc<VectorClock>>,
+    /// Generation each [`ShardedDetector::bases`] entry was taken in.
+    base_gens: Vec<u64>,
     /// Router-side `(V, W)` join replicas (see [`JoinClock`]).
     joins: JoinStore,
     /// Clock snapshots taken at program-lock releases (grant carries them).
@@ -358,6 +536,14 @@ pub struct ShardedDetector {
     seq: u64,
     /// Per-shard outgoing chunks being filled.
     buffers: Vec<Vec<ShardItem>>,
+    /// Chunk size that triggers a mid-batch ship (see [`stream_threshold`]).
+    chunk: usize,
+    /// Per-shard epoch-delta encoder state (see [`crate::wire`]).
+    encoders: Vec<ClockEncoder>,
+    /// Emptied batch buffers recovered from the workers, ready for reuse.
+    pool: Vec<Vec<ShardItem>>,
+    /// Workers return consumed buffers here (all share one sender side).
+    recycle_rx: Receiver<Vec<ShardItem>>,
     workers: Vec<Worker>,
     /// Merged, deterministically ordered report log.
     reports: Vec<RaceReport>,
@@ -368,18 +554,155 @@ pub struct ShardedDetector {
 
 impl ShardedDetector {
     /// A detector for `n` processes at `granularity`, partitioned over
-    /// `shards` worker threads.
+    /// `shards` worker threads, with the default clock-store layout. One
+    /// shard runs inline (see the type docs).
     ///
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn new(n: usize, granularity: Granularity, mode: HbMode, shards: usize) -> Self {
+        ShardedDetector::with_config(n, granularity, mode, shards, StoreConfig::default())
+    }
+
+    /// [`ShardedDetector::new`] with an explicit [`StoreConfig`], applied
+    /// to every shard's [`ClockStore`] and to the router's join replicas.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_config(
+        n: usize,
+        granularity: Granularity,
+        mode: HbMode,
+        shards: usize,
+        store: StoreConfig,
+    ) -> Self {
         assert!(shards > 0, "at least one shard");
+        let pipeline = if shards == 1 {
+            Pipeline::Inline(Box::new(crate::hb::HbDetector::with_config(
+                n,
+                granularity,
+                mode,
+                store,
+            )))
+        } else {
+            Pipeline::Threaded(Box::new(Threaded::new(n, granularity, mode, shards, store)))
+        };
+        ShardedDetector { pipeline }
+    }
+
+    /// Always-threaded construction, even at one shard — the degenerate
+    /// configuration benchmarks use to measure the transport itself
+    /// (`ShardedDetector::new` runs a single shard inline instead, which is
+    /// what production callers want).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn threaded(
+        n: usize,
+        granularity: Granularity,
+        mode: HbMode,
+        shards: usize,
+        store: StoreConfig,
+    ) -> Self {
+        assert!(shards > 0, "at least one shard");
+        ShardedDetector {
+            pipeline: Pipeline::Threaded(Box::new(Threaded::new(
+                n,
+                granularity,
+                mode,
+                shards,
+                store,
+            ))),
+        }
+    }
+
+    /// Number of worker shards (1 for the inline pipeline).
+    pub fn shards(&self) -> usize {
+        match &self.pipeline {
+            Pipeline::Inline(_) => 1,
+            Pipeline::Threaded(t) => t.workers.len(),
+        }
+    }
+
+    /// True when the degenerate single shard runs inline on the caller
+    /// thread (no worker, no transport).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.pipeline, Pipeline::Inline(_))
+    }
+
+    /// The actor's current vector clock (parity tests and traces).
+    pub fn process_clock(&self, rank: Rank) -> &VectorClock {
+        match &self.pipeline {
+            Pipeline::Inline(hb) => hb.process_clock(rank),
+            Pipeline::Threaded(t) => t.clocks[rank].own_row(),
+        }
+    }
+
+    /// Touched areas summed over all shards (accounting parity with
+    /// [`ClockStore::touched_areas`]).
+    pub fn touched_areas(&self) -> usize {
+        match &self.pipeline {
+            Pipeline::Inline(hb) => hb.store().touched_areas(),
+            Pipeline::Threaded(t) => t.shard_touched.iter().sum(),
+        }
+    }
+
+    /// Areas currently in the O(1) epoch representation, summed over
+    /// shards. On the threaded pipeline this costs one accounting round
+    /// trip per shard plus an O(touched-areas) census on each —
+    /// instrumentation for tests and benches, kept off the fence path on
+    /// purpose.
+    pub fn epoch_areas(&mut self) -> usize {
+        match &mut self.pipeline {
+            Pipeline::Inline(hb) => hb.store().epoch_areas(),
+            Pipeline::Threaded(t) => t.epoch_areas(),
+        }
+    }
+
+    /// Observe a batch of operations and synchronisation events, running
+    /// the per-area checks on the worker shards (inline for a single
+    /// shard). Returns the number of new race reports; the merged log
+    /// ([`Detector::reports`]) grows by exactly that many, in the
+    /// sequential detector's emission order.
+    ///
+    /// Synchronous: when this returns, every report triggered by the batch
+    /// is in the log and the per-shard accounting is up to date.
+    pub fn observe_batch(&mut self, batch: &[MemOp]) -> usize {
+        match &mut self.pipeline {
+            Pipeline::Inline(hb) => {
+                let before = hb.reports().len();
+                for event in batch {
+                    match event {
+                        MemOp::Op(op) => {
+                            hb.observe(op, &[]);
+                        }
+                        MemOp::Barrier => hb.on_barrier(),
+                        MemOp::Acquire { rank, lock } => hb.on_acquire(*rank, *lock),
+                        MemOp::Release { rank, lock } => hb.on_release(*rank, *lock),
+                    }
+                }
+                hb.reports().len() - before
+            }
+            Pipeline::Threaded(t) => t.observe_batch(batch),
+        }
+    }
+}
+
+impl Threaded {
+    fn new(
+        n: usize,
+        granularity: Granularity,
+        mode: HbMode,
+        shards: usize,
+        store: StoreConfig,
+    ) -> Self {
+        let (recycle_tx, recycle_rx) = channel();
         let workers = (0..shards)
             .map(|_| {
                 let (tx, worker_rx) = channel();
                 let (reply_tx, rx) = channel();
+                let recycle = recycle_tx.clone();
                 let handle = std::thread::spawn(move || {
-                    shard_worker(mode, n, granularity, worker_rx, reply_tx)
+                    shard_worker(mode, n, granularity, store, worker_rx, reply_tx, recycle)
                 });
                 Worker {
                     tx: Some(tx),
@@ -388,18 +711,25 @@ impl ShardedDetector {
                 }
             })
             .collect();
-        ShardedDetector {
+        Threaded {
             mode,
             granularity,
             n,
             clocks: (0..n).map(|i| MatrixClock::zero(i, n)).collect(),
-            joins: JoinStore::default(),
+            sync_gen: vec![0; n],
+            bases: (0..n).map(|_| Arc::new(VectorClock::zero(n))).collect(),
+            base_gens: vec![0; n],
+            joins: JoinStore::new(store),
             lock_clocks: HashMap::new(),
             absorb: VectorClock::zero(n),
             seq: 0,
             buffers: (0..shards)
                 .map(|_| Vec::with_capacity(SHARD_CHUNK))
                 .collect(),
+            chunk: stream_threshold(),
+            encoders: (0..shards).map(|_| ClockEncoder::new(n)).collect(),
+            pool: Vec::new(),
+            recycle_rx,
             workers,
             reports: Vec::new(),
             shard_clock_bytes: vec![0; shards],
@@ -407,27 +737,8 @@ impl ShardedDetector {
         }
     }
 
-    /// Number of worker shards.
-    pub fn shards(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// The actor's current vector clock (parity tests and traces).
-    pub fn process_clock(&self, rank: Rank) -> &VectorClock {
-        self.clocks[rank].own_row()
-    }
-
-    /// Touched areas summed over all shards (accounting parity with
-    /// [`ClockStore::touched_areas`]).
-    pub fn touched_areas(&self) -> usize {
-        self.shard_touched.iter().sum()
-    }
-
-    /// Areas currently in the O(1) epoch representation, summed over
-    /// shards. Costs one accounting round trip per shard plus an
-    /// O(touched-areas) census on each — instrumentation for tests and
-    /// benches, kept off the fence path on purpose.
-    pub fn epoch_areas(&mut self) -> usize {
+    /// Per-shard epoch census (see [`ShardedDetector::epoch_areas`]).
+    fn epoch_areas(&mut self) -> usize {
         for worker in &self.workers {
             worker
                 .tx
@@ -446,14 +757,8 @@ impl ShardedDetector {
         total
     }
 
-    /// Observe a batch of operations and synchronisation events, running
-    /// the per-area checks on the worker shards. Returns the number of new
-    /// race reports; the merged log ([`Detector::reports`]) grows by
-    /// exactly that many, in the sequential detector's emission order.
-    ///
-    /// Synchronous: when this returns, every report triggered by the batch
-    /// is in the log and the per-shard accounting is up to date.
-    pub fn observe_batch(&mut self, batch: &[MemOp]) -> usize {
+    /// The threaded half of [`ShardedDetector::observe_batch`].
+    fn observe_batch(&mut self, batch: &[MemOp]) -> usize {
         let before = self.reports.len();
         for event in batch {
             match event {
@@ -469,10 +774,23 @@ impl ShardedDetector {
 
     /// Route one op: tick the actor, replay the read-absorb against the
     /// join replicas, and stream every public access to its area's shard.
+    ///
+    /// Allocation-free in steady state: the join replicas and the wire
+    /// format both work from the actor's per-generation base snapshot, so
+    /// the router never clones a row per op — only once per sync event.
     fn route_op(&mut self, op: &DsmOp) {
         let seq = self.seq;
         self.seq += 1;
-        let actor_clock = self.clocks[op.actor].tick_shared();
+        let actor = op.actor;
+        let count = self.clocks[actor].tick_count();
+        let gen = self.sync_gen[actor];
+        // Refresh the generation base lazily: one row clone per sync event,
+        // amortised over every op / area / shard of the generation.
+        if self.base_gens[actor] != gen {
+            self.bases[actor] = Arc::new(self.clocks[actor].own_row().clone());
+            self.base_gens[actor] = gen;
+        }
+        let shards = self.workers.len();
         // Take the scratch clock out so area-join borrows don't conflict.
         let mut absorb = std::mem::replace(&mut self.absorb, VectorClock::zero(0));
         let mut absorbed = false;
@@ -484,29 +802,30 @@ impl ShardedDetector {
             if range.addr.segment != Segment::Public {
                 continue; // private memory cannot race (§IV-A)
             }
-            let access = AccessSummary {
-                id: access_id,
-                process: op.actor,
-                kind,
-                range,
-                clock: Arc::clone(&actor_clock),
-                atomic: op.is_atomic(),
-            };
+            let atomic = op.is_atomic();
             for block in self.granularity.blocks_of(&range) {
                 let area = AreaKey::new(range.addr.rank, block);
-                {
+                let w_le = {
+                    let clocks = &self.clocks;
+                    let bases = &self.bases;
                     let joins = self.joins.get_mut(area);
+                    // The access's clock is the freshly ticked row.
+                    let row = clocks[actor].own_row();
                     match kind {
                         AccessKind::Write => {
-                            joins.w.record(op.actor, &access.clock);
+                            let w_le = joins.w.leq(row);
+                            joins.w.record(actor, count, &bases[actor], w_le);
                             if track_v {
-                                joins.v.record(op.actor, &access.clock);
+                                let v_le = joins.v.leq(row);
+                                joins.v.record(actor, count, &bases[actor], v_le);
                             }
+                            w_le
                         }
                         AccessKind::Read => {
                             // Absorb *before* recording, from the pre-access
                             // joins, exactly as HbDetector::observe does.
-                            if !joins.w.leq(&access.clock) {
+                            let w_le = joins.w.leq(row);
+                            if !w_le {
                                 if !absorbed {
                                     absorb.clear();
                                     absorbed = true;
@@ -514,40 +833,69 @@ impl ShardedDetector {
                                 joins.w.merge_into(&mut absorb);
                             }
                             if track_v {
-                                if !joins.v.leq(&access.clock) {
+                                let v_le = joins.v.leq(row);
+                                if !v_le {
                                     if !absorbed {
                                         absorb.clear();
                                         absorbed = true;
                                     }
                                     joins.v.merge_into(&mut absorb);
                                 }
-                                joins.v.record(op.actor, &access.clock);
+                                joins.v.record(actor, count, &bases[actor], v_le);
                             }
+                            w_le
                         }
                     }
-                }
-                let shard = shard_of(area, self.workers.len());
+                };
+                let shard = shard_of(area, shards);
+                let bases = &self.bases;
+                let wire = self.encoders[shard]
+                    .encode(actor, seq, gen, count, || Arc::clone(&bases[actor]));
                 self.buffers[shard].push(ShardItem {
                     seq,
                     slot: slot as u8,
+                    kind,
+                    atomic,
+                    w_le,
+                    id: access_id,
+                    process: actor,
+                    range,
                     area,
-                    access: access.clone(),
+                    clock: wire,
                 });
-                if self.buffers[shard].len() >= SHARD_CHUNK {
+                if self.buffers[shard].len() >= self.chunk {
                     self.ship(shard);
                 }
             }
         }
 
         if absorbed {
-            self.clocks[op.actor].absorb(&absorb);
+            self.clocks[actor].absorb(&absorb);
+            // Foreign knowledge entered the actor's clock: delta encodings
+            // minted from the old row are no longer derivable shard-side.
+            self.sync_gen[actor] += 1;
         }
         self.absorb = absorb;
     }
 
-    /// Send a shard's filled chunk.
+    /// An empty batch buffer: recycled from the pool / the workers' return
+    /// channel when available, freshly allocated only during warm-up.
+    fn take_buffer(&mut self) -> Vec<ShardItem> {
+        if let Some(buf) = self.pool.pop() {
+            return buf;
+        }
+        while let Ok(buf) = self.recycle_rx.try_recv() {
+            self.pool.push(buf);
+        }
+        self.pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(SHARD_CHUNK))
+    }
+
+    /// Send a shard's filled chunk, replacing it with a recycled buffer.
     fn ship(&mut self, shard: usize) {
-        let items = std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(SHARD_CHUNK));
+        let empty = self.take_buffer();
+        let items = std::mem::replace(&mut self.buffers[shard], empty);
         self.workers[shard]
             .tx
             .as_ref()
@@ -556,8 +904,8 @@ impl ShardedDetector {
             .expect("shard worker alive");
     }
 
-    /// Batch fence: flush every shard, collect replies, merge reports into
-    /// the log in deterministic key order.
+    /// Batch fence: flush every shard, collect replies, and k-way merge the
+    /// already-sorted per-shard report logs into the detector's log.
     fn fence(&mut self) {
         for shard in 0..self.workers.len() {
             if !self.buffers[shard].is_empty() {
@@ -570,25 +918,30 @@ impl ShardedDetector {
                 .send(ToShard::Flush)
                 .expect("shard worker alive");
         }
-        let mut merged: Vec<(ReportKey, RaceReport)> = Vec::new();
+        let mut replies: Vec<Vec<(ReportKey, RaceReport)>> = Vec::new();
         for (shard, worker) in self.workers.iter().enumerate() {
             let reply = worker.rx.recv().expect("shard worker alive");
             self.shard_clock_bytes[shard] = reply.clock_bytes;
             self.shard_touched[shard] = reply.touched;
-            merged.extend(reply.reports);
+            if !reply.reports.is_empty() {
+                replies.push(reply.reports);
+            }
         }
-        // Keys are unique (one per (op, slot, block, index)), so unstable
-        // sorting is deterministic.
-        merged.sort_unstable_by_key(|(key, _)| *key);
-        self.reports.extend(merged.into_iter().map(|(_, r)| r));
+        merge_sorted_reports(replies, &mut self.reports);
     }
 
     // The sync-event clock semantics are the exact shared bodies the
     // sequential detector uses (hb::barrier_join / release_clock /
-    // acquire_clock) — one implementation, no parity drift.
+    // acquire_clock) — one implementation, no parity drift. Each one that
+    // can merge foreign knowledge into an actor's clock bumps that actor's
+    // sync generation, forcing the next send per shard to carry a full
+    // snapshot.
 
     fn barrier_event(&mut self) {
         barrier_join(&mut self.clocks);
+        for gen in &mut self.sync_gen {
+            *gen += 1;
+        }
     }
 
     fn release_event(&mut self, rank: Rank, lock: LockId) {
@@ -597,31 +950,54 @@ impl ShardedDetector {
 
     fn acquire_event(&mut self, rank: Rank, lock: LockId) {
         acquire_clock(&mut self.clocks, &self.lock_clocks, rank, lock);
+        self.sync_gen[rank] += 1;
     }
 }
 
 impl Detector for ShardedDetector {
     fn name(&self) -> &'static str {
-        self.mode.detector_name()
+        match &self.pipeline {
+            Pipeline::Inline(hb) => hb.name(),
+            Pipeline::Threaded(t) => t.mode.detector_name(),
+        }
     }
 
     fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> usize {
-        self.observe_batch(&[MemOp::Op(op.clone())])
+        // By-reference single-op path: route straight from the borrow — no
+        // `MemOp` wrapper, no clone, no allocation.
+        match &mut self.pipeline {
+            Pipeline::Inline(hb) => hb.observe(op, &[]),
+            Pipeline::Threaded(t) => {
+                let before = t.reports.len();
+                t.route_op(op);
+                t.fence();
+                t.reports.len() - before
+            }
+        }
     }
 
     fn reports(&self) -> &[RaceReport] {
-        &self.reports
+        match &self.pipeline {
+            Pipeline::Inline(hb) => hb.reports(),
+            Pipeline::Threaded(t) => &t.reports,
+        }
     }
 
     fn clock_components_per_area(&self) -> usize {
-        match self.mode {
-            HbMode::Dual | HbMode::Literal => 2 * self.n,
-            HbMode::Single => self.n,
+        match &self.pipeline {
+            Pipeline::Inline(hb) => hb.clock_components_per_area(),
+            Pipeline::Threaded(t) => match t.mode {
+                HbMode::Dual | HbMode::Literal => 2 * t.n,
+                HbMode::Single => t.n,
+            },
         }
     }
 
     fn clock_memory_bytes(&self) -> usize {
-        self.shard_clock_bytes.iter().sum()
+        match &self.pipeline {
+            Pipeline::Inline(hb) => hb.clock_memory_bytes(),
+            Pipeline::Threaded(t) => t.shard_clock_bytes.iter().sum(),
+        }
     }
 
     fn requires_locking(&self) -> bool {
@@ -629,19 +1005,28 @@ impl Detector for ShardedDetector {
     }
 
     fn on_release(&mut self, rank: usize, lock: LockId) {
-        self.release_event(rank, lock);
+        match &mut self.pipeline {
+            Pipeline::Inline(hb) => hb.on_release(rank, lock),
+            Pipeline::Threaded(t) => t.release_event(rank, lock),
+        }
     }
 
     fn on_acquire(&mut self, rank: usize, lock: LockId) {
-        self.acquire_event(rank, lock);
+        match &mut self.pipeline {
+            Pipeline::Inline(hb) => hb.on_acquire(rank, lock),
+            Pipeline::Threaded(t) => t.acquire_event(rank, lock),
+        }
     }
 
     fn on_barrier(&mut self) {
-        self.barrier_event();
+        match &mut self.pipeline {
+            Pipeline::Inline(hb) => hb.on_barrier(),
+            Pipeline::Threaded(t) => t.barrier_event(),
+        }
     }
 }
 
-impl Drop for ShardedDetector {
+impl Drop for Threaded {
     fn drop(&mut self) {
         // Close the channels (workers exit their recv loop), then join.
         for worker in &mut self.workers {
@@ -658,10 +1043,13 @@ impl Drop for ShardedDetector {
 /// A buffering front-end that turns the per-op [`Detector`] interface into
 /// batched [`ShardedDetector::observe_batch`] calls.
 ///
-/// Operations and sync events accumulate (in order) until the buffer holds
-/// `capacity` events or [`Detector::flush`] is called, then drain as one
-/// batch. The engine's batched drain mode wraps the sharded detector in
-/// this to amortise the fan-out over many ops.
+/// Operations and sync events accumulate (in order, by value — [`MemOp`] is
+/// `Copy`, so buffering is a word-copy into preallocated capacity) until
+/// the buffer holds `capacity` events or [`Detector::flush`] is called,
+/// then drain as one batch. The engine's batched drain mode wraps the
+/// sharded detector in this to amortise the fan-out over many ops; the
+/// drained batches ride the detector's recycled transport buffers, so the
+/// steady-state drain allocates nothing end to end.
 ///
 /// Contract difference from the inline detectors: [`Detector::observe`]
 /// returns 0 while buffering and the whole batch's report count at the
@@ -720,7 +1108,7 @@ impl Detector for BatchingDetector {
     }
 
     fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> usize {
-        self.push(MemOp::Op(op.clone()))
+        self.push(MemOp::Op(*op))
     }
 
     fn reports(&self) -> &[RaceReport] {
@@ -856,11 +1244,18 @@ mod tests {
 
     /// Drive the same stream through the sequential detector (per op) and
     /// a sharded one (batched), asserting identical logs and clocks.
-    fn assert_parity(mode: HbMode, shards: usize, batch: usize) {
+    /// `force_threaded` pins the threaded pipeline even at one shard (the
+    /// configuration `new` would run inline).
+    fn assert_parity(mode: HbMode, shards: usize, batch: usize, force_threaded: bool) {
         let n = 4;
         let stream = mixed_stream(n);
         let mut seq = HbDetector::new(n, Granularity::WORD, mode);
-        let mut par = ShardedDetector::new(n, Granularity::WORD, mode, shards);
+        let mut par = if force_threaded {
+            ShardedDetector::threaded(n, Granularity::WORD, mode, shards, StoreConfig::default())
+        } else {
+            ShardedDetector::new(n, Granularity::WORD, mode, shards)
+        };
+        assert_eq!(par.is_inline(), !force_threaded && shards == 1);
         for event in &stream {
             match event {
                 MemOp::Op(op) => {
@@ -890,8 +1285,14 @@ mod tests {
         for mode in [HbMode::Dual, HbMode::Single, HbMode::Literal] {
             for shards in [1, 2, 3, 4] {
                 for batch in [1, 3, 64] {
-                    assert_parity(mode, shards, batch);
+                    assert_parity(mode, shards, batch, false);
                 }
+            }
+            // The degenerate threaded single shard (inline-bypassed by
+            // `new`) must stay byte-identical too — it is what the
+            // transport benches measure.
+            for batch in [1, 64] {
+                assert_parity(mode, 1, batch, true);
             }
         }
     }
@@ -1007,5 +1408,104 @@ mod tests {
             seen.insert(shard_of(AreaKey::new(0, block), 4));
         }
         assert!(seen.len() > 1);
+    }
+
+    #[test]
+    fn merge_sorted_reports_orders_across_sources() {
+        let report = |seq: u64| RaceReport {
+            detector: "dual-clock",
+            class: crate::report::RaceClass::WriteWrite,
+            current: AccessSummary {
+                id: seq,
+                process: 0,
+                kind: AccessKind::Write,
+                range: GlobalAddr::public(0, 0).range(8),
+                clock: Arc::new(VectorClock::zero(2)),
+                atomic: false,
+            },
+            previous: None,
+            area: AreaKey::new(0, 0),
+        };
+        let key = |seq: u64| -> ReportKey { (seq, 0, 0, 0) };
+        // Three sorted shard logs with interleaved keys.
+        let replies = vec![
+            vec![(key(0), report(0)), (key(5), report(5))],
+            vec![(key(2), report(2))],
+            vec![
+                (key(1), report(1)),
+                (key(3), report(3)),
+                (key(4), report(4)),
+            ],
+        ];
+        let mut out = Vec::new();
+        merge_sorted_reports(replies, &mut out);
+        let ids: Vec<u64> = out.iter().map(|r| r.current.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn steady_state_recycles_transport_buffers() {
+        // Repeated sub-chunk batches ship only at the fence, where the
+        // previous fence's buffers are guaranteed back on the recycle
+        // channel (the worker returns a chunk before replying to the flush
+        // that follows it). The buffer population must therefore stop
+        // growing after the first batch: the steady state allocates no new
+        // transport buffers.
+        let n = 4;
+        let stream: Vec<MemOp> = (0..100u64)
+            .map(|i| MemOp::Op(put(i, (i % 4) as usize, ((i + 1) % 4) as usize, 0)))
+            .collect();
+        let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 2);
+        // Census: every buffer is pooled, being filled, or in flight on the
+        // recycle channel (the fence already drained the shards).
+        fn population(det: &mut ShardedDetector) -> usize {
+            let Pipeline::Threaded(t) = &mut det.pipeline else {
+                panic!("recycling test needs the threaded pipeline");
+            };
+            while let Ok(buf) = t.recycle_rx.try_recv() {
+                t.pool.push(buf);
+            }
+            t.pool.len() + t.buffers.len()
+        }
+        det.observe_batch(&stream);
+        let after_warmup = population(&mut det);
+        for _ in 0..10 {
+            det.observe_batch(&stream);
+        }
+        let after_steady = population(&mut det);
+        assert_eq!(
+            after_steady, after_warmup,
+            "steady state must allocate no new transport buffers"
+        );
+    }
+
+    #[test]
+    fn with_config_boundary_matches_default_layout() {
+        // A dense prefix of 2 blocks forces the mixed stream across the
+        // dense→spillover boundary on both the shard stores and the join
+        // replicas; reports and accounting must be layout-invariant.
+        let n = 4;
+        let stream = mixed_stream(n);
+        let tiny = StoreConfig { dense_blocks: 2 };
+        let mut small = ShardedDetector::with_config(n, Granularity::WORD, HbMode::Dual, 3, tiny);
+        let mut dflt = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 3);
+        small.observe_batch(&stream);
+        dflt.observe_batch(&stream);
+        assert_eq!(small.reports(), dflt.reports());
+        assert_eq!(small.touched_areas(), dflt.touched_areas());
+        assert_eq!(small.clock_memory_bytes(), dflt.clock_memory_bytes());
+    }
+
+    #[test]
+    fn single_op_observe_matches_batched_observe() {
+        let n = 3;
+        let mut by_ref = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 2);
+        let mut batched = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 2);
+        let ops = [put(0, 0, 1, 0), put(1, 2, 1, 0), put(2, 2, 1, 8)];
+        for op in &ops {
+            by_ref.observe(op, &[]);
+            batched.observe_batch(&[MemOp::Op(*op)]);
+        }
+        assert_eq!(by_ref.reports(), batched.reports());
     }
 }

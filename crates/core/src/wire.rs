@@ -1,0 +1,239 @@
+//! Epoch-delta clock transport for the sharded pipeline's data plane.
+//!
+//! The original transport shipped one `Arc<VectorClock>` per routed access.
+//! Cheap in isolation, the refcount traffic is cross-thread: every clone on
+//! the router and every drop on a shard is an atomic RMW on a cache line
+//! the other side just wrote, and every shard-side deref misses on clock
+//! data the router's core owns. On the batch hot path that cost dominates.
+//!
+//! This module replaces it with the observation the epoch fast path is
+//! built on (Mattern's event-clock property, the paper's Lemma 1): between
+//! two consecutive ops of one actor, the actor's clock changes *only in its
+//! own component* unless a synchronisation event (read-absorb, barrier,
+//! lock hand-off) merged foreign knowledge in. The router therefore keeps a
+//! per-actor **sync generation** — bumped exactly when a non-own component
+//! may have changed — and each shard keeps a cached copy of the last clock
+//! it received per actor. The wire format collapses to three cases:
+//!
+//! | message | size | when |
+//! |---|---|---|
+//! | [`ClockWire::Cached`] | 0 words | same op as the previous item to this shard |
+//! | [`ClockWire::Delta`] | 1 word (`count`) | actor only ticked since the last send |
+//! | [`ClockWire::Rebase`] | `Arc` + 1 word | sync generation changed (or first send) |
+//!
+//! A `Delta(count)` is applied by cloning the shard's cached clock and
+//! raising the actor's own component to `count` — an allocation and a copy
+//! that stay entirely on the shard's core, touching no router-owned cache
+//! lines. A `Rebase` carries the actor's **generation base**: the snapshot
+//! the router takes once per sync generation (the only time it clones a row
+//! at all). Since non-own components are frozen within a generation, *any*
+//! event clock of that generation is "base with the own component raised to
+//! `count`" — which is exactly how the shard applies it. The cross-thread
+//! `Arc`s are therefore one per actor per sync event per shard, instead of
+//! one per access, and the steady tick stream ships bare integers.
+//!
+//! Correctness is pinned two ways: the encode/apply round-trip property
+//! test in `tests/wire_roundtrip.rs` replays random tick/sync interleavings
+//! against an always-`Full` oracle, and the end-to-end differential
+//! proptests prove the sharded detector's reports stay byte-identical to
+//! the sequential detector's.
+
+use std::sync::Arc;
+
+use vclock::VectorClock;
+
+use crate::Rank;
+
+/// The clock of one routed access, in the epoch-delta encoding. See the
+/// module docs for the protocol.
+#[derive(Debug, Clone)]
+pub enum ClockWire {
+    /// The receiving shard's cached snapshot for this actor is already the
+    /// access's clock (an earlier item of the same op carried it).
+    Cached,
+    /// The cached snapshot with the actor's own component raised to
+    /// `count`. Valid because the actor has only ticked since the last
+    /// send to this shard.
+    Delta(u64),
+    /// The actor's generation base with the own component raised to
+    /// `count`; replaces the shard's cache for this actor. Sent when the
+    /// sync generation changed (or on first contact).
+    Rebase(Arc<VectorClock>, u64),
+}
+
+/// Router-side encoder state for **one shard**: what that shard's cache
+/// currently holds per actor, in terms the router tracks cheaply (sync
+/// generation and op sequence of the last send).
+#[derive(Debug)]
+pub struct ClockEncoder {
+    /// Sync generation of each actor at the last [`ClockWire::Rebase`]
+    /// send; `u64::MAX` before anything was sent (generations are bump
+    /// counters, they never reach it).
+    sent_gen: Vec<u64>,
+    /// Op sequence number of the last item sent per actor (to emit
+    /// [`ClockWire::Cached`] for further items of the same op).
+    sent_seq: Vec<u64>,
+}
+
+/// Sentinel for "nothing sent yet" in [`ClockEncoder::sent_gen`].
+const NEVER: u64 = u64::MAX;
+
+impl ClockEncoder {
+    /// Encoder for a shard that has seen nothing yet, over `n` actors.
+    pub fn new(n: usize) -> Self {
+        ClockEncoder {
+            sent_gen: vec![NEVER; n],
+            sent_seq: vec![NEVER; n],
+        }
+    }
+
+    /// Encode the clock of actor `actor`'s op `seq`, whose current sync
+    /// generation is `gen` and whose post-tick own component is `count`.
+    /// `base` supplies the actor's generation-base snapshot (only called
+    /// when a [`ClockWire::Rebase`] is unavoidable; the base's non-own
+    /// components must equal the actor's current row, which is what the
+    /// router's once-per-generation snapshot guarantees).
+    #[inline]
+    pub fn encode(
+        &mut self,
+        actor: Rank,
+        seq: u64,
+        gen: u64,
+        count: u64,
+        base: impl FnOnce() -> Arc<VectorClock>,
+    ) -> ClockWire {
+        if self.sent_seq[actor] == seq {
+            return ClockWire::Cached;
+        }
+        self.sent_seq[actor] = seq;
+        if self.sent_gen[actor] == gen {
+            // Only the actor's own component moved since the last send.
+            ClockWire::Delta(count)
+        } else {
+            self.sent_gen[actor] = gen;
+            ClockWire::Rebase(base(), count)
+        }
+    }
+}
+
+/// Shard-side cache: the last received clock per actor, applied against
+/// incoming [`ClockWire`] messages to reconstruct each access's snapshot.
+#[derive(Debug)]
+pub struct ClockCache {
+    clocks: Vec<Option<Arc<VectorClock>>>,
+}
+
+impl ClockCache {
+    /// Empty cache over `n` actors.
+    pub fn new(n: usize) -> Self {
+        ClockCache {
+            clocks: vec![None; n],
+        }
+    }
+
+    /// Reconstruct the access clock carried by `wire` for `actor`,
+    /// updating the cache. The returned `Arc` is freshly owned by this
+    /// shard for `Delta` messages (no cross-thread refcounts).
+    ///
+    /// # Panics
+    /// Panics on a `Cached`/`Delta` message for an actor that never
+    /// received a `Rebase` — the encoder never emits that.
+    #[inline]
+    pub fn apply(&mut self, actor: Rank, wire: ClockWire) -> Arc<VectorClock> {
+        match wire {
+            ClockWire::Cached => {
+                Arc::clone(self.clocks[actor].as_ref().expect("cached after a rebase"))
+            }
+            ClockWire::Delta(count) => {
+                let mut v: VectorClock =
+                    (**self.clocks[actor].as_ref().expect("delta after a rebase")).clone();
+                v.set(actor, count);
+                let arc = Arc::new(v);
+                self.clocks[actor] = Some(Arc::clone(&arc));
+                arc
+            }
+            ClockWire::Rebase(base, count) => {
+                let mut v: VectorClock = (*base).clone();
+                v.set(actor, count);
+                let arc = Arc::new(v);
+                self.clocks[actor] = Some(Arc::clone(&arc));
+                arc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(v: &[u64]) -> Arc<VectorClock> {
+        Arc::new(VectorClock::from_components(v.to_vec()))
+    }
+
+    #[test]
+    fn first_send_is_a_rebase_then_deltas_while_only_ticking() {
+        let mut enc = ClockEncoder::new(2);
+        let mut cache = ClockCache::new(2);
+        // Op 0: first contact — rebase from the generation base (taken at
+        // gen start, own component possibly stale: apply raises it).
+        let w = enc.encode(0, 0, 0, 1, || clock(&[0, 0]));
+        assert!(matches!(w, ClockWire::Rebase(_, 1)));
+        assert_eq!(*cache.apply(0, w), *clock(&[1, 0]));
+        // Second item of the same op: cached.
+        let w = enc.encode(0, 0, 0, 1, || unreachable!("no base needed"));
+        assert!(matches!(w, ClockWire::Cached));
+        assert_eq!(*cache.apply(0, w), *clock(&[1, 0]));
+        // Op 1, same generation: a one-word delta.
+        let w = enc.encode(0, 1, 0, 2, || unreachable!("no base needed"));
+        assert!(matches!(w, ClockWire::Delta(2)));
+        assert_eq!(*cache.apply(0, w), *clock(&[2, 0]));
+    }
+
+    #[test]
+    fn generation_bump_forces_a_rebase() {
+        let mut enc = ClockEncoder::new(2);
+        let mut cache = ClockCache::new(2);
+        let w = enc.encode(0, 0, 0, 1, || clock(&[0, 0]));
+        cache.apply(0, w);
+        // A barrier merged foreign knowledge: generation 0 → 1, the new
+        // base carries the foreign component.
+        let w = enc.encode(0, 1, 1, 2, || clock(&[1, 7]));
+        assert!(matches!(w, ClockWire::Rebase(_, 2)));
+        assert_eq!(*cache.apply(0, w), *clock(&[2, 7]));
+        // Back to deltas afterwards.
+        let w = enc.encode(0, 2, 1, 3, || unreachable!("no base needed"));
+        assert!(matches!(w, ClockWire::Delta(3)));
+        assert_eq!(*cache.apply(0, w), *clock(&[3, 7]));
+    }
+
+    #[test]
+    fn actors_are_tracked_independently() {
+        let mut enc = ClockEncoder::new(2);
+        let mut cache = ClockCache::new(2);
+        cache.apply(0, enc.encode(0, 0, 0, 1, || clock(&[0, 0])));
+        // First send for actor 1 within a later op is still a rebase.
+        let w = enc.encode(1, 1, 0, 1, || clock(&[0, 0]));
+        assert!(matches!(w, ClockWire::Rebase(_, 1)));
+        assert_eq!(*cache.apply(1, w), *clock(&[0, 1]));
+        // Actor 0's delta stream is unaffected by actor 1's sends.
+        let w = enc.encode(0, 2, 0, 2, || unreachable!("no base needed"));
+        assert!(matches!(w, ClockWire::Delta(2)));
+        assert_eq!(*cache.apply(0, w), *clock(&[2, 0]));
+    }
+
+    #[test]
+    fn reconstruction_owns_its_allocation() {
+        let mut enc = ClockEncoder::new(1);
+        let mut cache = ClockCache::new(1);
+        let base = clock(&[0]);
+        let first = cache.apply(0, enc.encode(0, 0, 0, 1, || Arc::clone(&base)));
+        assert!(
+            !Arc::ptr_eq(&first, &base),
+            "rebase clocks are shard-local allocations"
+        );
+        let rebuilt = cache.apply(0, enc.encode(0, 1, 0, 2, || unreachable!()));
+        assert!(!Arc::ptr_eq(&rebuilt, &first));
+        assert_eq!(*rebuilt, *clock(&[2]));
+    }
+}

@@ -125,7 +125,7 @@ fn memops(steps: &[Step]) -> Vec<MemOp> {
     steps
         .iter()
         .map(|s| match s {
-            Step::Op(op) => MemOp::Op(op.clone()),
+            Step::Op(op) => MemOp::Op(*op),
             Step::Barrier => MemOp::Barrier,
             Step::Release { rank, lock } => MemOp::Release {
                 rank: *rank,

@@ -288,8 +288,10 @@ impl Engine {
         let net = Network::new(cfg.n, cfg.topology, latency);
         // Batched drain mode: ops and sync events buffer up and drain in
         // batches through the sharded pipeline, whose report stream is
-        // byte-identical to the inline detector's. Only the clock-based
-        // kinds shard; lockset/vanilla keep no per-area clocks.
+        // byte-identical to the inline detector's. The drained batches ride
+        // the detector's recycled transport buffers (router→shard→router),
+        // so the steady-state drain allocates nothing end to end. Only the
+        // clock-based kinds shard; lockset/vanilla keep no per-area clocks.
         let detector: Box<dyn Detector> = match cfg.detector.hb_mode() {
             Some(mode) if cfg.detector_shards > 1 => Box::new(BatchingDetector::new(
                 ShardedDetector::new(cfg.n, cfg.granularity, mode, cfg.detector_shards),
@@ -804,7 +806,6 @@ impl Engine {
                     .as_ref()
                     .expect("plan")
                     .op
-                    .clone()
                     .expect("op");
                 let held = self.procs[rank].held_lock_ids();
                 // Source-side read access happens now (trace), unless imm.
@@ -858,13 +859,12 @@ impl Engine {
                     .as_ref()
                     .expect("plan")
                     .op
-                    .clone()
                     .expect("op");
                 let owner = src.addr.rank;
                 let t = self.token(TokenUse::GetReply {
                     actor: rank,
                     dst,
-                    op: op.clone(),
+                    op,
                     src_owner: owner,
                 });
                 if owner == rank {
@@ -884,7 +884,6 @@ impl Engine {
                     .as_ref()
                     .expect("plan")
                     .op
-                    .clone()
                     .expect("op");
                 let held = self.procs[rank].held_lock_ids();
                 let owner = target.addr.rank;
@@ -915,7 +914,6 @@ impl Engine {
                     .as_ref()
                     .expect("plan")
                     .op
-                    .clone()
                     .expect("op");
                 let held = self.procs[rank].held_lock_ids();
                 match &write {
@@ -1077,7 +1075,7 @@ impl Engine {
     fn serve_get_request(&mut self, owner: Rank, src: MemRange, token: OpToken, local: bool) {
         // The read happens here. Observe the whole op at the read point.
         let (actor, op) = match self.tokens.get(&token) {
-            Some(TokenUse::GetReply { actor, op, .. }) => (*actor, op.clone()),
+            Some(TokenUse::GetReply { actor, op, .. }) => (*actor, *op),
             _ => {
                 self.errors
                     .push(format!("get request with unknown token {token}"));

@@ -33,6 +33,11 @@
 //! and 4) are provided verbatim in [`compare`], including the paper's
 //! *literal* strict comparison (which differs from the standard vector-clock
 //! partial order — see `compare::literal_less` for the discussion).
+//!
+//! [`kernels`] holds the chunked, branch-free inner loops (`leq`, `merge`,
+//! fused `merge_dominated`, one-pass `dominance`) that every
+//! [`VectorClock`] comparison and merge bottoms out in — shared by the
+//! sequential detectors and the sharded pipeline's workers alike.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +45,7 @@
 pub mod compare;
 pub mod delta;
 pub mod epoch;
+pub mod kernels;
 pub mod lamport;
 pub mod matrix;
 pub mod sparse;

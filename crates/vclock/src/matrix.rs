@@ -56,6 +56,18 @@ impl MatrixClock {
         self.rows[owner].clone()
     }
 
+    /// Tick without snapshotting: increment `V[i,i]` and return the new
+    /// diagonal value only. The sharded router's epoch-delta transport uses
+    /// this — a `(rank, count)` pair is all the wire format needs while the
+    /// actor's clock has only ticked since the last full send, so the
+    /// per-op row clone and `Arc` allocation of [`MatrixClock::tick_shared`]
+    /// are skipped entirely on that path.
+    #[inline]
+    pub fn tick_count(&mut self) -> u64 {
+        let owner = self.owner;
+        self.rows[owner].tick(owner)
+    }
+
     /// [`MatrixClock::tick`] returning the snapshot behind an
     /// [`std::sync::Arc`] — the *shard-safe* form of the event clock.
     ///

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernels;
 use crate::Rank;
 
 /// Outcome of comparing two vector clocks under the causal partial order.
@@ -110,9 +111,7 @@ impl VectorClock {
             self.len(),
             other.len()
         );
-        for (a, b) in self.components.iter_mut().zip(&other.components) {
-            *a = (*a).max(*b);
-        }
+        kernels::merge(&mut self.components, &other.components);
     }
 
     /// Algorithm 4 returning a fresh clock (`V' = max(V_i, V_j)`).
@@ -138,37 +137,25 @@ impl VectorClock {
             self.len(),
             other.len()
         );
-        let mut dominated = true;
-        for (a, b) in self.components.iter_mut().zip(&other.components) {
-            if *a > *b {
-                dominated = false;
-            } else {
-                *a = *b;
-            }
-        }
-        dominated
+        kernels::merge_dominated(&mut self.components, &other.components)
     }
 
     /// Standard vector-clock comparison: `self ≤ other` iff every component
     /// is `≤`.
     #[inline]
     pub fn leq(&self, other: &VectorClock) -> bool {
-        debug_assert_eq!(self.len(), other.len());
-        self.components
-            .iter()
-            .zip(&other.components)
-            .all(|(a, b)| a <= b)
+        kernels::leq(&self.components, &other.components)
     }
 
-    /// Causal relation between two clocks.
+    /// Causal relation between two clocks. One chunked pass computing both
+    /// dominance directions (see [`kernels::dominance`]), not two `leq`
+    /// sweeps.
     pub fn relation(&self, other: &VectorClock) -> ClockRelation {
-        let le = self.leq(other);
-        let ge = other.leq(self);
-        match (le, ge) {
-            (true, true) => ClockRelation::Equal,
-            (true, false) => ClockRelation::Before,
-            (false, true) => ClockRelation::After,
-            (false, false) => ClockRelation::Concurrent,
+        match kernels::dominance(&self.components, &other.components) {
+            (false, false) => ClockRelation::Equal,
+            (false, true) => ClockRelation::Before,
+            (true, false) => ClockRelation::After,
+            (true, true) => ClockRelation::Concurrent,
         }
     }
 
@@ -176,27 +163,12 @@ impl VectorClock {
     /// two clocks. A pair of *conflicting* accesses with concurrent clocks
     /// is a race condition (`e1 × e2`).
     ///
-    /// Single pass with early exit: returns as soon as a component pair in
-    /// each direction has been seen (detector antichain scans call this per
-    /// recorded access).
+    /// Single chunked pass accumulating both dominance directions as
+    /// branch-free masks, exiting between chunks once both have been seen
+    /// (detector antichain scans call this per recorded access).
     #[inline]
     pub fn concurrent_with(&self, other: &VectorClock) -> bool {
-        debug_assert_eq!(self.len(), other.len());
-        let (mut le, mut ge) = (true, true);
-        for (a, b) in self.components.iter().zip(&other.components) {
-            if a < b {
-                ge = false;
-                if !le {
-                    return true;
-                }
-            } else if a > b {
-                le = false;
-                if !ge {
-                    return true;
-                }
-            }
-        }
-        false // comparable in at least one direction (or equal)
+        kernels::dominance(&self.components, &other.components) == (true, true)
     }
 
     /// Raw component view.

@@ -84,6 +84,80 @@ proptest! {
     }
 }
 
+/// Scalar reference semantics for the chunked kernels, straight from the
+/// definitions — the chunked/masked rewrites in `vclock::kernels` must be
+/// observationally identical at every width.
+mod scalar {
+    pub fn leq(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).all(|(x, y)| x <= y)
+    }
+
+    pub fn merge(a: &[u64], b: &[u64]) -> Vec<u64> {
+        a.iter().zip(b).map(|(x, y)| *x.max(y)).collect()
+    }
+}
+
+const MAX_WIDTH: usize = 128;
+
+proptest! {
+    /// Chunked kernels vs scalar reference at arbitrary widths 1..=128.
+    /// Component values are drawn from a tiny range so equal components —
+    /// the inputs that expose masking slips — are common, and widths sweep
+    /// across every chunk-remainder length.
+    #[test]
+    fn chunked_kernels_match_scalar(
+        (width, raw_a, raw_b) in (
+            1usize..=MAX_WIDTH,
+            proptest::collection::vec(0u64..6, MAX_WIDTH),
+            proptest::collection::vec(0u64..6, MAX_WIDTH),
+        )
+    ) {
+        let a = VectorClock::from_components(raw_a[..width].to_vec());
+        let b = VectorClock::from_components(raw_b[..width].to_vec());
+        let le = scalar::leq(a.components(), b.components());
+        let ge = scalar::leq(b.components(), a.components());
+        prop_assert_eq!(a.leq(&b), le);
+        prop_assert_eq!(b.leq(&a), ge);
+        prop_assert_eq!(a.concurrent_with(&b), !le && !ge);
+        let expected_relation = match (le, ge) {
+            (true, true) => ClockRelation::Equal,
+            (true, false) => ClockRelation::Before,
+            (false, true) => ClockRelation::After,
+            (false, false) => ClockRelation::Concurrent,
+        };
+        prop_assert_eq!(a.relation(&b), expected_relation);
+        let merged = scalar::merge(a.components(), b.components());
+        let mut m = a.clone();
+        prop_assert_eq!(m.merge_dominated(&b), le);
+        prop_assert_eq!(m.components(), &merged[..]);
+        let mut m2 = a.clone();
+        m2.merge(&b);
+        prop_assert_eq!(m2.components(), &merged[..]);
+    }
+
+    /// All-equal and single-divergence inputs at every width: the one
+    /// differing component must flip the verdict regardless of which chunk
+    /// lane it lands in.
+    #[test]
+    fn single_divergence_flips_the_verdict(
+        (width, pos_raw, base) in (1usize..=MAX_WIDTH, 0usize..MAX_WIDTH, 1u64..50)
+    ) {
+        let pos = pos_raw % width;
+        let a = VectorClock::from_components(vec![base; width]);
+        prop_assert_eq!(a.relation(&a), ClockRelation::Equal);
+        prop_assert!(a.leq(&a) && !a.concurrent_with(&a));
+        let mut raised = vec![base; width];
+        raised[pos] += 1;
+        let b = VectorClock::from_components(raised);
+        prop_assert_eq!(a.relation(&b), ClockRelation::Before);
+        prop_assert_eq!(b.relation(&a), ClockRelation::After);
+        prop_assert!(a.leq(&b) && !b.leq(&a));
+        let mut m = a.clone();
+        prop_assert!(m.merge_dominated(&b), "raising one component dominates");
+        prop_assert_eq!(m, b);
+    }
+}
+
 /// A tiny execution generator: a list of (sender, receiver) message events.
 /// Every process ticks before sending; receives merge then tick. We then
 /// verify Mattern's theorem: clock comparability == happens-before
