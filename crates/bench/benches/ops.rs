@@ -23,7 +23,7 @@ fn put_roundtrip(c: &mut Criterion) {
                 ];
                 let mut cfg = SimConfig::lockstep(2, 1_000);
                 cfg.public_len = size.max(4096);
-                cfg.detector = DetectorKind::Vanilla;
+                cfg.detector.kind = DetectorKind::Vanilla;
                 Engine::new(cfg, programs).run()
             });
         });
@@ -42,7 +42,7 @@ fn get_roundtrip(c: &mut Criterion) {
                 let mut cfg = SimConfig::lockstep(2, 1_000);
                 cfg.public_len = size.max(4096);
                 cfg.private_len = size.max(4096);
-                cfg.detector = DetectorKind::Vanilla;
+                cfg.detector.kind = DetectorKind::Vanilla;
                 Engine::new(cfg, programs).run()
             });
         });
@@ -57,7 +57,7 @@ fn fig3_deferral(c: &mut Criterion) {
         cfg.latency = simulator::LatencySpec::InfiniBand;
         cfg.public_len = 1 << 16;
         cfg.private_len = 1 << 16;
-        cfg.detector = DetectorKind::Vanilla;
+        cfg.detector.kind = DetectorKind::Vanilla;
         b.iter(|| Engine::new(cfg.clone(), w.programs.clone()).run());
     });
 }

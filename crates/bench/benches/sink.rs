@@ -1,0 +1,63 @@
+//! The report-path bench: the detector hot loop driven through the
+//! `race_core::api` façade with each shipped sink, against the legacy
+//! direct-log-append path (PR-3's hot loop).
+//!
+//! `report_path/{hotspot,stencil}/{legacy-log,session-*}` is the set the
+//! BENCH_0004 acceptance criterion reads; `repro --bench-sinks` prints the
+//! same comparison as JSON. The claim under test: streaming through a sink
+//! costs nothing measurable — on the silent stencil stream the sink is
+//! never consulted, and on the report-dense hotspot stream the `VecSink`
+//! path hands reports over by value exactly like the old log append.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm_bench::opstream::{self, StreamEvent};
+use race_core::api::{CountingSink, DetectorConfig, ReportSink, SummarySink, VecSink};
+use race_core::DetectorKind;
+
+fn bench_set(c: &mut Criterion, label: &str, n: usize, events: &[StreamEvent]) {
+    let config = DetectorConfig::new(DetectorKind::Dual, n);
+    let mut group = c.benchmark_group(format!("report_path/{label}"));
+    group.bench_with_input(BenchmarkId::from_parameter("legacy-log"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = config.build();
+            opstream::drive(&mut *det, events)
+        });
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("sink-vec"), &(), |b, _| {
+        b.iter(|| {
+            let mut det = config.build();
+            let mut sink = VecSink::new();
+            opstream::drive_sink(&mut *det, &mut sink, events)
+        });
+    });
+    type MakeSink = fn() -> Box<dyn ReportSink>;
+    let sinks: [(&str, MakeSink); 3] = [
+        ("session-vec", || Box::new(VecSink::new())),
+        ("session-summary", || Box::new(SummarySink::default())),
+        ("session-counting", || Box::new(CountingSink::default())),
+    ];
+    for (path, make_sink) in sinks {
+        group.bench_with_input(BenchmarkId::from_parameter(path), &(), |b, _| {
+            b.iter(|| {
+                let mut session = config.session_with(make_sink());
+                opstream::drive_session(&mut session, events)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn hotspot_stream(c: &mut Criterion) {
+    let n = 8;
+    let events = opstream::hotspot(n, 512, 8);
+    bench_set(c, "hotspot", n, &events);
+}
+
+fn stencil_stream(c: &mut Criterion) {
+    let n = 16;
+    let events = opstream::stencil(n, 16, 4);
+    bench_set(c, "stencil", n, &events);
+}
+
+criterion_group!(benches, hotspot_stream, stencil_stream);
+criterion_main!(benches);

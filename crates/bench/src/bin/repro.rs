@@ -17,9 +17,58 @@
 //!                         # reference detector's on either seed workload
 //!                         # (order-inversion check only — robust on
 //!                         # shared runners)
+//!   repro --bench-sinks   # the BENCH_0004.json content: the report-path
+//!                         # microbench — legacy direct log append vs the
+//!                         # api::Session paths (VecSink / SummarySink /
+//!                         # CountingSink) on hotspot and stencil
+//!   repro --config JSON   # DetectorConfig round-trip smoke: build a
+//!                         # session from the JSON, drive the hotspot
+//!                         # stream, serialize → reparse → rebuild, and
+//!                         # fail (exit 1) unless the two report streams
+//!                         # are byte-identical
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(at) = args.iter().position(|a| a == "--config") {
+        let Some(json) = args.get(at + 1) else {
+            eprintln!("--config needs a DetectorConfig JSON argument");
+            std::process::exit(1);
+        };
+        let config = match race_core::DetectorConfig::from_json(json) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("config parse error: {e}");
+                std::process::exit(1);
+            }
+        };
+        match dsm_bench::perfjson::config_roundtrip(&config) {
+            Ok((reports, accesses)) => {
+                println!(
+                    "{{\"config\":{},\"reports\":{},\"accesses\":{},\"roundtrip\":\"ok\"}}",
+                    config.to_json(),
+                    reports,
+                    accesses,
+                );
+            }
+            Err(e) => {
+                eprintln!("config round-trip FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-sinks") {
+        let rows = dsm_bench::perfjson::bench_rows_sinks();
+        for row in &rows {
+            println!("{}", row.to_json());
+        }
+        for (workload, path, ratio) in dsm_bench::perfjson::sink_overheads(&rows) {
+            eprintln!("# {workload}: {path} {ratio:.2}x ns/access vs legacy-log");
+        }
+        return;
+    }
 
     if args.iter().any(|a| a == "--bench-check") {
         // Rows to stdout, verdicts to stderr — the one measurement serves

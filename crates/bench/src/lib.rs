@@ -308,7 +308,7 @@ pub fn memory() -> Table {
         ("page (4KB)", race_core::Granularity::PAGE),
     ] {
         let mut cfg = SimConfig::debugging(w.n);
-        cfg.granularity = gran;
+        cfg.detector.granularity = gran;
         let r = run(cfg, w.programs.clone());
         rows.push(format!(
             "{:<14} {:>12} {:>10}",

@@ -172,6 +172,39 @@ pub fn drive(detector: &mut dyn Detector, events: &[StreamEvent]) -> usize {
     reports
 }
 
+/// Feed a stream through a detector's sink path
+/// ([`Detector::observe_sink`]) with a caller-owned sink — the bare
+/// streaming hot loop, no session bookkeeping; returns the total number of
+/// reports, including any a final flush drains.
+pub fn drive_sink(
+    detector: &mut dyn Detector,
+    sink: &mut dyn race_core::ReportSink,
+    events: &[StreamEvent],
+) -> usize {
+    let mut reports = 0;
+    for e in events {
+        match e {
+            StreamEvent::Op(op) => reports += detector.observe_sink(op, &[], sink),
+            StreamEvent::Barrier => detector.on_barrier(),
+        }
+    }
+    reports + detector.flush_sink(sink)
+}
+
+/// Feed a stream through a `race_core::api` [`race_core::Session`]
+/// (reports go to the session's sink); returns the total number of
+/// reports, including any a final flush drains.
+pub fn drive_session(session: &mut race_core::Session, events: &[StreamEvent]) -> usize {
+    let mut reports = 0;
+    for e in events {
+        match e {
+            StreamEvent::Op(op) => reports += session.observe(op, &[]),
+            StreamEvent::Barrier => session.on_barrier(),
+        }
+    }
+    reports + session.flush()
+}
+
 /// The stream as [`MemOp`] events for the batched sharded pipeline.
 pub fn memops(events: &[StreamEvent]) -> Vec<MemOp> {
     events

@@ -15,9 +15,10 @@
 
 use std::time::Instant;
 
+use race_core::api::{CountingSink, DetectorConfig, ReportSink, SummarySink, VecSink};
 use race_core::{
-    Detector, Granularity, HbDetector, HbMode, MemOp, ReferenceHbDetector, ShardedDetector,
-    StoreConfig,
+    Detector, DetectorKind, Granularity, HbDetector, HbMode, MemOp, ReferenceHbDetector,
+    ShardedDetector, StoreConfig,
 };
 use simulator::workloads::random_access::RandomSpec;
 
@@ -347,6 +348,246 @@ pub fn sharded_speedups(rows: &[ShardRow]) -> Vec<(String, String, usize, f64)> 
     out
 }
 
+/// One measured report path (the `BENCH_0004` shape): the detector hot
+/// loop driven through the `race_core::api` façade with a given sink,
+/// against the `legacy-log` direct-append baseline. Embeds the exact
+/// [`DetectorConfig`] JSON so the row is reproducible from itself.
+pub struct SinkRow {
+    /// Workload label (`hotspot` / `stencil`).
+    pub workload: &'static str,
+    /// Report path: `legacy-log` (PR-3's direct log append, the baseline);
+    /// `sink-vec` (the bare `observe_sink` hot loop into a caller-owned
+    /// `VecSink` — the apples-to-apples sink-vs-log comparison);
+    /// `session-vec` / `session-summary` / `session-counting` (the full
+    /// `Session`, which additionally folds every report into the bounded
+    /// running summary).
+    pub path: &'static str,
+    /// The exact detector configuration, as JSON.
+    pub config: String,
+    /// Process count.
+    pub n: usize,
+    /// Clocked accesses per run of the stream.
+    pub accesses: u64,
+    /// Measured throughput, accesses per second.
+    pub ops_per_sec: f64,
+    /// Inverse throughput, ns per clocked access.
+    pub ns_per_access: f64,
+    /// Race reports per run (must match across paths).
+    pub reports: usize,
+}
+
+impl SinkRow {
+    /// The committed JSON shape: one object per line, config embedded.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"path\":\"{}\",\"n\":{},",
+                "\"accesses\":{},\"ops_per_sec\":{:.0},\"ns_per_access\":{:.1},",
+                "\"reports\":{},\"config\":{}}}"
+            ),
+            self.workload,
+            self.path,
+            self.n,
+            self.accesses,
+            self.ops_per_sec,
+            self.ns_per_access,
+            self.reports,
+            self.config,
+        )
+    }
+}
+
+/// How a [`measure_sink_path`] run consumes reports — one variant per
+/// BENCH_0004 row label, so a path cannot be mislabelled or dispatched to
+/// the wrong measurement body.
+enum ReportPath {
+    /// PR-3's hot path: `observe()` appending straight to the detector's
+    /// internal log.
+    LegacyLog,
+    /// The bare sink path: `observe_sink()` handing reports by value to a
+    /// caller-owned `VecSink` — the apples-to-apples comparison against
+    /// [`ReportPath::LegacyLog`] (no session bookkeeping).
+    BareSink,
+    /// The full `Session` (which additionally folds every report into the
+    /// bounded running summary), streaming into the constructed sink.
+    Session(fn() -> Box<dyn ReportSink>),
+}
+
+impl ReportPath {
+    /// The row's `path` label.
+    fn label(&self, sink_label: &'static str) -> &'static str {
+        match self {
+            ReportPath::LegacyLog => "legacy-log",
+            ReportPath::BareSink => "sink-vec",
+            ReportPath::Session(_) => sink_label,
+        }
+    }
+}
+
+fn measure_sink_path(
+    workload: &'static str,
+    path: ReportPath,
+    sink_label: &'static str,
+    events: &[StreamEvent],
+    config: &DetectorConfig,
+) -> SinkRow {
+    let accesses = opstream::access_count(events);
+    let mut runs = 1u32;
+    let (reports, elapsed) = loop {
+        let t = Instant::now();
+        let mut reports = 0;
+        for _ in 0..runs {
+            match &path {
+                ReportPath::LegacyLog => {
+                    let mut det = config.build();
+                    opstream::drive(&mut *det, events);
+                    // Flush so batched configs count end-of-stream
+                    // leftovers, exactly like the sink paths do.
+                    det.flush();
+                    reports = det.reports().len();
+                }
+                ReportPath::BareSink => {
+                    let mut det = config.build();
+                    let mut sink = VecSink::new();
+                    reports = opstream::drive_sink(&mut *det, &mut sink, events);
+                }
+                ReportPath::Session(make_sink) => {
+                    let mut session = config.session_with(make_sink());
+                    reports = opstream::drive_session(&mut session, events);
+                }
+            }
+        }
+        let elapsed = t.elapsed();
+        if elapsed.as_millis() >= 200 || runs >= 1 << 20 {
+            break (reports, elapsed);
+        }
+        runs = (runs * 4).min(1 << 20);
+    };
+    let total_accesses = accesses * runs as u64;
+    let secs = elapsed.as_secs_f64();
+    SinkRow {
+        workload,
+        path: path.label(sink_label),
+        config: config.to_json(),
+        n: config.n,
+        accesses,
+        ops_per_sec: total_accesses as f64 / secs,
+        ns_per_access: secs * 1e9 / total_accesses as f64,
+        reports,
+    }
+}
+
+/// The `BENCH_0004` measurement set: the report-path microbench. One
+/// dual-clock WORD-granularity configuration driven over the racy
+/// `hotspot` stream (dense reports — the worst case for any sink) and the
+/// silent `stencil` stream (the no-race path, where the sink must cost
+/// nothing because it is never consulted), through each report path.
+pub fn bench_rows_sinks() -> Vec<SinkRow> {
+    let mut rows = Vec::new();
+    let hotspot_n = 8;
+    let hotspot_events = opstream::hotspot(hotspot_n, 512, 8);
+    let stencil_n = 16;
+    let stencil_events = opstream::stencil(stencil_n, 16, 32);
+    for (workload, events, n) in [
+        ("hotspot", &hotspot_events, hotspot_n),
+        ("stencil", &stencil_events, stencil_n),
+    ] {
+        let config = DetectorConfig::new(DetectorKind::Dual, n);
+        rows.push(measure_sink_path(
+            workload,
+            ReportPath::LegacyLog,
+            "",
+            events,
+            &config,
+        ));
+        rows.push(measure_sink_path(
+            workload,
+            ReportPath::BareSink,
+            "",
+            events,
+            &config,
+        ));
+        type MakeSink = fn() -> Box<dyn ReportSink>;
+        let sessions: [(&'static str, MakeSink); 3] = [
+            ("session-vec", || Box::new(VecSink::new())),
+            ("session-summary", || Box::<SummarySink>::default()),
+            ("session-counting", || Box::<CountingSink>::default()),
+        ];
+        for (label, make_sink) in sessions {
+            rows.push(measure_sink_path(
+                workload,
+                ReportPath::Session(make_sink),
+                label,
+                events,
+                &config,
+            ));
+        }
+    }
+    rows
+}
+
+/// Overhead table derived from [`bench_rows_sinks`] output: each session
+/// path against its workload's `legacy-log` baseline, as
+/// `(workload, path, ns_per_access ratio)` (1.0 = free).
+pub fn sink_overheads(rows: &[SinkRow]) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for r in rows.iter().filter(|r| r.path != "legacy-log") {
+        if let Some(base) = rows
+            .iter()
+            .find(|b| b.path == "legacy-log" && b.workload == r.workload)
+        {
+            out.push((
+                r.workload.to_string(),
+                r.path.to_string(),
+                r.ns_per_access / base.ns_per_access,
+            ));
+        }
+    }
+    out
+}
+
+/// The `repro --config` round-trip smoke: build a session from `config`,
+/// drive the hotspot stream, then serialize → reparse → rebuild and drive
+/// the identical stream; the two report streams must be byte-identical.
+/// Returns `(reports, accesses)` on success.
+pub fn config_roundtrip(config: &DetectorConfig) -> Result<(usize, u64), String> {
+    if config.n < 2 {
+        // Races need two processes; silently bumping `n` would make the
+        // echoed config misrepresent what was actually measured.
+        return Err(format!(
+            "n must be >= 2 to exercise races, got {}",
+            config.n
+        ));
+    }
+    let config = config.clone();
+    let events = opstream::hotspot(config.n, 128, 8);
+    let accesses = opstream::access_count(&events);
+    let run = |c: &DetectorConfig| -> Vec<race_core::RaceReport> {
+        let mut session = c.session();
+        opstream::drive_session(&mut session, &events);
+        let (_, sink) = session.finish();
+        sink.reports().to_vec()
+    };
+    let direct = run(&config);
+    let reparsed = DetectorConfig::from_json(&config.to_json())?;
+    if reparsed != config {
+        return Err(format!(
+            "config round-trip mismatch: {} vs {}",
+            config.to_json(),
+            reparsed.to_json()
+        ));
+    }
+    let rebuilt = run(&reparsed);
+    if direct != rebuilt {
+        return Err(format!(
+            "report streams diverge after round-trip: {} vs {} reports",
+            direct.len(),
+            rebuilt.len()
+        ));
+    }
+    Ok((direct.len(), accesses))
+}
+
 /// Outcome of the CI perf smoke: the measured rows (so callers can print
 /// them without re-running the measurement), the human-readable verdict
 /// lines, and the overall pass/fail.
@@ -460,6 +701,65 @@ mod tests {
         assert!((s[0].3 - 2.0).abs() < 1e-9);
         assert_eq!((s[1].1.as_str(), s[1].2), ("sharded-mt", 1));
         assert!((s[1].3 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sink_row_json_embeds_the_config() {
+        let config = DetectorConfig::new(DetectorKind::Dual, 8);
+        let row = SinkRow {
+            workload: "hotspot",
+            path: "session-vec",
+            config: config.to_json(),
+            n: 8,
+            accesses: 100,
+            ops_per_sec: 1e6,
+            ns_per_access: 1000.0,
+            reports: 5,
+        };
+        let j = row.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.contains("\"path\":\"session-vec\""));
+        assert!(j.contains("\"config\":{\"kind\":\"dual-clock\""));
+        // The embedded config must itself round-trip.
+        let embedded = &j[j.find("\"config\":").unwrap() + "\"config\":".len()..j.len() - 1];
+        assert_eq!(DetectorConfig::from_json(embedded).unwrap(), config);
+    }
+
+    #[test]
+    fn sink_overheads_pair_against_legacy_baseline() {
+        let mk = |path: &'static str, ns: f64| SinkRow {
+            workload: "hotspot",
+            path,
+            config: String::from("{}"),
+            n: 4,
+            accesses: 10,
+            ops_per_sec: 1e9 / ns,
+            ns_per_access: ns,
+            reports: 0,
+        };
+        let rows = vec![mk("legacy-log", 100.0), mk("session-vec", 110.0)];
+        let o = sink_overheads(&rows);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o[0].1, "session-vec");
+        assert!((o[0].2 - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_roundtrip_smoke_passes_for_every_kind() {
+        for kind in DetectorKind::ALL {
+            let config = DetectorConfig::new(kind, 4);
+            let (reports, accesses) =
+                config_roundtrip(&config).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert!(accesses > 0);
+            if kind == DetectorKind::Dual {
+                assert!(reports > 0, "hotspot must race under the dual clock");
+            }
+        }
+        // Sharded + batched too: the drained stream must round-trip.
+        let config = DetectorConfig::new(DetectorKind::Dual, 4)
+            .with_shards(2)
+            .with_batch(64);
+        config_roundtrip(&config).expect("sharded batched round-trip");
     }
 
     #[test]

@@ -1,0 +1,985 @@
+//! The unified construction and consumption façade: one builder
+//! ([`DetectorConfig`]), one driving handle ([`Session`]), one streaming
+//! output contract ([`ReportSink`]).
+//!
+//! The paper's detector is *online*: races are "signalled, never fatal"
+//! (§IV-D). A production runtime therefore wants a **stream** of reports —
+//! printed, counted, aggregated, forwarded — not an unbounded in-memory
+//! log sliced after the fact. This module is that streaming layer, plus the
+//! single place every construction knob lives:
+//!
+//! ```text
+//!   DetectorConfig ──build()──▶ Box<dyn Detector>
+//!        │                           │
+//!        └──session()──▶ Session ────┤ observe(op) ─▶ ReportSink::accept
+//!                           │        └ flush()      ─▶ ReportSink::on_flush
+//!                           └ RaceSummary (bounded, O(areas) memory)
+//! ```
+//!
+//! * [`DetectorConfig`] — every knob that previously lived on a scattered
+//!   constructor (`DetectorKind::build`, `HbDetector::new`,
+//!   `ShardedDetector::new/threaded`, `BatchingDetector::new`,
+//!   `StoreConfig`) in one serialisable value. [`DetectorConfig::to_json`]
+//!   / [`DetectorConfig::from_json`] round-trip the exact configuration so
+//!   bench JSON rows and CI can record and replay it.
+//! * [`Session`] — owns the detector plus a pluggable [`ReportSink`] trait
+//!   object and a running [`RaceSummary`]. Reports stream out as they are
+//!   detected; the session itself retains only the bounded aggregate.
+//! * Shipped sinks: [`VecSink`] (the legacy keep-everything log),
+//!   [`CountingSink`], [`SummarySink`], [`ChannelSink`], [`DedupSink`].
+//!
+//! # Lifecycle
+//!
+//! ```
+//! use dsm::GlobalAddr;
+//! use race_core::api::{CountingSink, DetectorConfig};
+//! use race_core::{DetectorKind, DsmOp, OpKind};
+//!
+//! // Fig 5a: two unsynchronised puts to the same word of P1's memory.
+//! let put = |op_id, actor: usize| DsmOp {
+//!     op_id,
+//!     actor,
+//!     kind: OpKind::Put {
+//!         src: GlobalAddr::private(actor, 0).range(8),
+//!         dst: GlobalAddr::public(1, 0).range(8),
+//!     },
+//! };
+//!
+//! let config = DetectorConfig::new(DetectorKind::Dual, 3);
+//! let mut session = config.session_with(Box::new(CountingSink::default()));
+//! session.observe(&put(0, 0), &[]);
+//! session.observe(&put(1, 2), &[]);
+//! let (summary, _sink) = session.finish();
+//! assert_eq!(summary.total, 1); // exactly one write-write race streamed out
+//! ```
+
+use std::collections::HashSet;
+use std::sync::mpsc::Sender;
+
+use serde::{Deserialize, Serialize};
+
+use crate::clockstore::{Granularity, StoreConfig};
+use crate::detector::{Detector, DetectorKind};
+use crate::event::{DsmOp, LockId};
+use crate::report::RaceReport;
+use crate::sharded::{BatchingDetector, ShardedDetector};
+use crate::summary::RaceSummary;
+
+// ---------------------------------------------------------------------------
+// Report sinks
+// ---------------------------------------------------------------------------
+
+/// Where detected races go, as they are detected.
+///
+/// Detectors emit through a sink on the hot path instead of appending to an
+/// internal grow-forever log; what a report *costs* is therefore the sink's
+/// decision — [`VecSink`] keeps everything (the legacy behaviour),
+/// [`SummarySink`] aggregates in O(areas) memory, [`CountingSink`] keeps
+/// two integers. Sinks are `Send` so a [`Session`] can cross threads with
+/// its detector.
+pub trait ReportSink: Send {
+    /// One report, by reference. Implementations that retain the report
+    /// clone it; aggregating sinks just read it.
+    fn on_report(&mut self, report: &RaceReport);
+
+    /// One report, by value — the detectors' entry point. The default
+    /// forwards to [`ReportSink::on_report`] and drops the value; sinks
+    /// that store reports override it to keep the ownership transfer
+    /// clone-free (this is what keeps the [`VecSink`] path byte- and
+    /// cost-identical to the old direct log append).
+    fn accept(&mut self, report: RaceReport) {
+        self.on_report(&report);
+    }
+
+    /// End-of-stream notification with the session's bounded aggregate.
+    /// Called once by [`Session::finish`]; defaults to a no-op.
+    fn on_flush(&mut self, summary: &RaceSummary) {
+        let _ = summary;
+    }
+
+    /// The retained reports, for sinks that keep them ([`VecSink`] — and
+    /// [`DedupSink`] when its inner sink does). Aggregating sinks return
+    /// the empty slice; this is the `reports()`-as-convenience contract of
+    /// the façade.
+    fn reports(&self) -> &[RaceReport] {
+        &[]
+    }
+}
+
+/// The keep-everything sink: today's detector log as a pluggable value.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    reports: Vec<RaceReport>,
+}
+
+impl VecSink {
+    /// An empty log.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The reports accumulated so far.
+    pub fn as_slice(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// Consume the sink, keeping its reports.
+    pub fn into_reports(self) -> Vec<RaceReport> {
+        self.reports
+    }
+
+    /// Number of reports held.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True when no report was retained.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Move every held report into `out` (used by the legacy
+    /// `observe_into` bridge).
+    pub fn drain_into(&mut self, out: &mut Vec<RaceReport>) {
+        out.append(&mut self.reports);
+    }
+}
+
+impl ReportSink for VecSink {
+    fn on_report(&mut self, report: &RaceReport) {
+        self.reports.push(report.clone());
+    }
+
+    fn accept(&mut self, report: RaceReport) {
+        self.reports.push(report); // by value: no clone on the hot path
+    }
+
+    fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+}
+
+/// A sink that keeps two counters and nothing else: the cheapest possible
+/// consumer, for overhead baselines and liveness probes.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    total: usize,
+    true_races: usize,
+}
+
+impl CountingSink {
+    /// Reports seen, including read-read false positives.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Reports whose class is a true race under the paper's definition.
+    pub fn true_races(&self) -> usize {
+        self.true_races
+    }
+}
+
+impl ReportSink for CountingSink {
+    fn on_report(&mut self, report: &RaceReport) {
+        self.total += 1;
+        if report.class.is_true_race() {
+            self.true_races += 1;
+        }
+    }
+}
+
+/// Streams reports into a [`RaceSummary`]: memory grows with the number of
+/// distinct classes, areas and process pairs — never with the number of
+/// reports. The bounded-memory choice for long-running services.
+#[derive(Debug, Default)]
+pub struct SummarySink {
+    summary: RaceSummary,
+}
+
+impl SummarySink {
+    /// The aggregate so far.
+    pub fn summary(&self) -> &RaceSummary {
+        &self.summary
+    }
+
+    /// Consume the sink, keeping the aggregate.
+    pub fn into_summary(self) -> RaceSummary {
+        self.summary
+    }
+}
+
+impl ReportSink for SummarySink {
+    fn on_report(&mut self, report: &RaceReport) {
+        self.summary.add(report);
+    }
+}
+
+/// Forwards every report into an [`std::sync::mpsc`] channel — the bridge
+/// to a logger thread, a UI, or a remote exporter. A hung-up receiver never
+/// fails the detection path (races are signalled, never fatal); dropped
+/// sends are counted instead.
+#[derive(Debug)]
+pub struct ChannelSink {
+    tx: Sender<RaceReport>,
+    dropped: usize,
+}
+
+impl ChannelSink {
+    /// Wrap the sending half of a channel.
+    pub fn new(tx: Sender<RaceReport>) -> Self {
+        ChannelSink { tx, dropped: 0 }
+    }
+
+    /// Reports lost to a disconnected receiver.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+}
+
+impl ReportSink for ChannelSink {
+    fn on_report(&mut self, report: &RaceReport) {
+        if self.tx.send(report.clone()).is_err() {
+            self.dropped += 1;
+        }
+    }
+
+    fn accept(&mut self, report: RaceReport) {
+        if self.tx.send(report).is_err() {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Deduplicates by unordered access pair before forwarding to an inner
+/// sink — the streaming form of [`crate::report::dedup_reports`], so one
+/// logical race crossing several granularity blocks reaches the inner sink
+/// once. Memory is one key per *distinct* pair (i.e. per deduplicated
+/// report), not per raw report.
+pub struct DedupSink {
+    inner: Box<dyn ReportSink>,
+    seen: HashSet<(u64, u64)>,
+}
+
+impl DedupSink {
+    /// Wrap `inner`, forwarding only first occurrences.
+    pub fn new(inner: Box<dyn ReportSink>) -> Self {
+        DedupSink {
+            inner,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Consume the wrapper, returning the inner sink.
+    pub fn into_inner(self) -> Box<dyn ReportSink> {
+        self.inner
+    }
+}
+
+impl ReportSink for DedupSink {
+    fn on_report(&mut self, report: &RaceReport) {
+        if self.seen.insert(report.dedup_key()) {
+            self.inner.on_report(report);
+        }
+    }
+
+    fn accept(&mut self, report: RaceReport) {
+        if self.seen.insert(report.dedup_key()) {
+            self.inner.accept(report);
+        }
+    }
+
+    fn on_flush(&mut self, summary: &RaceSummary) {
+        self.inner.on_flush(summary);
+    }
+
+    fn reports(&self) -> &[RaceReport] {
+        self.inner.reports()
+    }
+}
+
+/// The session-internal tee: every report feeds the bounded summary *and*
+/// the user sink, in one pass, with the ownership transfer preserved.
+struct Tee<'a> {
+    summary: &'a mut RaceSummary,
+    sink: &'a mut dyn ReportSink,
+}
+
+impl ReportSink for Tee<'_> {
+    fn on_report(&mut self, report: &RaceReport) {
+        self.summary.add(report);
+        self.sink.on_report(report);
+    }
+
+    fn accept(&mut self, report: RaceReport) {
+        self.summary.add(&report);
+        self.sink.accept(report);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DetectorConfig
+// ---------------------------------------------------------------------------
+
+/// Which pipeline a clock-based detector runs on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Inline at one shard, threaded above — what production callers want.
+    #[default]
+    Auto,
+    /// Force the caller-thread pipeline (panics at build for `shards > 1`).
+    Inline,
+    /// Force the router/worker pipeline even at one shard (what the
+    /// transport benchmarks measure).
+    Threaded,
+}
+
+impl PipelineMode {
+    /// Stable label (the JSON encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineMode::Auto => "auto",
+            PipelineMode::Inline => "inline",
+            PipelineMode::Threaded => "threaded",
+        }
+    }
+
+    /// Inverse of [`PipelineMode::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "auto" => Some(PipelineMode::Auto),
+            "inline" => Some(PipelineMode::Inline),
+            "threaded" => Some(PipelineMode::Threaded),
+            _ => None,
+        }
+    }
+}
+
+/// Every construction knob of every detector in one declarative,
+/// JSON-round-trippable value — the single thing a backend, bench row or
+/// CI job needs to record to make a detection run reproducible.
+///
+/// Build a bare detector with [`DetectorConfig::build`], or (preferred) a
+/// streaming [`Session`] with [`DetectorConfig::session`] /
+/// [`DetectorConfig::session_with`].
+///
+/// ```
+/// use race_core::api::DetectorConfig;
+/// use race_core::{DetectorKind, Granularity};
+///
+/// let config = DetectorConfig::new(DetectorKind::Dual, 8)
+///     .with_granularity(Granularity::CACHE_LINE)
+///     .with_shards(4)
+///     .with_batch(256);
+/// let reparsed = DetectorConfig::from_json(&config.to_json()).unwrap();
+/// assert_eq!(config, reparsed);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Which detector runs.
+    pub kind: DetectorKind,
+    /// Number of processes observed.
+    pub n: usize,
+    /// Clock granularity (one `(V, W)` pair per block).
+    pub granularity: Granularity,
+    /// Worker shards for the clock-based kinds (1 = sequential; ignored by
+    /// lockset / vanilla, which keep no area clocks).
+    pub shards: usize,
+    /// Pipeline selection for the clock-based kinds.
+    pub pipeline: PipelineMode,
+    /// Dense-prefix bound of the per-rank clock slabs
+    /// ([`StoreConfig::dense_blocks`]).
+    pub dense_blocks: usize,
+    /// Batch capacity of the buffering front-end: `0` observes per op;
+    /// `> 0` wraps the detector in a [`BatchingDetector`] that drains every
+    /// `batch` buffered events (clock-based kinds only).
+    pub batch: usize,
+}
+
+impl DetectorConfig {
+    /// A configuration for `kind` over `n` processes with the defaults
+    /// every scattered constructor used: WORD granularity, one shard,
+    /// [`PipelineMode::Auto`], the default slab layout, per-op observe.
+    pub fn new(kind: DetectorKind, n: usize) -> Self {
+        DetectorConfig {
+            kind,
+            n,
+            granularity: Granularity::WORD,
+            shards: 1,
+            pipeline: PipelineMode::Auto,
+            dense_blocks: StoreConfig::DEFAULT_DENSE_BLOCKS,
+            batch: 0,
+        }
+    }
+
+    /// Select a different detector kind.
+    pub fn with_kind(mut self, kind: DetectorKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Set the process count (backends call this to keep the embedded
+    /// config in sync with their own `n`).
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Set the clock granularity.
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Partition the per-area check-and-update over `shards` workers.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one detection shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Select the pipeline explicitly (see [`PipelineMode`]).
+    pub fn with_pipeline(mut self, pipeline: PipelineMode) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Set the dense-prefix bound of the clock slabs.
+    pub fn with_dense_blocks(mut self, dense_blocks: usize) -> Self {
+        self.dense_blocks = dense_blocks;
+        self
+    }
+
+    /// Buffer `batch` events per drain (`0` = per-op observe).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The slab layout this config selects.
+    pub fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            dense_blocks: self.dense_blocks,
+        }
+    }
+
+    /// Build the configured detector.
+    ///
+    /// Clock-based kinds run on the sharded pipeline (inline at one shard
+    /// under [`PipelineMode::Auto`]), wrapped in a [`BatchingDetector`]
+    /// when `batch > 0`; lockset and vanilla ignore the pipeline knobs.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `shards == 0`, or [`PipelineMode::Inline`] is
+    /// combined with `shards > 1`.
+    pub fn build(&self) -> Box<dyn Detector> {
+        assert!(self.n > 0, "at least one process");
+        assert!(self.shards > 0, "at least one detection shard");
+        match self.kind.hb_mode() {
+            Some(mode) => {
+                let sharded = match self.pipeline {
+                    PipelineMode::Auto => ShardedDetector::with_config(
+                        self.n,
+                        self.granularity,
+                        mode,
+                        self.shards,
+                        self.store_config(),
+                    ),
+                    PipelineMode::Inline => {
+                        assert!(
+                            self.shards == 1,
+                            "inline pipeline is single-shard by definition"
+                        );
+                        ShardedDetector::with_config(
+                            self.n,
+                            self.granularity,
+                            mode,
+                            1,
+                            self.store_config(),
+                        )
+                    }
+                    PipelineMode::Threaded => ShardedDetector::threaded(
+                        self.n,
+                        self.granularity,
+                        mode,
+                        self.shards,
+                        self.store_config(),
+                    ),
+                };
+                if self.batch > 0 {
+                    Box::new(BatchingDetector::new(sharded, self.batch))
+                } else {
+                    Box::new(sharded)
+                }
+            }
+            None => match self.kind {
+                DetectorKind::Lockset => Box::new(crate::lockset::LocksetDetector::new(
+                    self.n,
+                    self.granularity,
+                )),
+                DetectorKind::Vanilla => Box::new(crate::vanilla::VanillaDetector::new()),
+                _ => unreachable!("clock-based kinds have an hb_mode"),
+            },
+        }
+    }
+
+    /// Build a [`Session`] with the default [`VecSink`] (today's
+    /// keep-everything behaviour, available via [`Session::reports`]).
+    pub fn session(&self) -> Session {
+        self.session_with(Box::new(VecSink::new()))
+    }
+
+    /// Build a [`Session`] streaming into `sink`.
+    pub fn session_with(&self, sink: Box<dyn ReportSink>) -> Session {
+        Session {
+            detector: self.build(),
+            config: self.clone(),
+            sink,
+            summary: RaceSummary::default(),
+        }
+    }
+
+    /// One-line JSON encoding of the exact configuration (the shape bench
+    /// rows and `repro --config` consume). Hand-formatted, like every JSON
+    /// producer in this workspace — no serialisation dependency.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kind\":\"{}\",\"n\":{},\"granularity\":{},\"shards\":{},",
+                "\"pipeline\":\"{}\",\"dense_blocks\":{},\"batch\":{}}}"
+            ),
+            self.kind.label(),
+            self.n,
+            self.granularity.block_bytes(),
+            self.shards,
+            self.pipeline.label(),
+            self.dense_blocks,
+            self.batch,
+        )
+    }
+
+    /// Inverse of [`DetectorConfig::to_json`]. Accepts any flat JSON object
+    /// with exactly these keys (whitespace-insensitive); unknown kinds,
+    /// labels or malformed numbers are reported, not panicked.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let kind_label = json_str(json, "kind")?;
+        let kind = DetectorKind::from_label(kind_label)
+            .ok_or_else(|| format!("unknown detector kind {kind_label:?}"))?;
+        let pipeline_label = json_str(json, "pipeline")?;
+        let pipeline = PipelineMode::from_label(pipeline_label)
+            .ok_or_else(|| format!("unknown pipeline {pipeline_label:?}"))?;
+        let block_bytes = json_usize(json, "granularity")?;
+        if !block_bytes.is_power_of_two() {
+            return Err(format!("granularity {block_bytes} is not a power of two"));
+        }
+        Ok(DetectorConfig {
+            kind,
+            n: json_usize(json, "n")?,
+            granularity: Granularity::block(block_bytes),
+            shards: json_usize(json, "shards")?,
+            pipeline,
+            dense_blocks: json_usize(json, "dense_blocks")?,
+            batch: json_usize(json, "batch")?,
+        })
+    }
+}
+
+/// The raw value token for `"key":` in a flat JSON object.
+fn json_value<'a>(json: &'a str, key: &str) -> Result<&'a str, String> {
+    let pattern = format!("\"{key}\"");
+    let at = json
+        .find(&pattern)
+        .ok_or_else(|| format!("missing field {key:?}"))?;
+    let rest = json[at + pattern.len()..].trim_start();
+    let rest = rest
+        .strip_prefix(':')
+        .ok_or_else(|| format!("expected ':' after {key:?}"))?
+        .trim_start();
+    if let Some(quoted) = rest.strip_prefix('"') {
+        let end = quoted
+            .find('"')
+            .ok_or_else(|| format!("unterminated string for {key:?}"))?;
+        Ok(&quoted[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Ok(rest[..end].trim())
+    }
+}
+
+/// A string-valued field.
+fn json_str<'a>(json: &'a str, key: &str) -> Result<&'a str, String> {
+    json_value(json, key)
+}
+
+/// A usize-valued field.
+fn json_usize(json: &str, key: &str) -> Result<usize, String> {
+    json_value(json, key)?
+        .parse()
+        .map_err(|e| format!("field {key:?}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A running detection session: the configured detector, the report sink it
+/// streams into, and a bounded [`RaceSummary`] the session maintains
+/// regardless of the sink (so even a [`CountingSink`] session can print the
+/// §IV-D exit summary).
+///
+/// Built by [`DetectorConfig::session`] / [`DetectorConfig::session_with`];
+/// driven by the backends ([`Session::observe`] per operation plus the sync
+/// hooks); ended by [`Session::finish`], which flushes any buffering
+/// front-end, fires [`ReportSink::on_flush`], and hands back the aggregate
+/// and the sink.
+///
+/// Memory: the session itself retains O(distinct classes + areas + process
+/// pairs) — what the detector stores is the clock state the paper accounts
+/// for, and what the *reports* cost is entirely the sink's policy.
+pub struct Session {
+    config: DetectorConfig,
+    detector: Box<dyn Detector>,
+    sink: Box<dyn ReportSink>,
+    summary: RaceSummary,
+}
+
+impl Session {
+    /// The configuration this session was built from.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Detector name (report attribution).
+    pub fn name(&self) -> &'static str {
+        self.detector.name()
+    }
+
+    /// Whether the backend must wrap operations in the Algorithm-1/2 area
+    /// lock pairs (see [`Detector::requires_locking`]).
+    pub fn requires_locking(&self) -> bool {
+        self.detector.requires_locking()
+    }
+
+    /// Clock components a remote area access ships per direction (see
+    /// [`Detector::clock_components_per_area`]).
+    pub fn clock_components_per_area(&self) -> usize {
+        self.detector.clock_components_per_area()
+    }
+
+    /// Bytes of detector clock metadata currently held (§IV-D accounting).
+    pub fn clock_memory_bytes(&self) -> usize {
+        self.detector.clock_memory_bytes()
+    }
+
+    /// Read access to the underlying detector (accounting experiments).
+    pub fn detector(&self) -> &dyn Detector {
+        &*self.detector
+    }
+
+    /// Observe one operation: reports stream into the sink (and the running
+    /// summary); returns how many this op triggered. The no-race path costs
+    /// exactly what the bare detector costs — the sink is only consulted
+    /// when a report exists.
+    pub fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize {
+        self.detector.observe_sink(
+            op,
+            held_locks,
+            &mut Tee {
+                summary: &mut self.summary,
+                sink: &mut *self.sink,
+            },
+        )
+    }
+
+    /// Observe one op and *also* return copies of the new reports (the
+    /// per-access API the shmem runtime exposes). Each report reaches the
+    /// session sink exactly once — the copies come from a temporary
+    /// [`VecSink`], not from re-observing.
+    ///
+    /// # Panics
+    /// Panics on batched configs (`batch > 0`): a buffering front-end
+    /// defers reports to drains, so per-access attribution would be wrong
+    /// (the racy op's call would return nothing and a later call would
+    /// return its reports). Use [`Session::observe`] + a sink, or an
+    /// unbatched config.
+    pub fn observe_collect(&mut self, op: &DsmOp, held_locks: &[LockId]) -> Vec<RaceReport> {
+        assert_eq!(
+            self.config.batch, 0,
+            "observe_collect is per-access; a batched config defers reports to drains"
+        );
+        let mut tmp = VecSink::new();
+        self.detector.observe_sink(op, held_locks, &mut tmp);
+        let collected = tmp.into_reports();
+        for report in &collected {
+            self.summary.add(report);
+            self.sink.on_report(report);
+        }
+        collected
+    }
+
+    /// `rank` released program lock `lock` (the release carries its clock).
+    pub fn on_release(&mut self, rank: usize, lock: LockId) {
+        self.detector.on_release(rank, lock);
+    }
+
+    /// `rank` acquired program lock `lock` (the grant carries the clock).
+    pub fn on_acquire(&mut self, rank: usize, lock: LockId) {
+        self.detector.on_acquire(rank, lock);
+    }
+
+    /// A barrier completed among all ranks.
+    pub fn on_barrier(&mut self) {
+        self.detector.on_barrier();
+    }
+
+    /// Drain any buffering front-end through the sink; returns the number
+    /// of reports the drain produced. A no-op for unbatched configs.
+    pub fn flush(&mut self) -> usize {
+        self.detector.flush_sink(&mut Tee {
+            summary: &mut self.summary,
+            sink: &mut *self.sink,
+        })
+    }
+
+    /// The reports the sink retained — the `reports()` convenience of the
+    /// façade: populated for [`VecSink`]-backed sessions (the default),
+    /// empty for aggregating sinks.
+    pub fn reports(&self) -> &[RaceReport] {
+        self.sink.reports()
+    }
+
+    /// The bounded running aggregate.
+    pub fn summary(&self) -> &RaceSummary {
+        &self.summary
+    }
+
+    /// End the session: flush, fire [`ReportSink::on_flush`] with the final
+    /// aggregate, and return the aggregate plus the sink (for extracting
+    /// retained reports or counters).
+    pub fn finish(mut self) -> (RaceSummary, Box<dyn ReportSink>) {
+        self.flush();
+        self.sink.on_flush(&self.summary);
+        (self.summary, self.sink)
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("summary", &self.summary)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpKind;
+    use crate::report::RaceClass;
+    use dsm::addr::GlobalAddr;
+
+    fn put(op_id: u64, actor: usize, dst_rank: usize, dst_off: usize) -> DsmOp {
+        DsmOp {
+            op_id,
+            actor,
+            kind: OpKind::Put {
+                src: GlobalAddr::private(actor, 0).range(8),
+                dst: GlobalAddr::public(dst_rank, dst_off).range(8),
+            },
+        }
+    }
+
+    fn racy_session(config: &DetectorConfig) -> Session {
+        let mut s = config.session();
+        s.observe(&put(0, 0, 1, 0), &[]);
+        s.observe(&put(1, 2, 1, 0), &[]);
+        s
+    }
+
+    #[test]
+    fn default_session_retains_reports_like_the_old_log() {
+        let config = DetectorConfig::new(DetectorKind::Dual, 3);
+        let mut s = racy_session(&config);
+        s.flush();
+        assert_eq!(s.reports().len(), 1);
+        assert_eq!(s.reports()[0].class, RaceClass::WriteWrite);
+        assert_eq!(s.summary().total, 1);
+    }
+
+    #[test]
+    fn counting_sink_retains_nothing() {
+        let config = DetectorConfig::new(DetectorKind::Dual, 3);
+        let mut s = config.session_with(Box::new(CountingSink::default()));
+        s.observe(&put(0, 0, 1, 0), &[]);
+        s.observe(&put(1, 2, 1, 0), &[]);
+        assert!(s.reports().is_empty(), "counting sink keeps no reports");
+        let (summary, _) = s.finish();
+        assert_eq!(summary.total, 1);
+    }
+
+    #[test]
+    fn observe_collect_feeds_sink_exactly_once() {
+        let config = DetectorConfig::new(DetectorKind::Dual, 3);
+        let mut s = config.session();
+        assert!(s.observe_collect(&put(0, 0, 1, 0), &[]).is_empty());
+        let collected = s.observe_collect(&put(1, 2, 1, 0), &[]);
+        assert_eq!(collected.len(), 1);
+        assert_eq!(s.reports(), &collected[..], "no double-report in the sink");
+        assert_eq!(s.summary().total, 1);
+    }
+
+    #[test]
+    fn channel_sink_streams_and_survives_hangup() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let config = DetectorConfig::new(DetectorKind::Dual, 3);
+        let mut s = config.session_with(Box::new(ChannelSink::new(tx)));
+        s.observe(&put(0, 0, 1, 0), &[]);
+        s.observe(&put(1, 2, 1, 0), &[]);
+        assert_eq!(rx.try_iter().count(), 1);
+        drop(rx);
+        s.observe(&put(2, 0, 1, 0), &[]); // races again; receiver is gone
+        assert_eq!(s.summary().total, 2, "detection is unaffected by hangup");
+    }
+
+    #[test]
+    fn dedup_sink_collapses_block_crossing_races() {
+        // A 16-byte put overlaps two WORD blocks → two raw reports for the
+        // same access pair; the dedup sink forwards one.
+        let wide = |op_id, actor: usize| DsmOp {
+            op_id,
+            actor,
+            kind: OpKind::Put {
+                src: GlobalAddr::private(actor, 0).range(16),
+                dst: GlobalAddr::public(1, 0).range(16),
+            },
+        };
+        let config = DetectorConfig::new(DetectorKind::Dual, 3);
+        let mut raw = config.session();
+        raw.observe(&wide(0, 0), &[]);
+        raw.observe(&wide(1, 2), &[]);
+        assert_eq!(raw.reports().len(), 2, "two blocks, two raw reports");
+
+        let mut deduped = config.session_with(Box::new(DedupSink::new(Box::new(VecSink::new()))));
+        deduped.observe(&wide(0, 0), &[]);
+        deduped.observe(&wide(1, 2), &[]);
+        assert_eq!(deduped.reports().len(), 1, "one pair after dedup");
+        assert_eq!(
+            deduped.summary().total,
+            2,
+            "the session summary still counts raw reports"
+        );
+    }
+
+    #[test]
+    fn on_flush_delivers_the_final_summary() {
+        struct FlushProbe {
+            total_at_flush: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        }
+        impl ReportSink for FlushProbe {
+            fn on_report(&mut self, _report: &RaceReport) {}
+            fn on_flush(&mut self, summary: &RaceSummary) {
+                self.total_at_flush
+                    .store(summary.total, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let seen = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(usize::MAX));
+        let config = DetectorConfig::new(DetectorKind::Dual, 3);
+        let mut s = config.session_with(Box::new(FlushProbe {
+            total_at_flush: std::sync::Arc::clone(&seen),
+        }));
+        s.observe(&put(0, 0, 1, 0), &[]);
+        s.observe(&put(1, 2, 1, 0), &[]);
+        s.finish();
+        assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn batched_config_buffers_until_flush() {
+        let config = DetectorConfig::new(DetectorKind::Dual, 3)
+            .with_shards(2)
+            .with_batch(64);
+        let mut s = config.session();
+        s.observe(&put(0, 0, 1, 0), &[]);
+        s.observe(&put(1, 2, 1, 0), &[]);
+        assert!(s.reports().is_empty(), "still buffered below capacity");
+        assert_eq!(s.flush(), 1);
+        assert_eq!(s.reports().len(), 1);
+    }
+
+    #[test]
+    fn every_kind_builds_and_sessions() {
+        for kind in DetectorKind::ALL {
+            let config = DetectorConfig::new(kind, 4);
+            let mut s = config.session();
+            s.observe(&put(0, 0, 1, 0), &[]);
+            s.flush();
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn json_round_trips_every_kind_and_pipeline() {
+        for kind in DetectorKind::ALL {
+            for pipeline in [
+                PipelineMode::Auto,
+                PipelineMode::Inline,
+                PipelineMode::Threaded,
+            ] {
+                let config = DetectorConfig::new(kind, 6)
+                    .with_granularity(Granularity::CACHE_LINE)
+                    .with_pipeline(pipeline)
+                    .with_dense_blocks(1 << 10)
+                    .with_batch(128);
+                let json = config.to_json();
+                let back = DetectorConfig::from_json(&json)
+                    .unwrap_or_else(|e| panic!("reparse {json}: {e}"));
+                assert_eq!(config, back);
+            }
+        }
+    }
+
+    #[test]
+    fn json_accepts_whitespace_and_rejects_garbage() {
+        let spaced = r#"{ "kind" : "dual-clock", "n" : 4, "granularity" : 8,
+                         "shards" : 2, "pipeline" : "auto",
+                         "dense_blocks" : 16, "batch" : 0 }"#;
+        let c = DetectorConfig::from_json(spaced).expect("whitespace is fine");
+        assert_eq!(c.kind, DetectorKind::Dual);
+        assert_eq!(c.shards, 2);
+        assert!(DetectorConfig::from_json("{}").is_err());
+        assert!(DetectorConfig::from_json(
+            r#"{"kind":"quantum","n":4,"granularity":8,"shards":1,"pipeline":"auto","dense_blocks":16,"batch":0}"#
+        )
+        .is_err());
+        assert!(DetectorConfig::from_json(
+            r#"{"kind":"dual-clock","n":4,"granularity":7,"shards":1,"pipeline":"auto","dense_blocks":16,"batch":0}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one detection shard")]
+    fn zero_shards_rejected() {
+        let _ = DetectorConfig::new(DetectorKind::Dual, 4).with_shards(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline pipeline is single-shard")]
+    fn inline_with_many_shards_rejected() {
+        let config = DetectorConfig {
+            shards: 2,
+            pipeline: PipelineMode::Inline,
+            ..DetectorConfig::new(DetectorKind::Dual, 4)
+        };
+        let _ = config.build();
+    }
+
+    #[test]
+    fn session_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+    }
+}

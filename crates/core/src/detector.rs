@@ -1,6 +1,7 @@
 //! The detector interface shared by the reference algorithm and the
 //! baselines, plus a factory for the experiment harnesses.
 
+use crate::api::{ReportSink, VecSink};
 use crate::event::{DsmOp, LockId};
 use crate::report::RaceReport;
 
@@ -12,49 +13,75 @@ use crate::report::RaceReport;
 /// check runs: the source and destination areas are locked (when
 /// [`Detector::requires_locking`] is true) and the operation's accesses are
 /// presented in program order.
+///
+/// # Report flow
+///
+/// The hot path is [`Detector::observe_sink`]: reports stream into a
+/// caller-supplied [`ReportSink`] as they are detected, and the detector
+/// itself retains nothing — what a report costs is the sink's policy, which
+/// is how long-running sessions stay bounded (see [`crate::api`]).
+/// [`Detector::observe`] / [`Detector::reports`] are the legacy
+/// keep-everything convenience: each detector owns a [`VecSink`] log that
+/// only the legacy entry points feed. Drive a detector through one
+/// interface or the other, not both — the log deliberately does *not* see
+/// sink-streamed reports (no double-reporting).
 pub trait Detector: Send {
     /// Detector name for report attribution and tables.
     fn name(&self) -> &'static str;
 
-    /// Observe one operation. Any race reports it triggers are appended to
-    /// the detector's report log ([`Detector::reports`]); the return value
-    /// is the number of *new* reports. `held_locks` is the set of area
-    /// locks the actor currently holds *for application purposes* (i.e.
-    /// excluding the locks the detection algorithm itself wraps around the
-    /// op) — used by the lockset baseline.
+    /// Observe one operation, streaming any race reports it triggers into
+    /// `sink`; returns the number of new reports. `held_locks` is the set
+    /// of area locks the actor currently holds *for application purposes*
+    /// (i.e. excluding the locks the detection algorithm itself wraps
+    /// around the op) — used by the lockset baseline.
     ///
     /// Contract for implementors: this is the hot path. It must not
     /// allocate or clone reports on the common no-race outcome — reports
-    /// are stored exactly once, in the log, and callers that want copies
-    /// use the [`Detector::observe_collect`] / [`Detector::observe_into`]
-    /// wrappers.
+    /// are handed to the sink exactly once, by value
+    /// ([`ReportSink::accept`]), and the sink is not consulted at all for
+    /// silent ops.
+    fn observe_sink(
+        &mut self,
+        op: &DsmOp,
+        held_locks: &[LockId],
+        sink: &mut dyn ReportSink,
+    ) -> usize;
+
+    /// Legacy entry point: observe one operation, appending its reports to
+    /// the detector's internal log ([`Detector::reports`]); returns the
+    /// number of new reports. Implemented by routing
+    /// [`Detector::observe_sink`] into the internal [`VecSink`].
     fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize;
 
     /// Observe one op and push a copy of each new report into the
-    /// caller-owned `sink`; returns the number of new reports. Only actual
-    /// reports cost a clone — nothing is allocated when the op is silent.
+    /// caller-owned `out`; returns the number of new reports. Goes through
+    /// a temporary [`VecSink`], so the reports land in `out` and **only**
+    /// in `out` — neither the internal log nor any attached sink sees them,
+    /// which is what makes double-reporting impossible when both exist.
     fn observe_into(
         &mut self,
         op: &DsmOp,
         held_locks: &[LockId],
-        sink: &mut Vec<RaceReport>,
+        out: &mut Vec<RaceReport>,
     ) -> usize {
-        let n = self.observe(op, held_locks);
-        let all = self.reports();
-        sink.extend_from_slice(&all[all.len() - n..]);
+        let mut tmp = VecSink::new();
+        let n = self.observe_sink(op, held_locks, &mut tmp);
+        tmp.drain_into(out);
         n
     }
 
     /// Observe one op and return the new reports as a fresh `Vec`
-    /// (convenience for tests and interactive callers — the engine uses
-    /// [`Detector::observe`] directly).
+    /// (convenience for tests and interactive callers). Same temporary
+    /// [`VecSink`] discipline as [`Detector::observe_into`].
     fn observe_collect(&mut self, op: &DsmOp, held_locks: &[LockId]) -> Vec<RaceReport> {
-        let n = self.observe(op, held_locks);
-        let all = self.reports();
-        all[all.len() - n..].to_vec()
+        let mut tmp = VecSink::new();
+        self.observe_sink(op, held_locks, &mut tmp);
+        tmp.into_reports()
     }
 
-    /// All reports so far.
+    /// All reports the *legacy* entry points accumulated so far — the
+    /// [`VecSink`]-backed convenience. Empty for detectors driven purely
+    /// through [`Detector::observe_sink`].
     fn reports(&self) -> &[RaceReport];
 
     /// Number of clock components a remote area access ships per direction
@@ -98,7 +125,31 @@ pub trait Detector: Send {
     /// flushes, and backends must call this before reading the final report
     /// log.
     fn flush(&mut self) {}
+
+    /// Sink-streaming variant of [`Detector::flush`]: drain buffered
+    /// operations, emitting their reports into `sink`; returns the number
+    /// of reports the drain produced. Default: nothing buffered, nothing
+    /// emitted.
+    fn flush_sink(&mut self, sink: &mut dyn ReportSink) -> usize {
+        let _ = sink;
+        0
+    }
 }
+
+/// The shared body of every legacy [`Detector::observe`] shim: take the
+/// internal [`VecSink`] log out of `self` (a three-word swap, no clone) so
+/// it can be passed as the sink without aliasing `&mut self`, run
+/// `observe_sink`, and put it back. One definition, so the bridge's
+/// semantics cannot drift between detectors.
+macro_rules! observe_via_log {
+    ($self:ident . $log:ident, $op:expr, $held:expr) => {{
+        let mut log = std::mem::take(&mut $self.$log);
+        let n = $self.observe_sink($op, $held, &mut log);
+        $self.$log = log;
+        n
+    }};
+}
+pub(crate) use observe_via_log;
 
 /// Detector selection for harnesses and config files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,26 +177,16 @@ impl DetectorKind {
     ];
 
     /// Instantiate for `n` processes at `granularity`.
+    ///
+    /// **Legacy shim.** This predates the [`crate::api`] façade and is kept
+    /// as a thin wrapper so old call sites and tests keep compiling; new
+    /// code should build through [`crate::api::DetectorConfig`], which is
+    /// where every other knob (shards, pipeline, slab layout, batching)
+    /// lives.
     pub fn build(self, n: usize, granularity: crate::clockstore::Granularity) -> Box<dyn Detector> {
-        match self {
-            DetectorKind::Dual => Box::new(crate::hb::HbDetector::new(
-                n,
-                granularity,
-                crate::hb::HbMode::Dual,
-            )),
-            DetectorKind::Single => Box::new(crate::hb::HbDetector::new(
-                n,
-                granularity,
-                crate::hb::HbMode::Single,
-            )),
-            DetectorKind::Literal => Box::new(crate::hb::HbDetector::new(
-                n,
-                granularity,
-                crate::hb::HbMode::Literal,
-            )),
-            DetectorKind::Lockset => Box::new(crate::lockset::LocksetDetector::new(n, granularity)),
-            DetectorKind::Vanilla => Box::new(crate::vanilla::VanillaDetector::new()),
-        }
+        crate::api::DetectorConfig::new(self, n)
+            .with_granularity(granularity)
+            .build()
     }
 
     /// The happens-before mode this kind runs, for the clock-based kinds —
@@ -169,6 +210,12 @@ impl DetectorKind {
             DetectorKind::Lockset => "lockset",
             DetectorKind::Vanilla => "vanilla",
         }
+    }
+
+    /// Inverse of [`DetectorKind::label`] (the JSON encoding used by
+    /// [`crate::api::DetectorConfig`]).
+    pub fn from_label(label: &str) -> Option<Self> {
+        DetectorKind::ALL.into_iter().find(|k| k.label() == label)
     }
 }
 

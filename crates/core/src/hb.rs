@@ -48,16 +48,19 @@
 //! reference (`reference::ReferenceHbDetector`, which the differential
 //! property tests check against).
 //!
-//! The `observe` hot loop is allocation-free on the no-race path: the op's
+//! The observe hot loop is allocation-free on the no-race path: the op's
 //! clock snapshot is one `Arc` shared by every access, the read-absorb
-//! scratch clock is reused across ops, and reports are appended directly to
-//! the detector's log (callers wanting copies use `observe_collect`).
+//! scratch clock is reused across ops, and reports stream out by value
+//! through the caller's [`crate::api::ReportSink`] (the legacy
+//! `observe`/`reports` pair routes through an internal
+//! [`crate::api::VecSink`]; callers wanting copies use `observe_collect`).
 
 use std::sync::Arc;
 
 use dsm::addr::Segment;
 use vclock::{MatrixClock, VectorClock};
 
+use crate::api::{ReportSink, VecSink};
 use crate::clockstore::{AreaHistory, AreaKey, ClockStore, Granularity, StoreConfig};
 use crate::detector::Detector;
 use crate::event::{AccessKind, AccessSummary, DsmOp, LockId};
@@ -134,7 +137,11 @@ pub struct HbDetector {
     /// Clock snapshots taken at program-lock releases, merged into the
     /// acquirer on hand-off (the grant message carries the clock).
     lock_clocks: std::collections::HashMap<LockId, VectorClock>,
-    reports: Vec<RaceReport>,
+    /// The legacy keep-everything log, fed only by [`Detector::observe`].
+    log: VecSink,
+    /// Per-op report staging, drained into the sink at op end; reuses its
+    /// capacity across ops, so the steady state allocates nothing.
+    scratch: Vec<RaceReport>,
     /// Scratch clock for the read-absorb merge, reused across ops.
     absorb: VectorClock,
     n: usize,
@@ -160,7 +167,8 @@ impl HbDetector {
             store: ClockStore::with_config(n, granularity, mode != HbMode::Single, store),
             clocks: (0..n).map(|i| MatrixClock::zero(i, n)).collect(),
             lock_clocks: std::collections::HashMap::new(),
-            reports: Vec::new(),
+            log: VecSink::new(),
+            scratch: Vec::new(),
             absorb: VectorClock::zero(n),
             n,
         }
@@ -177,9 +185,11 @@ impl HbDetector {
     }
 
     /// Reports whose class is a true race under the paper's definition
-    /// (filters the read-read false positives of the baselines).
+    /// (filters the read-read false positives of the baselines). Reads the
+    /// legacy log, like [`Detector::reports`].
     pub fn true_race_reports(&self) -> Vec<&RaceReport> {
-        self.reports
+        self.log
+            .as_slice()
             .iter()
             .filter(|r| r.class.is_true_race())
             .collect()
@@ -256,8 +266,13 @@ impl Detector for HbDetector {
         self.mode.detector_name()
     }
 
-    fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> usize {
-        let before = self.reports.len();
+    fn observe_sink(
+        &mut self,
+        op: &DsmOp,
+        _held_locks: &[LockId],
+        sink: &mut dyn ReportSink,
+    ) -> usize {
+        debug_assert!(self.scratch.is_empty(), "scratch drained at op end");
         // Algorithm 1/2 step: update_local_clock before the event. One
         // snapshot allocation per op, shared by every access via Arc.
         let actor_clock = self.clocks[op.actor].tick_shared();
@@ -298,7 +313,7 @@ impl Detector for HbDetector {
                     area,
                     w_le,
                     v_le,
-                    &mut self.reports,
+                    &mut self.scratch,
                 );
                 // …then update the area clocks (Algorithm 5).
                 match kind {
@@ -336,11 +351,21 @@ impl Detector for HbDetector {
         if absorbed {
             self.clocks[op.actor].absorb(&self.absorb);
         }
-        self.reports.len() - before
+        // Hand the op's reports to the sink by value — the racy path pays
+        // one move per report, the silent path never touches the sink.
+        let new = self.scratch.len();
+        for report in self.scratch.drain(..) {
+            sink.accept(report);
+        }
+        new
+    }
+
+    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize {
+        crate::detector::observe_via_log!(self.log, op, held_locks)
     }
 
     fn reports(&self) -> &[RaceReport] {
-        &self.reports
+        self.log.as_slice()
     }
 
     fn clock_components_per_area(&self) -> usize {
@@ -660,14 +685,17 @@ mod tests {
     }
 
     #[test]
-    fn observe_into_sink_matches_log_tail() {
+    fn observe_into_fills_caller_vec_and_only_that() {
         let mut d = dual(3);
-        let mut sink = Vec::new();
-        assert_eq!(d.observe_into(&put(0, 0, 1, 0), &[], &mut sink), 0);
-        assert!(sink.is_empty());
-        assert_eq!(d.observe_into(&put(1, 2, 1, 0), &[], &mut sink), 1);
-        assert_eq!(sink.len(), 1);
-        assert_eq!(sink[0], d.reports()[0]);
+        let mut out = Vec::new();
+        assert_eq!(d.observe_into(&put(0, 0, 1, 0), &[], &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(d.observe_into(&put(1, 2, 1, 0), &[], &mut out), 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].class, RaceClass::WriteWrite);
+        // The temporary-VecSink discipline: neither the legacy log nor any
+        // attached sink sees these reports — no double-reporting.
+        assert!(d.reports().is_empty());
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //!
 //! This crate provides:
 //!
+//! * [`api`] — the construction and consumption façade: one declarative
+//!   [`api::DetectorConfig`] builder (kind, granularity, shards, pipeline,
+//!   slab layout, batching — JSON-round-trippable), one [`api::Session`]
+//!   driving handle, and a pluggable [`api::ReportSink`] streaming output
+//!   so long-running deployments keep bounded memory. **Start here**; the
+//!   concrete detectors below are the engine room.
 //! * [`hb::HbDetector`] — the happens-before detector in three modes:
 //!   - [`hb::HbMode::Dual`] — the corrected dual-clock discipline (writes
 //!     check `V`, reads check `W`); the reproduction's reference detector;
@@ -39,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod clockstore;
 pub mod detector;
 pub mod event;
@@ -52,6 +59,10 @@ pub mod summary;
 pub mod vanilla;
 pub mod wire;
 
+pub use api::{
+    ChannelSink, CountingSink, DedupSink, DetectorConfig, PipelineMode, ReportSink, Session,
+    SummarySink, VecSink,
+};
 pub use clockstore::{AreaKey, ClockStore, Granularity, StoreConfig};
 pub use detector::{Detector, DetectorKind};
 pub use event::{AccessKind, AccessList, AccessSummary, DsmOp, LockId, OpKind};

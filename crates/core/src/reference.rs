@@ -92,7 +92,7 @@ pub struct ReferenceHbDetector {
     areas: HashMap<AreaKey, RefAreaHistory>,
     clocks: Vec<MatrixClock>,
     lock_clocks: HashMap<LockId, VectorClock>,
-    reports: Vec<RaceReport>,
+    log: crate::api::VecSink,
     n: usize,
 }
 
@@ -105,7 +105,7 @@ impl ReferenceHbDetector {
             areas: HashMap::new(),
             clocks: (0..n).map(|i| MatrixClock::zero(i, n)).collect(),
             lock_clocks: HashMap::new(),
-            reports: Vec::new(),
+            log: crate::api::VecSink::new(),
             n,
         }
     }
@@ -186,7 +186,12 @@ impl Detector for ReferenceHbDetector {
         "reference"
     }
 
-    fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> usize {
+    fn observe_sink(
+        &mut self,
+        op: &DsmOp,
+        _held_locks: &[LockId],
+        sink: &mut dyn crate::api::ReportSink,
+    ) -> usize {
         let actor_clock = self.clocks[op.actor].tick();
         let mut new_reports = Vec::new();
         let mut absorb = VectorClock::zero(self.n);
@@ -226,13 +231,20 @@ impl Detector for ReferenceHbDetector {
 
         self.clocks[op.actor].observe(op.actor, &absorb);
         let count = new_reports.len();
-        // The original double-store: clone into the log, drop the originals.
-        self.reports.extend(new_reports.clone());
+        // The original per-op report Vec is built (and paid for) either
+        // way; the sink receives the values when it is done.
+        for report in new_reports {
+            sink.accept(report);
+        }
         count
     }
 
+    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize {
+        crate::detector::observe_via_log!(self.log, op, held_locks)
+    }
+
     fn reports(&self) -> &[RaceReport] {
-        &self.reports
+        self.log.as_slice()
     }
 
     fn clock_components_per_area(&self) -> usize {

@@ -11,7 +11,7 @@ use crate::clockstore::AreaKey;
 use crate::event::AccessSummary;
 
 /// What kind of conflicting pair was found.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RaceClass {
     /// Two concurrent writes.
     WriteWrite,
@@ -69,6 +69,17 @@ impl RaceReport {
         })
     }
 
+    /// The deduplication identity: the unordered access pair, or a
+    /// sentinel for unattributed reports. The single source of truth
+    /// shared by [`dedup_reports`] and the streaming
+    /// [`crate::api::DedupSink`], so the two can never diverge.
+    pub fn dedup_key(&self) -> (u64, u64) {
+        match self.pair() {
+            Some(p) => p,
+            None => (self.current.id, u64::MAX),
+        }
+    }
+
     /// §IV-D signalling: the one-line message a runtime would print to
     /// standard output. Never aborts.
     pub fn signal_line(&self) -> String {
@@ -105,11 +116,7 @@ pub fn dedup_reports(reports: &[RaceReport]) -> Vec<RaceReport> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for r in reports {
-        let key = match r.pair() {
-            Some(p) => (p.0, p.1),
-            None => (r.current.id, u64::MAX),
-        };
-        if seen.insert(key) {
+        if seen.insert(r.dedup_key()) {
             out.push(r.clone());
         }
     }

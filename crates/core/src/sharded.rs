@@ -72,6 +72,7 @@ use std::thread::JoinHandle;
 use dsm::addr::{MemRange, Segment};
 use vclock::{MatrixClock, VectorClock};
 
+use crate::api::{ReportSink, VecSink};
 use crate::clockstore::{AreaKey, ClockStore, Granularity, StoreConfig};
 use crate::detector::Detector;
 use crate::event::{AccessKind, AccessSummary, DsmOp, LockId};
@@ -415,21 +416,29 @@ fn shard_worker(
 /// K-way merge of per-shard report logs — each already sorted by
 /// [`ReportKey`] — into `out`, preserving the sequential emission order.
 /// Keys are globally unique (one per `(op, slot, block, index)`), so the
-/// merge is deterministic. Replaces the old concat-then-sort: O(total · k)
-/// head compares with tiny `k`, no intermediate buffer, and the common
-/// single-source case is a plain `extend`.
-fn merge_sorted_reports(replies: Vec<Vec<(ReportKey, RaceReport)>>, out: &mut Vec<RaceReport>) {
+/// merge is deterministic; reports reach the sink by value, in emission
+/// order, exactly as the sequential detector hands them over. Returns the
+/// number of reports merged. O(total · k) head compares with tiny `k`, no
+/// intermediate buffer, and the common single-source case is a plain loop.
+fn merge_sorted_reports(
+    replies: Vec<Vec<(ReportKey, RaceReport)>>,
+    out: &mut dyn ReportSink,
+) -> usize {
     debug_assert!(replies
         .iter()
         .all(|r| r.windows(2).all(|w| w[0].0 < w[1].0)));
     match replies.len() {
-        0 => {}
+        0 => 0,
         1 => {
             let only = replies.into_iter().next().expect("one reply");
-            out.extend(only.into_iter().map(|(_, r)| r));
+            let total = only.len();
+            for (_, report) in only {
+                out.accept(report);
+            }
+            total
         }
         _ => {
-            out.reserve(replies.iter().map(Vec::len).sum());
+            let total = replies.iter().map(Vec::len).sum();
             let mut tails: Vec<_> = replies.into_iter().map(Vec::into_iter).collect();
             let mut heads: Vec<Option<(ReportKey, RaceReport)>> =
                 tails.iter_mut().map(Iterator::next).collect();
@@ -444,9 +453,10 @@ fn merge_sorted_reports(replies: Vec<Vec<(ReportKey, RaceReport)>>, out: &mut Ve
                 }
                 let Some((i, _)) = best else { break };
                 let (_, report) = heads[i].take().expect("best head present");
-                out.push(report);
+                out.accept(report);
                 heads[i] = tails[i].next();
             }
+            total
         }
     }
 }
@@ -496,6 +506,9 @@ fn merge_sorted_reports(replies: Vec<Vec<(ReportKey, RaceReport)>>, out: &mut Ve
 /// ```
 pub struct ShardedDetector {
     pipeline: Pipeline,
+    /// The legacy keep-everything log, fed only by the sink-less entry
+    /// points ([`Detector::observe`] / [`ShardedDetector::observe_batch`]).
+    log: VecSink,
 }
 
 enum Pipeline {
@@ -545,8 +558,6 @@ struct Threaded {
     /// Workers return consumed buffers here (all share one sender side).
     recycle_rx: Receiver<Vec<ShardItem>>,
     workers: Vec<Worker>,
-    /// Merged, deterministically ordered report log.
-    reports: Vec<RaceReport>,
     /// Per-shard accounting, refreshed at every batch fence.
     shard_clock_bytes: Vec<usize>,
     shard_touched: Vec<usize>,
@@ -586,7 +597,10 @@ impl ShardedDetector {
         } else {
             Pipeline::Threaded(Box::new(Threaded::new(n, granularity, mode, shards, store)))
         };
-        ShardedDetector { pipeline }
+        ShardedDetector {
+            pipeline,
+            log: VecSink::new(),
+        }
     }
 
     /// Always-threaded construction, even at one shard — the degenerate
@@ -612,6 +626,7 @@ impl ShardedDetector {
                 shards,
                 store,
             ))),
+            log: VecSink::new(),
         }
     }
 
@@ -660,29 +675,37 @@ impl ShardedDetector {
 
     /// Observe a batch of operations and synchronisation events, running
     /// the per-area checks on the worker shards (inline for a single
-    /// shard). Returns the number of new race reports; the merged log
-    /// ([`Detector::reports`]) grows by exactly that many, in the
-    /// sequential detector's emission order.
+    /// shard), appending the merged reports to the legacy log
+    /// ([`Detector::reports`]) in the sequential detector's emission
+    /// order. Returns the number of new race reports.
     ///
     /// Synchronous: when this returns, every report triggered by the batch
     /// is in the log and the per-shard accounting is up to date.
     pub fn observe_batch(&mut self, batch: &[MemOp]) -> usize {
+        let mut log = std::mem::take(&mut self.log);
+        let n = self.observe_batch_sink(batch, &mut log);
+        self.log = log;
+        n
+    }
+
+    /// Sink-streaming variant of [`ShardedDetector::observe_batch`]: the
+    /// merged, deterministically ordered report stream goes to `sink`
+    /// instead of the internal log. Returns the number of new reports.
+    pub fn observe_batch_sink(&mut self, batch: &[MemOp], sink: &mut dyn ReportSink) -> usize {
         match &mut self.pipeline {
             Pipeline::Inline(hb) => {
-                let before = hb.reports().len();
+                let mut new = 0;
                 for event in batch {
                     match event {
-                        MemOp::Op(op) => {
-                            hb.observe(op, &[]);
-                        }
+                        MemOp::Op(op) => new += hb.observe_sink(op, &[], sink),
                         MemOp::Barrier => hb.on_barrier(),
                         MemOp::Acquire { rank, lock } => hb.on_acquire(*rank, *lock),
                         MemOp::Release { rank, lock } => hb.on_release(*rank, *lock),
                     }
                 }
-                hb.reports().len() - before
+                new
             }
-            Pipeline::Threaded(t) => t.observe_batch(batch),
+            Pipeline::Threaded(t) => t.observe_batch_sink(batch, sink),
         }
     }
 }
@@ -731,7 +754,6 @@ impl Threaded {
             pool: Vec::new(),
             recycle_rx,
             workers,
-            reports: Vec::new(),
             shard_clock_bytes: vec![0; shards],
             shard_touched: vec![0; shards],
         }
@@ -757,9 +779,8 @@ impl Threaded {
         total
     }
 
-    /// The threaded half of [`ShardedDetector::observe_batch`].
-    fn observe_batch(&mut self, batch: &[MemOp]) -> usize {
-        let before = self.reports.len();
+    /// The threaded half of [`ShardedDetector::observe_batch_sink`].
+    fn observe_batch_sink(&mut self, batch: &[MemOp], sink: &mut dyn ReportSink) -> usize {
         for event in batch {
             match event {
                 MemOp::Op(op) => self.route_op(op),
@@ -768,8 +789,7 @@ impl Threaded {
                 MemOp::Release { rank, lock } => self.release_event(*rank, *lock),
             }
         }
-        self.fence();
-        self.reports.len() - before
+        self.fence(sink)
     }
 
     /// Route one op: tick the actor, replay the read-absorb against the
@@ -905,8 +925,9 @@ impl Threaded {
     }
 
     /// Batch fence: flush every shard, collect replies, and k-way merge the
-    /// already-sorted per-shard report logs into the detector's log.
-    fn fence(&mut self) {
+    /// already-sorted per-shard report logs into the caller's sink. Returns
+    /// the number of reports merged.
+    fn fence(&mut self, sink: &mut dyn ReportSink) -> usize {
         for shard in 0..self.workers.len() {
             if !self.buffers[shard].is_empty() {
                 self.ship(shard);
@@ -927,7 +948,7 @@ impl Threaded {
                 replies.push(reply.reports);
             }
         }
-        merge_sorted_reports(replies, &mut self.reports);
+        merge_sorted_reports(replies, sink)
     }
 
     // The sync-event clock semantics are the exact shared bodies the
@@ -962,25 +983,29 @@ impl Detector for ShardedDetector {
         }
     }
 
-    fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> usize {
+    fn observe_sink(
+        &mut self,
+        op: &DsmOp,
+        _held_locks: &[LockId],
+        sink: &mut dyn ReportSink,
+    ) -> usize {
         // By-reference single-op path: route straight from the borrow — no
         // `MemOp` wrapper, no clone, no allocation.
         match &mut self.pipeline {
-            Pipeline::Inline(hb) => hb.observe(op, &[]),
+            Pipeline::Inline(hb) => hb.observe_sink(op, &[], sink),
             Pipeline::Threaded(t) => {
-                let before = t.reports.len();
                 t.route_op(op);
-                t.fence();
-                t.reports.len() - before
+                t.fence(sink)
             }
         }
     }
 
+    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize {
+        crate::detector::observe_via_log!(self.log, op, held_locks)
+    }
+
     fn reports(&self) -> &[RaceReport] {
-        match &self.pipeline {
-            Pipeline::Inline(hb) => hb.reports(),
-            Pipeline::Threaded(t) => &t.reports,
-        }
+        self.log.as_slice()
     }
 
     fn clock_components_per_area(&self) -> usize {
@@ -1060,6 +1085,10 @@ pub struct BatchingDetector {
     inner: ShardedDetector,
     buf: Vec<MemOp>,
     capacity: usize,
+    /// Reports produced by capacity drains that a *sync event* triggered
+    /// (the sync hooks carry no report destination), staged until the next
+    /// observe / flush forwards them to its destination.
+    staged: VecSink,
 }
 
 impl BatchingDetector {
@@ -1073,12 +1102,41 @@ impl BatchingDetector {
             inner,
             buf: Vec::with_capacity(capacity),
             capacity,
+            staged: VecSink::new(),
         }
     }
 
     /// The wrapped sharded detector.
     pub fn inner(&self) -> &ShardedDetector {
         &self.inner
+    }
+
+    /// Hand any sync-drain staged reports to `sink`, oldest first; returns
+    /// how many were forwarded. Staged reports always precede the reports
+    /// of newer events, so emission order is preserved.
+    fn forward_staged(&mut self, sink: &mut dyn ReportSink) -> usize {
+        if self.staged.is_empty() {
+            return 0;
+        }
+        let staged = std::mem::take(&mut self.staged);
+        let n = staged.len();
+        for report in staged.into_reports() {
+            sink.accept(report);
+        }
+        n
+    }
+
+    /// Legacy-path variant of [`BatchingDetector::forward_staged`]: staged
+    /// reports go into the wrapped detector's internal log, where
+    /// [`Detector::reports`] reads them.
+    fn forward_staged_to_log(&mut self) -> usize {
+        if self.staged.is_empty() {
+            return 0;
+        }
+        let mut log = std::mem::take(&mut self.inner.log);
+        let n = self.forward_staged(&mut log);
+        self.inner.log = log;
+        n
     }
 
     fn drain(&mut self) -> usize {
@@ -1092,12 +1150,39 @@ impl BatchingDetector {
         new
     }
 
+    fn drain_sink(&mut self, sink: &mut dyn ReportSink) -> usize {
+        if self.buf.is_empty() {
+            return 0;
+        }
+        let batch = std::mem::take(&mut self.buf);
+        let new = self.inner.observe_batch_sink(&batch, sink);
+        self.buf = batch; // reuse the allocation
+        self.buf.clear();
+        new
+    }
+
     fn push(&mut self, event: MemOp) -> usize {
         self.buf.push(event);
         if self.buf.len() >= self.capacity {
             self.drain()
         } else {
             0
+        }
+    }
+
+    /// Buffer a synchronisation event. The sync hooks carry no destination
+    /// for reports, so a capacity-triggered drain here goes into the
+    /// internal staging sink, which the next entry point *with* a
+    /// destination (observe / flush, either flavour) forwards before its
+    /// own reports. This keeps the buffer bounded by `capacity` on any
+    /// event mix while still never splitting a sink-driven session's
+    /// stream across the legacy log.
+    fn push_sync(&mut self, event: MemOp) {
+        self.buf.push(event);
+        if self.buf.len() >= self.capacity {
+            let mut staged = std::mem::take(&mut self.staged);
+            self.drain_sink(&mut staged);
+            self.staged = staged;
         }
     }
 }
@@ -1107,8 +1192,24 @@ impl Detector for BatchingDetector {
         self.inner.name()
     }
 
+    fn observe_sink(
+        &mut self,
+        op: &DsmOp,
+        _held_locks: &[LockId],
+        sink: &mut dyn ReportSink,
+    ) -> usize {
+        let forwarded = self.forward_staged(sink);
+        self.buf.push(MemOp::Op(*op));
+        forwarded
+            + if self.buf.len() >= self.capacity {
+                self.drain_sink(sink)
+            } else {
+                0
+            }
+    }
+
     fn observe(&mut self, op: &DsmOp, _held_locks: &[LockId]) -> usize {
-        self.push(MemOp::Op(*op))
+        self.forward_staged_to_log() + self.push(MemOp::Op(*op))
     }
 
     fn reports(&self) -> &[RaceReport] {
@@ -1128,19 +1229,24 @@ impl Detector for BatchingDetector {
     }
 
     fn on_release(&mut self, rank: usize, lock: LockId) {
-        self.push(MemOp::Release { rank, lock });
+        self.push_sync(MemOp::Release { rank, lock });
     }
 
     fn on_acquire(&mut self, rank: usize, lock: LockId) {
-        self.push(MemOp::Acquire { rank, lock });
+        self.push_sync(MemOp::Acquire { rank, lock });
     }
 
     fn on_barrier(&mut self) {
-        self.push(MemOp::Barrier);
+        self.push_sync(MemOp::Barrier);
     }
 
     fn flush(&mut self) {
+        self.forward_staged_to_log();
         self.drain();
+    }
+
+    fn flush_sink(&mut self, sink: &mut dyn ReportSink) -> usize {
+        self.forward_staged(sink) + self.drain_sink(sink)
     }
 }
 
@@ -1390,6 +1496,44 @@ mod tests {
     }
 
     #[test]
+    fn sync_event_runs_stay_bounded_and_lose_no_reports() {
+        // A long run of consecutive sync events must keep the buffer
+        // bounded by the capacity (each capacity hit drains into the
+        // staging sink), and the staged reports must all surface at the
+        // next entry point with a destination.
+        let inner = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 2);
+        let mut det = BatchingDetector::new(inner, 3);
+        det.observe(&put(0, 0, 1, 0), &[]);
+        det.observe(&put(1, 2, 1, 0), &[]); // 2 buffered, capacity 3
+        det.on_barrier(); // hits capacity → sync-triggered drain → staged
+        assert!(det.buf.is_empty(), "sync event at capacity drained");
+        assert!(
+            det.reports().is_empty(),
+            "staged until a destination exists"
+        );
+        for _ in 0..32 {
+            det.on_barrier();
+        }
+        assert!(det.buf.len() <= 3, "sync runs never outgrow the capacity");
+        det.flush();
+        assert_eq!(det.reports().len(), 1, "the staged race surfaced");
+
+        // Same shape on the sink path: the staged report reaches the sink
+        // (and is counted) at the next observe_sink.
+        let inner = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 2);
+        let mut det = BatchingDetector::new(inner, 3);
+        let mut sink = VecSink::new();
+        det.observe_sink(&put(0, 0, 1, 0), &[], &mut sink);
+        det.observe_sink(&put(1, 2, 1, 0), &[], &mut sink);
+        det.on_barrier(); // capacity hit → staged
+        assert!(sink.is_empty());
+        let n = det.observe_sink(&put(2, 2, 1, 8), &[], &mut sink);
+        assert_eq!(n, 1, "forwarded staged report is counted");
+        assert_eq!(sink.len(), 1);
+        assert!(det.reports().is_empty(), "sink mode never feeds the log");
+    }
+
+    #[test]
     fn shard_routing_is_deterministic_and_total() {
         for shards in [1usize, 2, 3, 8] {
             for rank in 0..4 {
@@ -1437,9 +1581,10 @@ mod tests {
                 (key(4), report(4)),
             ],
         ];
-        let mut out = Vec::new();
-        merge_sorted_reports(replies, &mut out);
-        let ids: Vec<u64> = out.iter().map(|r| r.current.id).collect();
+        let mut out = VecSink::new();
+        let merged = merge_sorted_reports(replies, &mut out);
+        assert_eq!(merged, 6);
+        let ids: Vec<u64> = out.as_slice().iter().map(|r| r.current.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
     }
 

@@ -10,12 +10,16 @@ use crate::report::{RaceClass, RaceReport};
 use crate::Rank;
 
 /// Aggregated statistics over a set of reports.
+///
+/// Keys are the cheap value types ([`RaceClass`], [`AreaKey`], rank pairs),
+/// so folding a report in ([`RaceSummary::add`]) allocates nothing — this
+/// is on the session hot path for every detected race.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RaceSummary {
-    /// Count per class label.
-    pub by_class: BTreeMap<String, usize>,
+    /// Count per race class.
+    pub by_class: BTreeMap<RaceClass, usize>,
     /// Count per memory area.
-    pub by_area: BTreeMap<String, usize>,
+    pub by_area: BTreeMap<AreaKey, usize>,
     /// Count per unordered process pair.
     pub by_process_pair: BTreeMap<(Rank, Rank), usize>,
     /// Total reports summarised.
@@ -27,23 +31,32 @@ impl RaceSummary {
     pub fn from_reports(reports: &[RaceReport]) -> Self {
         let mut s = RaceSummary::default();
         for r in reports {
-            *s.by_class.entry(r.class.label().to_string()).or_insert(0) += 1;
-            *s.by_area.entry(r.area.to_string()).or_insert(0) += 1;
-            if let Some(prev) = &r.previous {
-                let pair = (
-                    r.current.process.min(prev.process),
-                    r.current.process.max(prev.process),
-                );
-                *s.by_process_pair.entry(pair).or_insert(0) += 1;
-            }
-            s.total += 1;
+            s.add(r);
         }
         s
     }
 
+    /// Fold one report into the aggregate. This is the streaming entry
+    /// point the [`crate::api`] layer uses: a summary grows with the number
+    /// of distinct classes / areas / process pairs, never with the number
+    /// of reports, so long-running sessions can aggregate forever in
+    /// bounded memory (§IV-D: signalled, never stored fatal-or-forever).
+    pub fn add(&mut self, r: &RaceReport) {
+        *self.by_class.entry(r.class).or_insert(0) += 1;
+        *self.by_area.entry(r.area).or_insert(0) += 1;
+        if let Some(prev) = &r.previous {
+            let pair = (
+                r.current.process.min(prev.process),
+                r.current.process.max(prev.process),
+            );
+            *self.by_process_pair.entry(pair).or_insert(0) += 1;
+        }
+        self.total += 1;
+    }
+
     /// Reports in the class.
     pub fn count(&self, class: RaceClass) -> usize {
-        self.by_class.get(class.label()).copied().unwrap_or(0)
+        self.by_class.get(&class).copied().unwrap_or(0)
     }
 
     /// Number of true races (excludes read-read).
@@ -52,11 +65,11 @@ impl RaceSummary {
     }
 
     /// The most-reported area, if any.
-    pub fn hottest_area(&self) -> Option<(&str, usize)> {
+    pub fn hottest_area(&self) -> Option<(AreaKey, usize)> {
         self.by_area
             .iter()
             .max_by_key(|(_, &c)| c)
-            .map(|(k, &c)| (k.as_str(), c))
+            .map(|(&k, &c)| (k, c))
     }
 }
 
@@ -64,7 +77,7 @@ impl std::fmt::Display for RaceSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "{} race report(s):", self.total)?;
         for (class, count) in &self.by_class {
-            writeln!(f, "  {class:<12} {count}")?;
+            writeln!(f, "  {:<12} {count}", class.label())?;
         }
         if let Some((area, count)) = self.hottest_area() {
             writeln!(f, "  hottest area: {area} ({count} report(s))")?;

@@ -33,9 +33,20 @@ impl Detector for VanillaDetector {
         "vanilla"
     }
 
-    fn observe(&mut self, _op: &DsmOp, _held_locks: &[LockId]) -> usize {
+    fn observe_sink(
+        &mut self,
+        _op: &DsmOp,
+        _held_locks: &[LockId],
+        _sink: &mut dyn crate::api::ReportSink,
+    ) -> usize {
         self.ops_seen += 1;
         0
+    }
+
+    fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize {
+        // No log to feed (vanilla never reports); a throwaway empty sink
+        // keeps the counting in one place. `VecSink::new` never allocates.
+        self.observe_sink(op, held_locks, &mut crate::api::VecSink::new())
     }
 
     fn reports(&self) -> &[RaceReport] {

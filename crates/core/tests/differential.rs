@@ -96,11 +96,15 @@ fn drive(steps: &[Step], fast: &mut HbDetector, slow: &mut ReferenceHbDetector) 
     for (i, step) in steps.iter().enumerate() {
         match step {
             Step::Op(op) => {
-                let a = fast.observe_collect(op, &[]);
-                let b = slow.observe_collect(op, &[]);
+                // Drive the legacy log path (the whole-log assertions below
+                // depend on it) and compare each op's log tail.
+                let na = fast.observe(op, &[]);
+                let nb = slow.observe(op, &[]);
+                let a = &fast.reports()[fast.reports().len() - na..];
+                let b = &slow.reports()[slow.reports().len() - nb..];
                 assert_eq!(
-                    normalised(&a),
-                    normalised(&b),
+                    normalised(a),
+                    normalised(b),
                     "divergent reports at step {i}: {step:?}"
                 );
             }

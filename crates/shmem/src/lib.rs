@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use parking_lot::Mutex;
-use race_core::{Detector, DetectorKind, DsmOp, Granularity, LockId, OpKind, RaceReport};
+use race_core::{DetectorConfig, DetectorKind, DsmOp, LockId, OpKind, RaceReport, Session};
 
 pub use dsm::addr::{GlobalAddr, MemRange, Segment};
 
@@ -49,18 +49,15 @@ pub struct ShmemConfig {
     pub n: usize,
     /// Public segment size per PE, bytes.
     pub public_len: usize,
-    /// Detector to run.
-    pub detector: DetectorKind,
-    /// Clock granularity.
-    pub granularity: Granularity,
-    /// Detection shard count. `1` (the default) runs the detector inline
-    /// under the detector lock; `> 1` partitions the per-area
-    /// check-and-update across that many `race_core::ShardedDetector`
-    /// worker threads (in addition to the PE threads). Per-access report
-    /// semantics are unchanged — the sharded observe is synchronous and
+    /// Full detector configuration (kind, granularity, shards, pipeline,
+    /// slab layout) — the `race_core::api` builder, embedded. The runtime
+    /// builds its detection `Session` from exactly this value (with `n`
+    /// forced to [`ShmemConfig::n`]). Per-access report semantics hold at
+    /// any shard count — the sharded observe is synchronous and
     /// byte-identical — so [`Pe::put`]/[`Pe::get`] still return the exact
-    /// reports the access triggered. Clock-based detector kinds only.
-    pub detector_shards: usize,
+    /// reports the access triggered; batching (`detector.batch > 0`) is
+    /// rejected for this backend, which promises per-access reports.
+    pub detector: DetectorConfig,
 }
 
 impl ShmemConfig {
@@ -69,47 +66,40 @@ impl ShmemConfig {
         ShmemConfig {
             n,
             public_len: 1 << 16,
-            detector: DetectorKind::Dual,
-            granularity: Granularity::WORD,
-            detector_shards: 1,
+            detector: DetectorConfig::new(DetectorKind::Dual, n),
         }
     }
 
-    /// Select a different detector.
+    /// Select a different detector kind (legacy shim over the embedded
+    /// [`DetectorConfig`]).
     pub fn with_detector(mut self, d: DetectorKind) -> Self {
-        self.detector = d;
+        self.detector.kind = d;
         self
     }
 
-    /// Shard the detection work over `shards` worker threads.
+    /// Use a full detector configuration. `n` is forced to the runtime's
+    /// PE count.
+    pub fn with_detector_config(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector.with_n(self.n);
+        self
+    }
+
+    /// Shard the detection work over `shards` worker threads (in addition
+    /// to the PE threads).
     ///
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "at least one detection shard");
-        self.detector_shards = shards;
+        self.detector.shards = shards;
         self
-    }
-
-    /// Build the configured detector (sharded when requested and the kind
-    /// keeps area clocks).
-    fn build_detector(&self) -> Box<dyn Detector> {
-        match self.detector.hb_mode() {
-            Some(mode) if self.detector_shards > 1 => Box::new(race_core::ShardedDetector::new(
-                self.n,
-                self.granularity,
-                mode,
-                self.detector_shards,
-            )),
-            _ => self.detector.build(self.n, self.granularity),
-        }
     }
 }
 
 struct Shared {
     n: usize,
     segments: Vec<Mutex<Box<[u8]>>>,
-    detector: Mutex<Box<dyn Detector>>,
+    session: Mutex<Session>,
     lock_registry: LockRegistry,
     barrier: Barrier,
     op_ids: AtomicU64,
@@ -166,8 +156,8 @@ impl Pe {
             kind: OpKind::LocalWrite { range: dst },
         };
         let reports = {
-            let mut det = self.shared.detector.lock();
-            det.observe_collect(&op, &self.held_locks.borrow())
+            let mut session = self.shared.session.lock();
+            session.observe_collect(&op, &self.held_locks.borrow())
         };
         seg[dst.addr.offset..dst.end()].copy_from_slice(data);
         reports
@@ -188,8 +178,8 @@ impl Pe {
             kind: OpKind::LocalRead { range: src },
         };
         let reports = {
-            let mut det = self.shared.detector.lock();
-            det.observe_collect(&op, &self.held_locks.borrow())
+            let mut session = self.shared.session.lock();
+            session.observe_collect(&op, &self.held_locks.borrow())
         };
         buf.copy_from_slice(&seg[src.addr.offset..src.end()]);
         reports
@@ -207,7 +197,7 @@ impl Pe {
     pub fn lock(&self, range: MemRange) -> locks::AreaLockGuard<'_> {
         self.shared
             .lock_registry
-            .acquire(self, range, &self.shared.detector)
+            .acquire(self, range, &self.shared.session)
     }
 
     pub(crate) fn held_locks_push(&self, id: LockId) {
@@ -230,7 +220,7 @@ impl Pe {
     pub fn barrier(&self) {
         let res = self.shared.barrier.wait();
         if res.is_leader() {
-            self.shared.detector.lock().on_barrier();
+            self.shared.session.lock().on_barrier();
         }
         self.shared.barrier.wait();
     }
@@ -263,8 +253,8 @@ impl Pe {
             kind: OpKind::AtomicRmw { range: target },
         };
         let reports = {
-            let mut det = self.shared.detector.lock();
-            det.observe_collect(&op, &self.held_locks.borrow())
+            let mut session = self.shared.session.lock();
+            session.observe_collect(&op, &self.held_locks.borrow())
         };
         let off = target.addr.offset;
         let old = u64::from_le_bytes(seg[off..off + 8].try_into().expect("8 bytes"));
@@ -305,6 +295,9 @@ pub struct ShmemReport {
     pub segments: Vec<Vec<u8>>,
     /// Detector clock storage at exit (§IV-D accounting).
     pub clock_memory_bytes: usize,
+    /// The session's bounded aggregate over the *raw* (pre-dedup) report
+    /// stream.
+    pub summary: race_core::RaceSummary,
 }
 
 impl ShmemReport {
@@ -334,12 +327,16 @@ pub fn run<F>(cfg: ShmemConfig, body: F) -> ShmemReport
 where
     F: Fn(&Pe) + Sync,
 {
+    assert_eq!(
+        cfg.detector.batch, 0,
+        "the shmem backend reports per access; batching would defer reports"
+    );
     let shared = Arc::new(Shared {
         n: cfg.n,
         segments: (0..cfg.n)
             .map(|_| Mutex::new(vec![0u8; cfg.public_len].into_boxed_slice()))
             .collect(),
-        detector: Mutex::new(cfg.build_detector()),
+        session: Mutex::new(cfg.detector.clone().with_n(cfg.n).session()),
         lock_registry: LockRegistry::new(),
         barrier: Barrier::new(cfg.n),
         op_ids: AtomicU64::new(0),
@@ -361,11 +358,14 @@ where
     });
 
     let shared = Arc::into_inner(shared).expect("all threads joined");
-    let detector = shared.detector.into_inner();
-    let reports = race_core::dedup_reports(detector.reports());
+    let session = shared.session.into_inner();
+    let clock_memory_bytes = session.clock_memory_bytes();
+    let (summary, sink) = session.finish();
+    let reports = race_core::dedup_reports(sink.reports());
     ShmemReport {
-        clock_memory_bytes: detector.clock_memory_bytes(),
+        clock_memory_bytes,
         reports,
+        summary,
         segments: shared
             .segments
             .into_iter()

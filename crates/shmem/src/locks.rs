@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use dsm::addr::MemRange;
 use parking_lot::{Mutex, MutexGuard};
-use race_core::{Detector, LockId};
+use race_core::{LockId, Session};
 
 use crate::Pe;
 
@@ -40,24 +40,24 @@ impl LockRegistry {
         Arc::clone(map.entry(id).or_insert_with(|| Arc::new(Mutex::new(()))))
     }
 
-    /// Acquire the lock on `range` for `pe`, informing `detector` of the
-    /// hand-off.
+    /// Acquire the lock on `range` for `pe`, informing the detection
+    /// `session` of the hand-off.
     pub fn acquire<'pe>(
         &self,
         pe: &'pe Pe,
         range: MemRange,
-        detector: &'pe Mutex<Box<dyn Detector>>,
+        session: &'pe Mutex<Session>,
     ) -> AreaLockGuard<'pe> {
         let id: LockId = (range.addr.rank, range.addr.offset);
         let area = self.area_mutex(id);
         // Blocking acquire outside any detector lock (no deadlock with the
         // observe path, which never takes area locks).
         let guard = area.lock_arc();
-        detector.lock().on_acquire(pe.rank(), id);
+        session.lock().on_acquire(pe.rank(), id);
         pe.held_locks_push(id);
         AreaLockGuard {
             pe,
-            detector,
+            session,
             id,
             _guard: guard,
         }
@@ -67,7 +67,7 @@ impl LockRegistry {
 /// A held area lock; releases (and publishes the releaser's clock) on drop.
 pub struct AreaLockGuard<'pe> {
     pe: &'pe Pe,
-    detector: &'pe Mutex<Box<dyn Detector>>,
+    session: &'pe Mutex<Session>,
     id: LockId,
     _guard: parking_lot::ArcMutexGuard<parking_lot::RawMutex, ()>,
 }
@@ -75,7 +75,7 @@ pub struct AreaLockGuard<'pe> {
 impl Drop for AreaLockGuard<'_> {
     fn drop(&mut self) {
         // Snapshot the releaser's clock before the mutex opens.
-        self.detector.lock().on_release(self.pe.rank(), self.id);
+        self.session.lock().on_release(self.pe.rank(), self.id);
         self.pe.held_locks_pop(self.id);
         // `_guard` drops after this body: the mutex opens last.
     }

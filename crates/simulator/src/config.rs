@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use netsim::{AlphaBeta, Constant, Jittered, LatencyModel, Topology};
-use race_core::{DetectorKind, Granularity};
+use race_core::{DetectorConfig, DetectorKind};
 
 /// Which latency model to instantiate (serde-friendly description; the
 /// model itself is stateful because of the seeded jitter).
@@ -54,19 +54,18 @@ pub struct SimConfig {
     pub private_len: usize,
     /// Public segment bytes per process.
     pub public_len: usize,
-    /// Clock granularity for the detector.
-    pub granularity: Granularity,
-    /// Which detector to run.
-    pub detector: DetectorKind,
-    /// Detection shard count. `1` (the default) runs the detector inline,
-    /// per op. `> 1` switches the engine to the **batched drain**: observed
-    /// operations and sync events buffer up and drain in batches through
-    /// `race_core::ShardedDetector`, which partitions the per-area
-    /// check-and-update across this many worker threads. Only meaningful
-    /// for the clock-based detector kinds; lockset/vanilla ignore it. The
-    /// report stream is byte-identical either way.
-    pub detector_shards: usize,
+    /// Full detector configuration (kind, granularity, shards, pipeline,
+    /// slab layout, batching) — the `race_core::api` builder, embedded.
+    /// The engine builds its detection `Session` from exactly this value
+    /// (with `n` forced to [`SimConfig::n`]), so a committed
+    /// `DetectorConfig` JSON plus the simulation knobs reproduces a run.
+    pub detector: DetectorConfig,
 }
+
+/// Events the engine buffers per drain when detection is sharded
+/// ([`SimConfig::with_shards`] wires this into the embedded
+/// [`DetectorConfig::batch`]).
+pub const DETECT_BATCH: usize = 256;
 
 impl SimConfig {
     /// A small debugging-scale default (§V-A: "typically, about 10
@@ -80,9 +79,7 @@ impl SimConfig {
             topology: Topology::FullMesh,
             private_len: 1 << 16,
             public_len: 1 << 16,
-            granularity: Granularity::WORD,
-            detector: DetectorKind::Dual,
-            detector_shards: 1,
+            detector: DetectorConfig::new(DetectorKind::Dual, n),
         }
     }
 
@@ -92,21 +89,39 @@ impl SimConfig {
         self
     }
 
-    /// Same configuration with a different detector.
+    /// Same configuration with a different detector kind (legacy shim over
+    /// the embedded [`DetectorConfig`]).
     pub fn with_detector(mut self, detector: DetectorKind) -> Self {
-        self.detector = detector;
+        self.detector.kind = detector;
+        self
+    }
+
+    /// Same configuration with a full detector configuration. `n` is
+    /// forced to the simulation's process count, so a config built for a
+    /// different scale can be reused as-is.
+    pub fn with_detector_config(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector.with_n(self.n);
         self
     }
 
     /// Same configuration with detection sharded over `shards` worker
-    /// threads (the engine's batched drain mode; see
-    /// [`SimConfig::detector_shards`]).
+    /// threads. Above one shard this also switches the engine to the
+    /// **batched drain**: observed operations and sync events buffer up
+    /// (in batches of [`DETECT_BATCH`] — an explicit
+    /// `DetectorConfig::with_batch` choice is respected, never
+    /// overridden) and drain through `race_core::ShardedDetector`, which
+    /// partitions the per-area check-and-update across the workers. Only
+    /// meaningful for the clock-based detector kinds; lockset/vanilla
+    /// ignore it. The report stream is byte-identical either way.
     ///
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "at least one detection shard");
-        self.detector_shards = shards;
+        self.detector.shards = shards;
+        if shards > 1 && self.detector.batch == 0 {
+            self.detector.batch = DETECT_BATCH;
+        }
         self
     }
 
@@ -120,9 +135,7 @@ impl SimConfig {
             topology: Topology::FullMesh,
             private_len: 1 << 12,
             public_len: 1 << 12,
-            granularity: Granularity::WORD,
-            detector: DetectorKind::Dual,
-            detector_shards: 1,
+            detector: DetectorConfig::new(DetectorKind::Dual, n),
         }
     }
 }
@@ -130,12 +143,15 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use race_core::Granularity;
 
     #[test]
     fn defaults_are_debug_scale() {
         let c = SimConfig::debugging(10);
         assert_eq!(c.n, 10);
-        assert_eq!(c.detector, DetectorKind::Dual);
+        assert_eq!(c.detector.kind, DetectorKind::Dual);
+        assert_eq!(c.detector.n, 10, "embedded config tracks the run scale");
+        assert_eq!(c.detector.granularity, Granularity::WORD);
     }
 
     #[test]
@@ -144,14 +160,35 @@ mod tests {
             .with_seed(9)
             .with_detector(DetectorKind::Vanilla);
         assert_eq!(c.seed, 9);
-        assert_eq!(c.detector, DetectorKind::Vanilla);
+        assert_eq!(c.detector.kind, DetectorKind::Vanilla);
+    }
+
+    #[test]
+    fn with_detector_config_forces_the_run_scale() {
+        let c = SimConfig::debugging(4)
+            .with_detector_config(DetectorConfig::new(DetectorKind::Single, 99).with_shards(2));
+        assert_eq!(c.detector.n, 4, "n is the simulation's, not the config's");
+        assert_eq!(c.detector.kind, DetectorKind::Single);
+        assert_eq!(c.detector.shards, 2);
     }
 
     #[test]
     fn sharding_defaults_off_and_builds_on() {
-        assert_eq!(SimConfig::debugging(4).detector_shards, 1);
-        assert_eq!(SimConfig::lockstep(4, 100).detector_shards, 1);
-        assert_eq!(SimConfig::debugging(4).with_shards(4).detector_shards, 4);
+        assert_eq!(SimConfig::debugging(4).detector.shards, 1);
+        assert_eq!(SimConfig::lockstep(4, 100).detector.shards, 1);
+        let sharded = SimConfig::debugging(4).with_shards(4);
+        assert_eq!(sharded.detector.shards, 4);
+        assert_eq!(sharded.detector.batch, DETECT_BATCH, "batched drain on");
+        // An explicit batch choice survives with_shards, in either order.
+        let explicit = SimConfig::debugging(4)
+            .with_detector_config(DetectorConfig::new(DetectorKind::Dual, 4).with_batch(1024))
+            .with_shards(4);
+        assert_eq!(explicit.detector.batch, 1024, "user's batch respected");
+        let explicit = SimConfig::debugging(4).with_shards(4).with_shards(1);
+        assert_eq!(
+            explicit.detector.batch, DETECT_BATCH,
+            "derived batch is sticky, not clobbered to per-op"
+        );
     }
 
     #[test]

@@ -33,8 +33,7 @@ use dsm::rdma::{DeferredPut, RdmaEngine};
 use dsm::ProcessMemory;
 use netsim::{EventQueue, Message, NetStats, Network, SimTime};
 use race_core::{
-    dedup_reports, AccessKind, BatchingDetector, Detector, DsmOp, LockId, OpKind, RaceReport,
-    ShardedDetector, Trace,
+    dedup_reports, AccessKind, DsmOp, LockId, OpKind, RaceReport, RaceSummary, Session, Trace,
 };
 
 use crate::config::SimConfig;
@@ -48,9 +47,6 @@ const LOCAL_ACCESS_NS: u64 = 50;
 const LOCAL_LOCK_NS: u64 = 20;
 /// Safety cap on processed events (runaway guard).
 const MAX_EVENTS: u64 = 50_000_000;
-
-/// Events buffered per drain in the batched (sharded) detection mode.
-const DETECT_BATCH: usize = 256;
 
 /// Instruction class for latency reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -213,6 +209,10 @@ pub struct RunResult {
     pub reports: Vec<RaceReport>,
     /// Reports deduplicated by access pair.
     pub deduped: Vec<RaceReport>,
+    /// The session's bounded running aggregate over the *raw* report
+    /// stream (what a long-running service would retain instead of
+    /// [`RunResult::reports`]).
+    pub summary: RaceSummary,
     /// The execution trace (for the oracle).
     pub trace: Trace,
     /// Detector clock storage, bytes (§IV-D accounting).
@@ -257,7 +257,7 @@ pub struct Engine {
     memories: Vec<ProcessMemory>,
     locks: Vec<LockTable>,
     rdma: Vec<RdmaEngine>,
-    detector: Box<dyn Detector>,
+    session: Session,
     trace: TraceBuilder,
     queue: EventQueue<Ev>,
     procs: Vec<Proc>,
@@ -286,19 +286,13 @@ impl Engine {
         assert_eq!(programs.len(), cfg.n, "one program per rank");
         let latency = cfg.latency.build(cfg.seed);
         let net = Network::new(cfg.n, cfg.topology, latency);
-        // Batched drain mode: ops and sync events buffer up and drain in
-        // batches through the sharded pipeline, whose report stream is
-        // byte-identical to the inline detector's. The drained batches ride
-        // the detector's recycled transport buffers (router→shard→router),
-        // so the steady-state drain allocates nothing end to end. Only the
-        // clock-based kinds shard; lockset/vanilla keep no per-area clocks.
-        let detector: Box<dyn Detector> = match cfg.detector.hb_mode() {
-            Some(mode) if cfg.detector_shards > 1 => Box::new(BatchingDetector::new(
-                ShardedDetector::new(cfg.n, cfg.granularity, mode, cfg.detector_shards),
-                DETECT_BATCH,
-            )),
-            _ => cfg.detector.build(cfg.n, cfg.granularity),
-        };
+        // One construction path for every knob: the embedded DetectorConfig
+        // builds the detection Session (shards > 1 plus a batch capacity =
+        // the batched drain mode, whose report stream is byte-identical to
+        // the inline detector's and whose drained batches ride the recycled
+        // transport buffers). The default VecSink retains the run's reports
+        // for RunResult; the session's summary aggregates them bounded.
+        let session = cfg.detector.clone().with_n(cfg.n).session();
         let memories = (0..cfg.n)
             .map(|r| ProcessMemory::new(r, cfg.private_len, cfg.public_len))
             .collect();
@@ -323,7 +317,7 @@ impl Engine {
             rdma: (0..cfg.n).map(|_| RdmaEngine::new()).collect(),
             net,
             memories,
-            detector,
+            session,
             queue,
             procs,
             tokens: HashMap::new(),
@@ -360,7 +354,7 @@ impl Engine {
 
     /// Dummy clock components sized for the wire (logic is centralised).
     fn clock_payload(&self) -> Vec<u64> {
-        vec![0; self.detector.clock_components_per_area() / 2]
+        vec![0; self.session.clock_components_per_area() / 2]
     }
 
     /// Run to quiescence.
@@ -423,17 +417,22 @@ impl Engine {
             .filter(|(_, p)| !p.done)
             .map(|(r, _)| r)
             .collect();
-        // Drain anything the batched detection mode still buffers before
-        // reading the final log (a no-op for the inline detectors).
-        self.detector.flush();
-        let reports = self.detector.reports().to_vec();
+        // End the session: drain anything the batched detection mode still
+        // buffers (a no-op for the inline configs), fire the sink's
+        // end-of-stream hook, and take the retained reports plus the
+        // bounded aggregate.
+        self.session.flush();
+        let clock_memory_bytes = self.session.clock_memory_bytes();
+        let (summary, sink) = self.session.finish();
+        let reports = sink.reports().to_vec();
         let deduped = dedup_reports(&reports);
         RunResult {
             virtual_time: self.now,
             stats: self.net.stats().clone(),
-            clock_memory_bytes: self.detector.clock_memory_bytes(),
+            clock_memory_bytes,
             reports,
             deduped,
+            summary,
             trace: self.trace.finish(),
             op_latencies: self.op_latencies,
             put_apply_delays: self.put_apply_delays,
@@ -454,7 +453,7 @@ impl Engine {
     /// Build the plan for the next instruction of `rank`.
     fn build_plan(&mut self, rank: Rank) -> Option<Plan> {
         let instr = self.procs[rank].program.get(self.procs[rank].pc)?.clone();
-        let detection = self.detector.requires_locking();
+        let detection = self.session.requires_locking();
         let op_id = self.next_op_id;
         self.next_op_id += 1;
 
@@ -708,7 +707,7 @@ impl Engine {
                     });
                     let lock_id = (range.addr.rank, range.addr.offset);
                     self.trace.on_lock_granted(lock_id, rank);
-                    self.detector.on_acquire(rank, lock_id);
+                    self.session.on_acquire(rank, lock_id);
                     self.step_done(rank, 0);
                     return;
                 }
@@ -728,7 +727,7 @@ impl Engine {
                             });
                             let lock_id = (range.addr.rank, range.addr.offset);
                             self.trace.on_lock_granted(lock_id, rank);
-                            self.detector.on_acquire(rank, lock_id);
+                            self.session.on_acquire(rank, lock_id);
                             self.step_done(rank, LOCAL_LOCK_NS);
                         }
                         LockOutcome::Queued(tok) => {
@@ -751,7 +750,7 @@ impl Engine {
                         let held = self.procs[rank].prog_locks.remove(i);
                         let lock_id = (range.addr.rank, range.addr.offset);
                         self.trace.on_unlock(lock_id, rank);
-                        self.detector.on_release(rank, lock_id);
+                        self.session.on_release(rank, lock_id);
                         self.release_lock(rank, held.owner, held.lock_token);
                         self.step_done(rank, LOCAL_LOCK_NS);
                     }
@@ -1224,7 +1223,7 @@ impl Engine {
     }
 
     fn observe(&mut self, op: &DsmOp, held: &[LockId]) {
-        self.detector.observe(op, held);
+        self.session.observe(op, held);
     }
 
     // ----- message handling -------------------------------------------------
@@ -1337,7 +1336,7 @@ impl Engine {
                 if self.barrier_arrived.len() == self.cfg.n {
                     self.barrier_arrived.clear();
                     self.trace.on_barrier_release();
-                    self.detector.on_barrier();
+                    self.session.on_barrier();
                     for r in 0..self.cfg.n {
                         self.send(0, r, DsmPayload::BarrierRelease { epoch: 0 });
                     }

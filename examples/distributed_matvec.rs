@@ -18,7 +18,9 @@ fn main() {
     let (n, dim) = (4, 8);
     let mv = matvec::build(n, dim);
 
-    let result = Engine::new(SimConfig::debugging(n), mv.workload.programs.clone()).run();
+    let cfg =
+        SimConfig::debugging(n).with_detector_config(DetectorConfig::new(DetectorKind::Dual, n));
+    let result = Engine::new(cfg, mv.workload.programs.clone()).run();
     assert!(result.stuck.is_empty());
 
     println!("distributed mat-vec: {n} ranks, {dim}×{dim} matrix");

@@ -35,7 +35,8 @@ fn main() {
             DetectorKind::Single,
             DetectorKind::Lockset,
         ] {
-            let cfg = SimConfig::debugging(w.n).with_detector(kind);
+            let cfg =
+                SimConfig::debugging(w.n).with_detector_config(DetectorConfig::new(kind, w.n));
             let result = Engine::new(cfg, w.programs.clone()).run();
             assert!(result.stuck.is_empty(), "races are never fatal");
             let reports = result.deduped.len();

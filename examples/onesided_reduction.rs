@@ -16,7 +16,8 @@ fn main() {
     // ---- Part 1: on the simulator -------------------------------------
     let n = 8;
     let w = reduction::onesided(n);
-    let cfg = SimConfig::debugging(n).with_detector(DetectorKind::Vanilla);
+    let cfg =
+        SimConfig::debugging(n).with_detector_config(DetectorConfig::new(DetectorKind::Vanilla, n));
     let result = Engine::new(cfg, w.programs.clone()).run();
     assert!(result.stuck.is_empty());
 

@@ -20,8 +20,13 @@ fn main() {
 
     // Debug-scale configuration (§V-A: detection is a debugging feature):
     // jittered InfiniBand-like latencies, dual-clock detection at word
-    // granularity.
-    let result = Engine::new(SimConfig::debugging(3), programs).run();
+    // granularity. Every detection knob lives on one DetectorConfig
+    // builder; its JSON round-trips, so a run is reproducible from the
+    // printed line alone.
+    let detector = DetectorConfig::new(DetectorKind::Dual, 3).with_granularity(Granularity::WORD);
+    println!("detector config         : {}", detector.to_json());
+    let cfg = SimConfig::debugging(3).with_detector_config(detector);
+    let result = Engine::new(cfg, programs).run();
 
     println!("virtual completion time : {}", result.virtual_time);
     println!("messages on the wire    : {}", result.stats.total_msgs());
@@ -36,6 +41,8 @@ fn main() {
         println!("{report}");
     }
     assert_eq!(result.deduped.len(), 1, "exactly one write-write race");
+    // The session's bounded aggregate (what a long-running service keeps):
+    print!("{}", result.summary);
 
     // The run still completed, and one of the two values won:
     let v = result.read_u64(a);

@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --example shmem_threads`
 
+use race_core::{DetectorConfig, DetectorKind};
 use shmem::{GlobalAddr, ShmemConfig};
 
 fn main() {
@@ -14,8 +15,13 @@ fn main() {
     let iters = 50;
     let counter = GlobalAddr::public(0, 0).range(8);
 
+    // The same DetectorConfig builder drives both backends; here the
+    // threaded SHMEM runtime builds its detection session from it.
+    let detector = DetectorConfig::new(DetectorKind::Dual, n);
+    let cfg = || ShmemConfig::new(n).with_detector_config(detector.clone());
+
     // ---- buggy: unsynchronised read-modify-write ------------------------
-    let buggy = shmem::run(ShmemConfig::new(n), |pe| {
+    let buggy = shmem::run(cfg(), |pe| {
         for _ in 0..iters {
             let (v, _) = pe.get_u64(counter);
             pe.put_u64(counter, v + 1);
@@ -31,13 +37,15 @@ fn main() {
     if buggy.reports.len() > 3 {
         println!("    … and {} more", buggy.reports.len() - 3);
     }
+    // The session's bounded aggregate over the raw report stream:
+    print!("{}", buggy.summary);
     assert!(
         !buggy.true_races().is_empty(),
         "the lost-update race must be signalled"
     );
 
     // ---- fixed: NIC area lock around the update -------------------------
-    let fixed = shmem::run(ShmemConfig::new(n), |pe| {
+    let fixed = shmem::run(cfg(), |pe| {
         for _ in 0..iters {
             let guard = pe.lock(counter);
             let (v, _) = pe.get_u64(counter);

@@ -23,7 +23,8 @@ fn main() {
         ("correct (with barrier)", stencil::with_barrier(n, 8, 3)),
         ("buggy (missing barrier)", stencil::missing_barrier(n, 8, 3)),
     ] {
-        let cfg = SimConfig::debugging(n);
+        let cfg = SimConfig::debugging(n)
+            .with_detector_config(DetectorConfig::new(DetectorKind::Dual, n));
         let summary = explore(&cfg, &w.programs, &seeds);
         println!("{label}:");
         println!(
@@ -71,7 +72,7 @@ fn main() {
     }
     for kind in [DetectorKind::Dual, DetectorKind::Single] {
         let r = Engine::new(
-            SimConfig::debugging(n).with_detector(kind),
+            SimConfig::debugging(n).with_detector_config(DetectorConfig::new(kind, n)),
             programs.clone(),
         )
         .run();

@@ -15,7 +15,7 @@
 //! | [`vclock`] | Lamport / vector / matrix clocks, the paper's Algorithms 3–4, the `epoch` fast-path module, shard-safe snapshots |
 //! | [`netsim`] | deterministic discrete-event interconnect + RDMA NIC model |
 //! | [`dsm`] | global address space, symmetric heap, NIC area locks, Fig 3 put-deferral |
-//! | [`race_core`] | the paper's detector (Algorithms 1–2, dual clock) + the sharded parallel pipeline + baselines + oracle |
+//! | [`race_core`] | the paper's detector (Algorithms 1–2, dual clock) + the sharded parallel pipeline + baselines + oracle, fronted by the `race_core::api` façade (`DetectorConfig` → `Session` → `ReportSink`) |
 //! | [`simulator`] | process/program model, DES engine (per-op or batched/sharded drain), workloads, interleaving explorer |
 //! | [`shmem`] | the same algorithms on real OS threads (§III-B's SHMEM extension) |
 //!
@@ -33,8 +33,8 @@
 //! * **flat sharded store** (`race_core::ClockStore`): per-rank dense
 //!   slabs indexed by block number — no hashing on the access path.
 //! * **allocation-free observe**: one shared `Arc` clock snapshot per
-//!   operation, a reused absorb scratch clock, reports appended straight
-//!   to the detector log.
+//!   operation, a reused absorb scratch clock, reports streamed by value
+//!   into the caller's `race_core::ReportSink`.
 //!
 //! Report parity with the unoptimised implementation
 //! (`race_core::ReferenceHbDetector`) is enforced by differential property
@@ -88,7 +88,9 @@ pub mod prelude {
     pub use dsm::{GlobalAddr, MemRange, Placement, Segment, SymmetricHeap};
     pub use netsim::{OpClass, SimTime, Topology};
     pub use race_core::{
-        DetectorKind, Granularity, MemOp, Oracle, RaceClass, RaceReport, Score, ShardedDetector,
+        CountingSink, DetectorConfig, DetectorKind, Granularity, MemOp, Oracle, PipelineMode,
+        RaceClass, RaceReport, RaceSummary, ReportSink, Score, Session, ShardedDetector,
+        SummarySink, VecSink,
     };
     pub use simulator::{
         explore, Engine, Instr, LatencySpec, Program, ProgramBuilder, RunResult, SimConfig,

@@ -1,0 +1,81 @@
+//! Public-API snapshot check for the `race_core::api` façade (a simple
+//! `cargo public-api`-style text diff, committed to `tests/`).
+//!
+//! The snapshot (`tests/api_snapshot.txt`) records the one-line silhouette
+//! of every `pub` item in `crates/core/src/api.rs` and
+//! `crates/core/src/detector.rs` — the two files that define the façade
+//! contract. Any addition, removal or signature change shows up as a diff
+//! here, so API evolution is a *reviewed* decision, not an accident.
+//!
+//! To accept an intentional change, regenerate with:
+//! `UPDATE_API_SNAPSHOT=1 cargo test --test api_snapshot`
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Extract the silhouette: for each `pub` declaration, its first line with
+/// trailing `{`/`;`/`(` noise trimmed, prefixed by the file it lives in.
+fn silhouette(root: &Path, rel: &str) -> String {
+    let src = std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+    let mut out = String::new();
+    for line in src.lines() {
+        let t = line.trim_start();
+        let is_decl = [
+            "pub fn ",
+            "pub struct ",
+            "pub enum ",
+            "pub trait ",
+            "pub const ",
+            "pub type ",
+            "pub use ",
+        ]
+        .iter()
+        .any(|p| t.starts_with(p));
+        // Public fields document the config surface too.
+        let is_field = line.starts_with("    pub ") && t.ends_with(',') && !is_decl;
+        if !(is_decl || is_field) {
+            continue;
+        }
+        let mut sig = t.trim_end();
+        for suffix in [" {", "{", ";"] {
+            if let Some(stripped) = sig.strip_suffix(suffix) {
+                sig = stripped.trim_end();
+                break;
+            }
+        }
+        writeln!(out, "{rel}: {sig}").expect("string write");
+    }
+    out
+}
+
+#[test]
+fn race_core_api_surface_matches_snapshot() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut current = String::new();
+    for rel in ["crates/core/src/api.rs", "crates/core/src/detector.rs"] {
+        current.push_str(&silhouette(root, rel));
+    }
+    let snapshot_path = root.join("tests/api_snapshot.txt");
+    if std::env::var_os("UPDATE_API_SNAPSHOT").is_some() {
+        std::fs::write(&snapshot_path, &current).expect("write snapshot");
+        return;
+    }
+    let committed = std::fs::read_to_string(&snapshot_path)
+        .expect("tests/api_snapshot.txt missing — run with UPDATE_API_SNAPSHOT=1 to create it");
+    if committed != current {
+        let committed_lines: std::collections::BTreeSet<_> = committed.lines().collect();
+        let current_lines: std::collections::BTreeSet<_> = current.lines().collect();
+        let mut diff = String::new();
+        for gone in committed_lines.difference(&current_lines) {
+            writeln!(diff, "- {gone}").expect("string write");
+        }
+        for new in current_lines.difference(&committed_lines) {
+            writeln!(diff, "+ {new}").expect("string write");
+        }
+        panic!(
+            "race_core::api public surface changed:\n{diff}\n\
+             If intentional, regenerate with \
+             UPDATE_API_SNAPSHOT=1 cargo test --test api_snapshot"
+        );
+    }
+}

@@ -208,7 +208,7 @@ fn granularity_tradeoff_false_sharing_vs_memory() {
     let mut results = Vec::new();
     for gran in [Granularity::WORD, Granularity::PAGE] {
         let mut cfg = SimConfig::debugging(n);
-        cfg.granularity = gran;
+        cfg.detector.granularity = gran;
         let r = Engine::new(cfg, programs.clone()).run();
         results.push((gran.block_bytes(), r.deduped.len(), r.clock_memory_bytes));
     }
