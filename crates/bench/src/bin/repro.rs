@@ -26,9 +26,45 @@
 //!                         # stream, serialize → reparse → rebuild, and
 //!                         # fail (exit 1) unless the two report streams
 //!                         # are byte-identical
+//!   repro --chaos         # fault-injection sweep: scenario workloads
+//!                         # under a seed matrix of network fault plans,
+//!                         # plus sharded-pipeline runs with a worker
+//!                         # killed mid-stream. Fails (exit 1) if a panic
+//!                         # escapes, a quiet plan perturbs a run, an
+//!                         # injection goes unreported as degraded, or a
+//!                         # supervised kill changes the report stream.
+//!                         # `--seeds N` widens the matrix (default 8).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--chaos") {
+        let seeds = args
+            .iter()
+            .position(|a| a == "--seeds")
+            .and_then(|at| args.get(at + 1))
+            .map(|v| match v.parse::<u64>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--seeds needs a positive integer, got {v:?}");
+                    std::process::exit(1);
+                }
+            })
+            .unwrap_or(8);
+        let report = dsm_bench::chaos::run_chaos(seeds);
+        for line in &report.lines {
+            println!("{line}");
+        }
+        if !report.ok {
+            eprintln!("chaos: invariant violated ({} runs)", report.runs);
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# chaos: {} run(s) across {} seed(s), all invariants held",
+            report.runs, seeds
+        );
+        return;
+    }
 
     if let Some(at) = args.iter().position(|a| a == "--config") {
         let Some(json) = args.get(at + 1) else {

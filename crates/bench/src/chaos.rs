@@ -1,0 +1,317 @@
+//! The `repro --chaos` harness: scenario workloads under a seed matrix of
+//! fault plans, asserting the whole stack honours the §IV-D contract —
+//! trouble is **signalled, never fatal** — even when the environment
+//! misbehaves.
+//!
+//! Two layers of chaos, both deterministic per seed:
+//!
+//! 1. **Network chaos** — real engine runs of scenario workloads under a
+//!    matrix of [`FaultSpec`]s (quiet control, delay, duplicate, reorder,
+//!    drop, storm). Invariants: (a) no panic ever escapes a run; (b) when
+//!    a plan injected nothing (delivery order preserved), the report
+//!    stream is byte-identical to the no-fault baseline and the run is
+//!    not degraded; (c) whenever injection fired, the run's summary says
+//!    [`RaceSummary::degraded`](race_core::RaceSummary::degraded).
+//! 2. **Pipeline chaos** — detector-only streams through the sharded
+//!    pipeline with a worker killed at a seed-derived point mid-stream.
+//!    Invariants: byte-identical report stream versus the healthy inline
+//!    detector, [`PipelineHealth::Degraded`] after the kill, and a
+//!    healthy no-kill control that stays `Healthy`.
+//!
+//! Everything is pure functions over seeds, so a CI failure line names
+//! the exact `(scenario, spec, seed)` triple to replay locally.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use netsim::FaultSpec;
+use race_core::{
+    Detector, Granularity, HbDetector, HbMode, PipelineHealth, RaceReport, ShardedDetector, VecSink,
+};
+use simulator::workloads::{master_worker, reduction, stencil, Workload};
+use simulator::{Engine, SimConfig};
+
+use crate::opstream;
+
+/// Outcome of a chaos sweep: human-readable verdict lines plus an overall
+/// pass flag (`repro --chaos` exits non-zero when `ok` is false).
+pub struct ChaosReport {
+    /// One line per checked invariant group; failures are prefixed
+    /// `"FAIL"`.
+    pub lines: Vec<String>,
+    /// True when every invariant held across the whole matrix.
+    pub ok: bool,
+    /// Total engine / pipeline runs executed.
+    pub runs: usize,
+}
+
+impl ChaosReport {
+    fn fail(&mut self, line: String) {
+        self.ok = false;
+        self.lines.push(format!("FAIL {line}"));
+    }
+}
+
+/// The fault-plan matrix: one quiet control plus each fault class alone
+/// plus a storm mixing all of them. Probabilities are chosen so small
+/// scenario runs actually trigger injections.
+pub fn spec_matrix() -> Vec<(&'static str, FaultSpec)> {
+    vec![
+        ("quiet", FaultSpec::default()),
+        (
+            "delay",
+            FaultSpec {
+                delay: 0.5,
+                extra_delay_ns: 3_000,
+                ..Default::default()
+            },
+        ),
+        (
+            "duplicate",
+            FaultSpec {
+                duplicate: 0.3,
+                ..Default::default()
+            },
+        ),
+        (
+            "reorder",
+            FaultSpec {
+                reorder: 0.5,
+                reorder_window_ns: 2_000,
+                ..Default::default()
+            },
+        ),
+        (
+            "drop",
+            FaultSpec {
+                drop: 0.05,
+                ..Default::default()
+            },
+        ),
+        (
+            "storm",
+            FaultSpec {
+                drop: 0.02,
+                duplicate: 0.2,
+                delay: 0.3,
+                extra_delay_ns: 2_000,
+                reorder: 0.3,
+                reorder_window_ns: 1_000,
+            },
+        ),
+    ]
+}
+
+/// Small scenario workloads: synchronised, racy and one-sided traffic.
+fn scenarios() -> Vec<Workload> {
+    vec![
+        stencil::with_barrier(4, 8, 2),
+        master_worker::racy(3, 2),
+        reduction::onesided(4),
+    ]
+}
+
+/// A run's observable outcome, or the panic message if one escaped.
+struct RunOutcome {
+    reports: Vec<RaceReport>,
+    degraded: bool,
+    injected: u64,
+}
+
+fn engine_run(cfg: SimConfig, w: &Workload) -> Result<RunOutcome, String> {
+    let programs = w.programs.clone();
+    catch_unwind(AssertUnwindSafe(move || {
+        let r = Engine::new(cfg, programs).run();
+        RunOutcome {
+            reports: r.reports,
+            degraded: r.summary.degraded,
+            injected: r.stats.injected_total(),
+        }
+    }))
+    .map_err(|payload| {
+        payload
+            .downcast::<String>()
+            .map(|s| *s)
+            .unwrap_or_else(|p| {
+                p.downcast::<&'static str>()
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|_| "non-string panic payload".into())
+            })
+    })
+}
+
+/// Layer 1: engine runs under the fault matrix across `seeds` seeds.
+fn network_chaos(seeds: u64, report: &mut ChaosReport) {
+    let specs = spec_matrix();
+    for w in scenarios() {
+        let mut checked = 0u64;
+        let mut fired = 0u64;
+        for seed in 0..seeds {
+            let base = match engine_run(SimConfig::debugging(w.n).with_seed(seed), &w) {
+                Ok(o) => o,
+                Err(msg) => {
+                    report.fail(format!("{} seed {seed} baseline panicked: {msg}", w.name));
+                    continue;
+                }
+            };
+            report.runs += 1;
+            for (label, spec) in &specs {
+                let cfg = SimConfig::debugging(w.n).with_seed(seed).with_faults(*spec);
+                let out = match engine_run(cfg, &w) {
+                    Ok(o) => o,
+                    Err(msg) => {
+                        report.fail(format!(
+                            "{} spec {label} seed {seed} panicked: {msg}",
+                            w.name
+                        ));
+                        continue;
+                    }
+                };
+                report.runs += 1;
+                checked += 1;
+                if out.injected == 0 {
+                    // Delivery untouched: the run must be indistinguishable
+                    // from the baseline.
+                    if out.reports != base.reports {
+                        report.fail(format!(
+                            "{} spec {label} seed {seed}: no injection but reports diverge",
+                            w.name
+                        ));
+                    }
+                    if out.degraded {
+                        report.fail(format!(
+                            "{} spec {label} seed {seed}: degraded without injection",
+                            w.name
+                        ));
+                    }
+                } else {
+                    fired += 1;
+                    if !out.degraded {
+                        report.fail(format!(
+                            "{} spec {label} seed {seed}: {} injection(s) but not degraded",
+                            w.name, out.injected
+                        ));
+                    }
+                }
+            }
+        }
+        report.lines.push(format!(
+            "network  {:<24} {} run(s), {} with injections: ok",
+            w.name, checked, fired
+        ));
+    }
+}
+
+/// Layer 2: sharded-pipeline streams with a worker killed mid-stream at a
+/// seed-derived point; report parity against the inline detector.
+fn pipeline_chaos(seeds: u64, report: &mut ChaosReport) {
+    let n = 4;
+    let events = opstream::hotspot(n, 40, 8);
+    let memops = opstream::memops(&events);
+    // The healthy inline truth, computed once.
+    let baseline = {
+        let mut det = HbDetector::new(n, Granularity::WORD, HbMode::Dual);
+        let mut sink = VecSink::new();
+        opstream::drive_sink(&mut det, &mut sink, &events);
+        sink.into_reports()
+    };
+    let mut kills = 0u64;
+    for seed in 0..seeds {
+        let shards = 2 + (seed as usize % 3);
+        let batch = 1 + (seed as usize % 7);
+        let chunks = memops.len().div_ceil(batch);
+        let kill_shard = seed as usize % shards;
+        let kill_at = (seed as usize * 13 + 5) % chunks.max(1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Control: same configuration, nobody killed.
+            let mut healthy = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, shards);
+            let mut healthy_sink = VecSink::new();
+            for chunk in memops.chunks(batch) {
+                healthy.observe_batch_sink(chunk, &mut healthy_sink);
+            }
+            let control_health = healthy.health();
+            // Chaos: kill one worker mid-stream.
+            let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, shards);
+            let mut sink = VecSink::new();
+            for (i, chunk) in memops.chunks(batch).enumerate() {
+                if i == kill_at {
+                    det.inject_worker_panic(kill_shard);
+                }
+                det.observe_batch_sink(chunk, &mut sink);
+            }
+            (
+                healthy_sink.into_reports(),
+                control_health,
+                sink.into_reports(),
+                det.health(),
+            )
+        }));
+        report.runs += 2;
+        let (control, control_health, killed, killed_health) = match outcome {
+            Ok(t) => t,
+            Err(_) => {
+                report.fail(format!(
+                    "pipeline seed {seed} (shards={shards} batch={batch}): panic escaped"
+                ));
+                continue;
+            }
+        };
+        if control_health != PipelineHealth::Healthy {
+            report.fail(format!("pipeline seed {seed}: control degraded"));
+        }
+        if control != baseline {
+            report.fail(format!(
+                "pipeline seed {seed}: control diverges from inline"
+            ));
+        }
+        if killed_health != PipelineHealth::Degraded {
+            report.fail(format!(
+                "pipeline seed {seed}: worker killed but health not Degraded"
+            ));
+        } else {
+            kills += 1;
+        }
+        if killed != baseline {
+            report.fail(format!(
+                "pipeline seed {seed} (shards={shards} batch={batch} kill_shard={kill_shard} \
+                 kill_at={kill_at}): report stream diverges after worker death"
+            ));
+        }
+    }
+    report.lines.push(format!(
+        "pipeline hotspot(n={n})          {} seed(s), {} supervised kill(s): ok",
+        seeds, kills
+    ));
+}
+
+/// Run the full chaos sweep over `seeds` seeds per scenario/spec pair.
+pub fn run_chaos(seeds: u64) -> ChaosReport {
+    let mut report = ChaosReport {
+        lines: Vec::new(),
+        ok: true,
+        runs: 0,
+    };
+    network_chaos(seeds.max(1), &mut report);
+    pipeline_chaos(seeds.max(1), &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_sweep_passes_on_a_small_matrix() {
+        let r = run_chaos(2);
+        assert!(r.ok, "chaos sweep failed:\n{}", r.lines.join("\n"));
+        assert!(r.runs > 0);
+        assert!(r.lines.iter().all(|l| !l.starts_with("FAIL")));
+    }
+
+    #[test]
+    fn spec_matrix_has_quiet_control_and_fires() {
+        let specs = spec_matrix();
+        assert_eq!(specs[0].0, "quiet");
+        assert!(specs[0].1.is_quiet());
+        assert!(specs.iter().skip(1).all(|(_, s)| !s.is_quiet()));
+    }
+}

@@ -11,6 +11,7 @@ use race_core::{DetectorKind, Oracle, RaceClass};
 use simulator::workloads::{figures, master_worker, random_access, reduction};
 use simulator::{Engine, Program, RunResult, SimConfig};
 
+pub mod chaos;
 pub mod opstream;
 pub mod perfjson;
 

@@ -60,6 +60,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::clockstore::{Granularity, StoreConfig};
 use crate::detector::{Detector, DetectorKind};
+use crate::error::PipelineHealth;
 use crate::event::{DsmOp, LockId};
 use crate::report::RaceReport;
 use crate::sharded::{BatchingDetector, ShardedDetector};
@@ -736,11 +737,27 @@ impl Session {
 
     /// Drain any buffering front-end through the sink; returns the number
     /// of reports the drain produced. A no-op for unbatched configs.
+    ///
+    /// Also folds the detector's current [`PipelineHealth`] into the
+    /// summary: after a degraded flush, `summary().degraded` is true.
     pub fn flush(&mut self) -> usize {
-        self.detector.flush_sink(&mut Tee {
+        let n = self.detector.flush_sink(&mut Tee {
             summary: &mut self.summary,
             sink: &mut *self.sink,
-        })
+        });
+        if self.detector.health().is_degraded() {
+            self.summary.degraded = true;
+        }
+        n
+    }
+
+    /// The detector's current health. [`PipelineHealth::Degraded`] means
+    /// an internal component died and detection continued on a fallback
+    /// path — the report stream is still complete (see
+    /// [`Detector::health`]). [`Session::flush`] and [`Session::finish`]
+    /// mirror this into [`RaceSummary::degraded`].
+    pub fn health(&self) -> PipelineHealth {
+        self.detector.health()
     }
 
     /// The reports the sink retained — the `reports()` convenience of the
@@ -842,6 +859,52 @@ mod tests {
         drop(rx);
         s.observe(&put(2, 0, 1, 0), &[]); // races again; receiver is gone
         assert_eq!(s.summary().total, 2, "detection is unaffected by hangup");
+    }
+
+    #[test]
+    fn channel_sink_survives_hangup_between_reports_of_one_observe() {
+        // Regression: the receiver hangs up *between* the two reports of a
+        // single observe call (a 16-byte put crossing two WORD blocks).
+        // The first send lands, the second hits the disconnected channel —
+        // no panic, and the miss is accounted in `dropped`.
+        struct HangupAfterFirst {
+            chan: ChannelSink,
+            rx: Option<std::sync::mpsc::Receiver<RaceReport>>,
+            forwarded: usize,
+        }
+        impl ReportSink for HangupAfterFirst {
+            fn on_report(&mut self, report: &RaceReport) {
+                self.chan.on_report(report);
+                self.forwarded += 1;
+                if self.forwarded == 1 {
+                    drop(self.rx.take());
+                }
+            }
+        }
+        let wide = |op_id, actor: usize| DsmOp {
+            op_id,
+            actor,
+            kind: OpKind::Put {
+                src: GlobalAddr::private(actor, 0).range(16),
+                dst: GlobalAddr::public(1, 0).range(16),
+            },
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut sink = HangupAfterFirst {
+            chan: ChannelSink::new(tx),
+            rx: Some(rx),
+            forwarded: 0,
+        };
+        let mut det = crate::HbDetector::new(3, crate::Granularity::WORD, crate::HbMode::Dual);
+        assert_eq!(det.observe_sink(&wide(0, 0), &[], &mut sink), 0);
+        let emitted = det.observe_sink(&wide(1, 2), &[], &mut sink);
+        assert_eq!(emitted, 2, "two blocks race → two reports in one call");
+        assert_eq!(sink.forwarded, 2, "both reports reached the sink");
+        assert_eq!(
+            sink.chan.dropped(),
+            1,
+            "exactly the post-hangup report is counted dropped"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! baselines, plus a factory for the experiment harnesses.
 
 use crate::api::{ReportSink, VecSink};
+use crate::error::PipelineHealth;
 use crate::event::{DsmOp, LockId};
 use crate::report::RaceReport;
 
@@ -133,6 +134,16 @@ pub trait Detector: Send {
     fn flush_sink(&mut self, sink: &mut dyn ReportSink) -> usize {
         let _ = sink;
         0
+    }
+
+    /// Current pipeline health. [`PipelineHealth::Degraded`] means an
+    /// internal component died and the detector fell back to a slower but
+    /// complete path — the report stream stays byte-identical, so callers
+    /// treat this as a warning, never as data loss. Detectors without
+    /// internal failure modes report [`PipelineHealth::Healthy`] (the
+    /// default).
+    fn health(&self) -> PipelineHealth {
+        PipelineHealth::Healthy
     }
 }
 

@@ -37,6 +37,11 @@
 //! * [`oracle::Oracle`] — offline exact happens-before over a full execution
 //!   trace: ground truth for precision/recall scoring of the online
 //!   detectors.
+//! * [`error`] — typed pipeline failures ([`error::DetectError`]) and the
+//!   [`error::PipelineHealth`] degradation state: a dead shard worker makes
+//!   the sharded pipeline fall back to the inline detector with a
+//!   byte-identical report stream instead of panicking (see
+//!   `docs/ROBUSTNESS.md`).
 //!
 //! All detectors implement [`detector::Detector`] and are driven by the
 //! `simulator` engine (discrete-event backend, per-op or batched/sharded
@@ -48,6 +53,7 @@
 pub mod api;
 pub mod clockstore;
 pub mod detector;
+pub mod error;
 pub mod event;
 pub mod hb;
 pub mod lockset;
@@ -65,6 +71,7 @@ pub use api::{
 };
 pub use clockstore::{AreaKey, ClockStore, Granularity, StoreConfig};
 pub use detector::{Detector, DetectorKind};
+pub use error::{DetectError, PipelineHealth, RetryPolicy};
 pub use event::{AccessKind, AccessList, AccessSummary, DsmOp, LockId, OpKind};
 pub use hb::{HbDetector, HbMode};
 pub use lockset::LocksetDetector;

@@ -65,6 +65,7 @@
 //! against both [`crate::HbDetector`] and [`crate::ReferenceHbDetector`].
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -75,8 +76,9 @@ use vclock::{MatrixClock, VectorClock};
 use crate::api::{ReportSink, VecSink};
 use crate::clockstore::{AreaKey, ClockStore, Granularity, StoreConfig};
 use crate::detector::Detector;
+use crate::error::{DetectError, PipelineHealth, RetryPolicy};
 use crate::event::{AccessKind, AccessSummary, DsmOp, LockId};
-use crate::hb::{acquire_clock, barrier_join, check_access, release_clock, HbMode};
+use crate::hb::{acquire_clock, barrier_join, check_access, release_clock, HbDetector, HbMode};
 use crate::report::RaceReport;
 use crate::wire::{ClockCache, ClockEncoder, ClockWire};
 use crate::Rank;
@@ -160,6 +162,10 @@ enum ToShard {
     /// (the per-op `Detector` path fences per access and must stay O(1)
     /// in the number of touched areas).
     CountEpochs,
+    /// Chaos instrumentation: panic on receipt, exactly as a bug in the
+    /// check-and-update would. Used by the fault-injection tests to
+    /// exercise the supervisor (see [`ShardedDetector::inject_worker_panic`]).
+    Poison,
 }
 
 struct ShardReply {
@@ -331,7 +337,21 @@ fn shard_of(area: AreaKey, shards: usize) -> usize {
 struct Worker {
     tx: Option<Sender<ToShard>>,
     rx: Receiver<ShardReply>,
-    handle: Option<JoinHandle<()>>,
+    /// Joining yields the worker's panic message, if it panicked: the
+    /// spawn wrapper runs the loop under `catch_unwind` and returns the
+    /// stringified payload instead of propagating the unwind.
+    handle: Option<JoinHandle<Option<String>>>,
+}
+
+/// Stringify a panic payload recovered from a supervised worker.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 /// The per-shard worker loop: owns this shard's [`ClockStore`] and runs the
@@ -408,6 +428,13 @@ fn shard_worker(
                 if tx.send(reply).is_err() {
                     break;
                 }
+            }
+            // `resume_unwind` rather than `panic!`: the unwind is caught by
+            // the spawn wrapper either way, but resuming skips the global
+            // panic hook, so injected deaths do not spray backtraces over
+            // test output.
+            ToShard::Poison => {
+                std::panic::resume_unwind(Box::new("injected shard poison".to_string()))
             }
         }
     }
@@ -509,6 +536,10 @@ pub struct ShardedDetector {
     /// The legacy keep-everything log, fed only by the sink-less entry
     /// points ([`Detector::observe`] / [`ShardedDetector::observe_batch`]).
     log: VecSink,
+    /// The failure that degraded this detector, if any. Set exactly once:
+    /// after the threaded pipeline falls back inline there is nothing left
+    /// to die.
+    last_error: Option<DetectError>,
 }
 
 enum Pipeline {
@@ -561,6 +592,23 @@ struct Threaded {
     /// Per-shard accounting, refreshed at every batch fence.
     shard_clock_bytes: Vec<usize>,
     shard_touched: Vec<usize>,
+    /// The store layout every shard was built with, kept so the supervisor
+    /// can rebuild an equivalent inline detector after a worker death.
+    store: StoreConfig,
+    /// Every event ever routed, in order — the supervisor's recovery
+    /// journal. On a worker death the whole history replays through a
+    /// fresh inline detector, which regenerates the already-delivered
+    /// prefix of the report stream ([`Threaded::emitted`] reports, skipped)
+    /// and everything the dead pipeline still owed. The journal grows with
+    /// the stream: that unbounded memory is the price of byte-exact
+    /// recovery, documented in `docs/ROBUSTNESS.md`.
+    journal: Vec<MemOp>,
+    /// Reports already merged into caller-visible sinks at past fences —
+    /// the skip prefix for a recovery replay.
+    emitted: usize,
+    /// Backoff schedule for distinguishing slow workers from dead ones at
+    /// the fence (see [`RetryPolicy`]).
+    retry: RetryPolicy,
 }
 
 impl ShardedDetector {
@@ -600,6 +648,7 @@ impl ShardedDetector {
         ShardedDetector {
             pipeline,
             log: VecSink::new(),
+            last_error: None,
         }
     }
 
@@ -627,6 +676,7 @@ impl ShardedDetector {
                 store,
             ))),
             log: VecSink::new(),
+            last_error: None,
         }
     }
 
@@ -667,10 +717,90 @@ impl ShardedDetector {
     /// instrumentation for tests and benches, kept off the fence path on
     /// purpose.
     pub fn epoch_areas(&mut self) -> usize {
-        match &mut self.pipeline {
-            Pipeline::Inline(hb) => hb.store().epoch_areas(),
+        let res = match &mut self.pipeline {
+            Pipeline::Inline(hb) => return hb.store().epoch_areas(),
             Pipeline::Threaded(t) => t.epoch_areas(),
+        };
+        match res {
+            Ok(total) => total,
+            Err(err) => {
+                // This instrumentation path has no caller sink, so any
+                // reports the dead pipeline still owed land in the legacy
+                // log (the sink-less entry points' destination).
+                let mut log = std::mem::take(&mut self.log);
+                self.recover(err, &mut log);
+                self.log = log;
+                match &mut self.pipeline {
+                    Pipeline::Inline(hb) => hb.store().epoch_areas(),
+                    Pipeline::Threaded(_) => unreachable!("recover degrades to inline"),
+                }
+            }
         }
+    }
+
+    /// Pipeline failure that degraded this detector, if any — `Some`
+    /// exactly when [`Detector::health`] reports
+    /// [`PipelineHealth::Degraded`].
+    pub fn last_error(&self) -> Option<&DetectError> {
+        self.last_error.as_ref()
+    }
+
+    /// Chaos instrumentation: make shard `shard`'s worker panic at its
+    /// next message, as an implementation bug in the check-and-update
+    /// would. The death is asynchronous — the *next* fence discovers it
+    /// and degrades the detector (journal replay, inline fallback, health
+    /// [`PipelineHealth::Degraded`]) without losing or duplicating a
+    /// single report. Returns `false` when there is no worker to poison
+    /// (inline pipeline, out-of-range shard, or already-dead worker).
+    pub fn inject_worker_panic(&mut self, shard: usize) -> bool {
+        match &mut self.pipeline {
+            Pipeline::Inline(_) => false,
+            Pipeline::Threaded(t) => match t.workers.get(shard).and_then(|w| w.tx.as_ref()) {
+                Some(tx) => tx.send(ToShard::Poison).is_ok(),
+                None => false,
+            },
+        }
+    }
+
+    /// Supervision fallback: worker `err.shard()` died, taking its slice
+    /// of the detection state with it. Rebuild from the journal — replay
+    /// every event ever observed through a fresh inline [`HbDetector`]
+    /// with the same configuration, suppressing the first
+    /// [`Threaded::emitted`] reports (already delivered at past fences)
+    /// and forwarding the remainder to `sink`. The replayed detector then
+    /// *becomes* the pipeline, so the stream stays byte-identical to a
+    /// healthy run at the cost of parallelism. Returns the number of
+    /// reports forwarded, which is exactly what the failed call owed.
+    fn recover(&mut self, err: DetectError, sink: &mut dyn ReportSink) -> usize {
+        let Pipeline::Threaded(t) = &mut self.pipeline else {
+            unreachable!("recover only runs on the threaded pipeline");
+        };
+        let journal = std::mem::take(&mut t.journal);
+        let emitted = t.emitted;
+        let (n, granularity, mode, store) = (t.n, t.granularity, t.mode, t.store);
+        let mut hb = Box::new(HbDetector::with_config(n, granularity, mode, store));
+        let mut skip = SkipSink {
+            skip: emitted,
+            forwarded: 0,
+            inner: sink,
+        };
+        for event in &journal {
+            match event {
+                MemOp::Op(op) => {
+                    hb.observe_sink(op, &[], &mut skip);
+                }
+                MemOp::Barrier => hb.on_barrier(),
+                MemOp::Acquire { rank, lock } => hb.on_acquire(*rank, *lock),
+                MemOp::Release { rank, lock } => hb.on_release(*rank, *lock),
+            }
+        }
+        debug_assert_eq!(skip.skip, 0, "replay must regenerate every emitted report");
+        let forwarded = skip.forwarded;
+        // Swapping the pipeline drops `Threaded`, whose Drop joins the
+        // surviving workers.
+        self.pipeline = Pipeline::Inline(hb);
+        self.last_error = Some(err);
+        forwarded
     }
 
     /// Observe a batch of operations and synchronisation events, running
@@ -691,8 +821,14 @@ impl ShardedDetector {
     /// Sink-streaming variant of [`ShardedDetector::observe_batch`]: the
     /// merged, deterministically ordered report stream goes to `sink`
     /// instead of the internal log. Returns the number of new reports.
+    ///
+    /// This call cannot fail: a worker death inside the threaded pipeline
+    /// is absorbed by the supervisor, which replays the event journal
+    /// through a rebuilt inline pipeline and delivers this batch's reports
+    /// from there (see [`Detector::health`] and
+    /// [`ShardedDetector::inject_worker_panic`]).
     pub fn observe_batch_sink(&mut self, batch: &[MemOp], sink: &mut dyn ReportSink) -> usize {
-        match &mut self.pipeline {
+        let res = match &mut self.pipeline {
             Pipeline::Inline(hb) => {
                 let mut new = 0;
                 for event in batch {
@@ -703,9 +839,43 @@ impl ShardedDetector {
                         MemOp::Release { rank, lock } => hb.on_release(*rank, *lock),
                     }
                 }
-                new
+                return new;
             }
             Pipeline::Threaded(t) => t.observe_batch_sink(batch, sink),
+        };
+        match res {
+            Ok(new) => new,
+            Err(err) => self.recover(err, sink),
+        }
+    }
+}
+
+/// Forwards reports past an initial skip window: the recovery replay
+/// regenerates the *entire* report stream, and the first
+/// [`Threaded::emitted`] reports were already delivered by the pipeline
+/// before it died.
+struct SkipSink<'a> {
+    skip: usize,
+    forwarded: usize,
+    inner: &'a mut dyn ReportSink,
+}
+
+impl ReportSink for SkipSink<'_> {
+    fn on_report(&mut self, report: &RaceReport) {
+        if self.skip > 0 {
+            self.skip -= 1;
+        } else {
+            self.forwarded += 1;
+            self.inner.on_report(report);
+        }
+    }
+
+    fn accept(&mut self, report: RaceReport) {
+        if self.skip > 0 {
+            self.skip -= 1;
+        } else {
+            self.forwarded += 1;
+            self.inner.accept(report);
         }
     }
 }
@@ -724,8 +894,16 @@ impl Threaded {
                 let (tx, worker_rx) = channel();
                 let (reply_tx, rx) = channel();
                 let recycle = recycle_tx.clone();
+                // Supervised spawn: the worker loop runs under
+                // `catch_unwind`, so a panicking shard dies quietly and the
+                // router learns the payload at join time instead of the
+                // process aborting or the unwind crossing threads.
                 let handle = std::thread::spawn(move || {
-                    shard_worker(mode, n, granularity, store, worker_rx, reply_tx, recycle)
+                    catch_unwind(AssertUnwindSafe(|| {
+                        shard_worker(mode, n, granularity, store, worker_rx, reply_tx, recycle)
+                    }))
+                    .err()
+                    .map(panic_message)
                 });
                 Worker {
                     tx: Some(tx),
@@ -756,34 +934,106 @@ impl Threaded {
             workers,
             shard_clock_bytes: vec![0; shards],
             shard_touched: vec![0; shards],
+            store,
+            journal: Vec::new(),
+            emitted: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Diagnose a worker that stopped responding: close our side of its
+    /// channel and join the thread, recovering the panic payload. Only
+    /// called once the worker is known dead (send failed, reply channel
+    /// disconnected, or the thread observed finished), so the join cannot
+    /// block on live work.
+    fn worker_error(&mut self, shard: usize) -> DetectError {
+        let worker = &mut self.workers[shard];
+        worker.tx = None;
+        match worker.handle.take().map(JoinHandle::join) {
+            Some(Ok(Some(message))) => DetectError::WorkerPanicked { shard, message },
+            _ => DetectError::WorkerDisconnected { shard },
+        }
+    }
+
+    /// Send `msg` to `shard`, diagnosing the worker on a closed channel.
+    fn send_to(&mut self, shard: usize, msg: ToShard) -> Result<(), DetectError> {
+        let sent = match &self.workers[shard].tx {
+            Some(tx) => tx.send(msg).is_ok(),
+            None => false,
+        };
+        if sent {
+            Ok(())
+        } else {
+            Err(self.worker_error(shard))
+        }
+    }
+
+    /// Wait for `shard`'s reply, probing liveness with the bounded
+    /// exponential backoff of [`RetryPolicy`]: a timeout re-checks whether
+    /// the thread is still running (transient stall → next, longer probe),
+    /// and only an actually-finished thread or a closed channel becomes an
+    /// error. A worker that outlives every probe is waited out with a
+    /// plain blocking receive — the policy bounds death-*detection*
+    /// latency, it never abandons a live worker.
+    fn recv_reply(&mut self, shard: usize) -> Result<ShardReply, DetectError> {
+        use std::sync::mpsc::RecvTimeoutError;
+        let policy = self.retry;
+        for delay in policy.delays() {
+            match self.workers[shard].rx.recv_timeout(delay) {
+                Ok(reply) => return Ok(reply),
+                Err(RecvTimeoutError::Timeout) => {
+                    let finished = self.workers[shard]
+                        .handle
+                        .as_ref()
+                        .is_none_or(|h| h.is_finished());
+                    if finished {
+                        // Drain a reply the worker managed to send in its
+                        // final moments before diagnosing.
+                        if let Ok(reply) = self.workers[shard].rx.try_recv() {
+                            return Ok(reply);
+                        }
+                        return Err(self.worker_error(shard));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(self.worker_error(shard)),
+            }
+        }
+        match self.workers[shard].rx.recv() {
+            Ok(reply) => Ok(reply),
+            Err(_) => Err(self.worker_error(shard)),
         }
     }
 
     /// Per-shard epoch census (see [`ShardedDetector::epoch_areas`]).
-    fn epoch_areas(&mut self) -> usize {
-        for worker in &self.workers {
-            worker
-                .tx
-                .as_ref()
-                .expect("worker alive")
-                .send(ToShard::CountEpochs)
-                .expect("shard worker alive");
+    fn epoch_areas(&mut self) -> Result<usize, DetectError> {
+        for shard in 0..self.workers.len() {
+            self.send_to(shard, ToShard::CountEpochs)?;
         }
         let mut total = 0;
-        for (shard, worker) in self.workers.iter().enumerate() {
-            let reply = worker.rx.recv().expect("shard worker alive");
+        for shard in 0..self.workers.len() {
+            let reply = self.recv_reply(shard)?;
             self.shard_clock_bytes[shard] = reply.clock_bytes;
             self.shard_touched[shard] = reply.touched;
-            total += reply.epoch_areas.expect("accounting reply");
+            // Requests are strictly request/reply per worker, so a census
+            // request always gets a census reply.
+            total += reply.epoch_areas.unwrap_or(0);
         }
-        total
+        Ok(total)
     }
 
-    /// The threaded half of [`ShardedDetector::observe_batch_sink`].
-    fn observe_batch_sink(&mut self, batch: &[MemOp], sink: &mut dyn ReportSink) -> usize {
+    /// The threaded half of [`ShardedDetector::observe_batch_sink`]. The
+    /// whole batch is journaled up front, so a mid-batch worker death can
+    /// hand the supervisor a journal that already covers every event of
+    /// this call — the replay then owes nothing to the caller.
+    fn observe_batch_sink(
+        &mut self,
+        batch: &[MemOp],
+        sink: &mut dyn ReportSink,
+    ) -> Result<usize, DetectError> {
+        self.journal.extend_from_slice(batch);
         for event in batch {
             match event {
-                MemOp::Op(op) => self.route_op(op),
+                MemOp::Op(op) => self.route_op(op)?,
                 MemOp::Barrier => self.barrier_event(),
                 MemOp::Acquire { rank, lock } => self.acquire_event(*rank, *lock),
                 MemOp::Release { rank, lock } => self.release_event(*rank, *lock),
@@ -798,7 +1048,7 @@ impl Threaded {
     /// Allocation-free in steady state: the join replicas and the wire
     /// format both work from the actor's per-generation base snapshot, so
     /// the router never clones a row per op — only once per sync event.
-    fn route_op(&mut self, op: &DsmOp) {
+    fn route_op(&mut self, op: &DsmOp) -> Result<(), DetectError> {
         let seq = self.seq;
         self.seq += 1;
         let actor = op.actor;
@@ -884,7 +1134,12 @@ impl Threaded {
                     clock: wire,
                 });
                 if self.buffers[shard].len() >= self.chunk {
-                    self.ship(shard);
+                    if let Err(err) = self.ship(shard) {
+                        // Restore the scratch clock before bailing: recovery
+                        // replays the journal, but `self` must stay sane.
+                        self.absorb = absorb;
+                        return Err(err);
+                    }
                 }
             }
         }
@@ -896,6 +1151,7 @@ impl Threaded {
             self.sync_gen[actor] += 1;
         }
         self.absorb = absorb;
+        Ok(())
     }
 
     /// An empty batch buffer: recycled from the pool / the workers' return
@@ -913,42 +1169,42 @@ impl Threaded {
     }
 
     /// Send a shard's filled chunk, replacing it with a recycled buffer.
-    fn ship(&mut self, shard: usize) {
+    /// A closed channel (dead worker) surfaces as a [`DetectError`]; the
+    /// in-flight items are abandoned, which is safe because the journal
+    /// replay regenerates their effects.
+    fn ship(&mut self, shard: usize) -> Result<(), DetectError> {
         let empty = self.take_buffer();
         let items = std::mem::replace(&mut self.buffers[shard], empty);
-        self.workers[shard]
-            .tx
-            .as_ref()
-            .expect("worker alive")
-            .send(ToShard::Items(items))
-            .expect("shard worker alive");
+        self.send_to(shard, ToShard::Items(items))
     }
 
     /// Batch fence: flush every shard, collect replies, and k-way merge the
     /// already-sorted per-shard report logs into the caller's sink. Returns
     /// the number of reports merged.
-    fn fence(&mut self, sink: &mut dyn ReportSink) -> usize {
+    ///
+    /// The merge runs only after *every* reply is in, so a worker death
+    /// mid-fence emits nothing: either the whole fence reaches the sink
+    /// (and bumps [`Threaded::emitted`]) or none of it does and the
+    /// supervisor's replay regenerates it.
+    fn fence(&mut self, sink: &mut dyn ReportSink) -> Result<usize, DetectError> {
         for shard in 0..self.workers.len() {
             if !self.buffers[shard].is_empty() {
-                self.ship(shard);
+                self.ship(shard)?;
             }
-            self.workers[shard]
-                .tx
-                .as_ref()
-                .expect("worker alive")
-                .send(ToShard::Flush)
-                .expect("shard worker alive");
+            self.send_to(shard, ToShard::Flush)?;
         }
         let mut replies: Vec<Vec<(ReportKey, RaceReport)>> = Vec::new();
-        for (shard, worker) in self.workers.iter().enumerate() {
-            let reply = worker.rx.recv().expect("shard worker alive");
+        for shard in 0..self.workers.len() {
+            let reply = self.recv_reply(shard)?;
             self.shard_clock_bytes[shard] = reply.clock_bytes;
             self.shard_touched[shard] = reply.touched;
             if !reply.reports.is_empty() {
                 replies.push(reply.reports);
             }
         }
-        merge_sorted_reports(replies, sink)
+        let merged = merge_sorted_reports(replies, sink);
+        self.emitted += merged;
+        Ok(merged)
     }
 
     // The sync-event clock semantics are the exact shared bodies the
@@ -990,13 +1246,18 @@ impl Detector for ShardedDetector {
         sink: &mut dyn ReportSink,
     ) -> usize {
         // By-reference single-op path: route straight from the borrow — no
-        // `MemOp` wrapper, no clone, no allocation.
-        match &mut self.pipeline {
-            Pipeline::Inline(hb) => hb.observe_sink(op, &[], sink),
+        // `MemOp` wrapper, no clone, no allocation (the journal copy is a
+        // few plain words).
+        let res = match &mut self.pipeline {
+            Pipeline::Inline(hb) => return hb.observe_sink(op, &[], sink),
             Pipeline::Threaded(t) => {
-                t.route_op(op);
-                t.fence(sink)
+                t.journal.push(MemOp::Op(*op));
+                t.route_op(op).and_then(|()| t.fence(sink))
             }
+        };
+        match res {
+            Ok(new) => new,
+            Err(err) => self.recover(err, sink),
         }
     }
 
@@ -1032,21 +1293,38 @@ impl Detector for ShardedDetector {
     fn on_release(&mut self, rank: usize, lock: LockId) {
         match &mut self.pipeline {
             Pipeline::Inline(hb) => hb.on_release(rank, lock),
-            Pipeline::Threaded(t) => t.release_event(rank, lock),
+            Pipeline::Threaded(t) => {
+                t.journal.push(MemOp::Release { rank, lock });
+                t.release_event(rank, lock);
+            }
         }
     }
 
     fn on_acquire(&mut self, rank: usize, lock: LockId) {
         match &mut self.pipeline {
             Pipeline::Inline(hb) => hb.on_acquire(rank, lock),
-            Pipeline::Threaded(t) => t.acquire_event(rank, lock),
+            Pipeline::Threaded(t) => {
+                t.journal.push(MemOp::Acquire { rank, lock });
+                t.acquire_event(rank, lock);
+            }
         }
     }
 
     fn on_barrier(&mut self) {
         match &mut self.pipeline {
             Pipeline::Inline(hb) => hb.on_barrier(),
-            Pipeline::Threaded(t) => t.barrier_event(),
+            Pipeline::Threaded(t) => {
+                t.journal.push(MemOp::Barrier);
+                t.barrier_event();
+            }
+        }
+    }
+
+    fn health(&self) -> PipelineHealth {
+        if self.last_error.is_some() {
+            PipelineHealth::Degraded
+        } else {
+            PipelineHealth::Healthy
         }
     }
 }
@@ -1247,6 +1525,10 @@ impl Detector for BatchingDetector {
 
     fn flush_sink(&mut self, sink: &mut dyn ReportSink) -> usize {
         self.forward_staged(sink) + self.drain_sink(sink)
+    }
+
+    fn health(&self) -> PipelineHealth {
+        self.inner.health()
     }
 }
 
@@ -1639,6 +1921,137 @@ mod tests {
         assert_eq!(small.reports(), dflt.reports());
         assert_eq!(small.touched_areas(), dflt.touched_areas());
         assert_eq!(small.clock_memory_bytes(), dflt.clock_memory_bytes());
+    }
+
+    #[test]
+    fn killed_worker_mid_stream_is_byte_identical_and_degraded() {
+        // The tentpole property: poisoning any worker before any chunk of
+        // the stream must leave the report stream byte-identical to the
+        // healthy run, with the detector degraded to the inline pipeline.
+        let n = 4;
+        let stream = mixed_stream(n);
+        let chunk = 3;
+        let chunks = stream.len().div_ceil(chunk);
+        let healthy = {
+            let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 3);
+            let mut sink = VecSink::new();
+            for c in stream.chunks(chunk) {
+                det.observe_batch_sink(c, &mut sink);
+            }
+            assert_eq!(det.health(), PipelineHealth::Healthy);
+            assert!(det.last_error().is_none());
+            sink.into_reports()
+        };
+        assert!(!healthy.is_empty(), "stream must race for the test to bite");
+        for shard in 0..3 {
+            for kill_at in 0..chunks {
+                let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 3);
+                let mut sink = VecSink::new();
+                for (i, c) in stream.chunks(chunk).enumerate() {
+                    if i == kill_at {
+                        assert!(det.inject_worker_panic(shard));
+                    }
+                    det.observe_batch_sink(c, &mut sink);
+                }
+                assert!(det.is_inline(), "worker death must degrade to inline");
+                assert_eq!(det.health(), PipelineHealth::Degraded);
+                assert!(matches!(
+                    det.last_error(),
+                    Some(DetectError::WorkerPanicked { message, .. })
+                        if message.contains("injected shard poison")
+                ));
+                assert_eq!(
+                    healthy,
+                    sink.into_reports(),
+                    "shard {shard} killed before chunk {kill_at}: stream must not change"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_op_path_survives_worker_death() {
+        let n = 3;
+        let ops = [
+            put(0, 0, 1, 0),
+            put(1, 2, 1, 0),
+            put(2, 2, 1, 8),
+            put(3, 0, 1, 8),
+        ];
+        let mut healthy = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 2);
+        let mut healthy_sink = VecSink::new();
+        for op in &ops {
+            healthy.observe_sink(op, &[], &mut healthy_sink);
+        }
+        let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, 2);
+        let mut sink = VecSink::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i == 2 {
+                // Kill both workers so the fence trips no matter where the
+                // op's areas hash.
+                assert!(det.inject_worker_panic(0));
+                assert!(det.inject_worker_panic(1));
+            }
+            det.observe_sink(op, &[], &mut sink);
+        }
+        assert!(det.is_inline());
+        assert_eq!(det.health(), PipelineHealth::Degraded);
+        assert_eq!(healthy_sink.as_slice(), sink.as_slice());
+    }
+
+    #[test]
+    fn accounting_query_survives_worker_death() {
+        let mut det = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 2);
+        det.observe_batch(&[MemOp::Op(put(0, 0, 1, 0)), MemOp::Op(put(1, 2, 1, 0))]);
+        let before = det.reports().len();
+        assert_eq!(before, 1);
+        det.inject_worker_panic(0);
+        det.inject_worker_panic(1);
+        let epochs = det.epoch_areas();
+        assert!(det.is_inline(), "sink-less path degrades too");
+        assert!(epochs <= det.touched_areas());
+        assert_eq!(
+            det.reports().len(),
+            before,
+            "recovery must neither lose nor duplicate reports"
+        );
+    }
+
+    #[test]
+    fn inline_pipeline_has_no_worker_to_poison() {
+        let mut det = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 1);
+        assert!(!det.inject_worker_panic(0));
+        let mut threaded = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 2);
+        assert!(!threaded.inject_worker_panic(7), "out of range");
+    }
+
+    #[test]
+    fn batching_flush_after_worker_failure_keeps_staged_reports() {
+        // S3: reports staged by a sync-triggered drain must survive a
+        // worker death discovered at the final flush.
+        let run = |poison: bool| -> Vec<RaceReport> {
+            let inner = ShardedDetector::new(3, Granularity::WORD, HbMode::Dual, 2);
+            let mut det = BatchingDetector::new(inner, 3);
+            det.observe(&put(0, 0, 1, 0), &[]);
+            det.observe(&put(1, 2, 1, 0), &[]);
+            det.on_barrier(); // capacity hit → drain → the race is staged
+            if poison {
+                det.inner.inject_worker_panic(0);
+                det.inner.inject_worker_panic(1);
+            }
+            det.observe(&put(2, 2, 1, 8), &[]);
+            det.observe(&put(3, 0, 1, 8), &[]);
+            det.flush();
+            if poison {
+                assert_eq!(det.health(), PipelineHealth::Degraded);
+            } else {
+                assert_eq!(det.health(), PipelineHealth::Healthy);
+            }
+            det.reports().to_vec()
+        };
+        let healthy = run(false);
+        assert!(healthy.len() >= 2, "staged + post-barrier races expected");
+        assert_eq!(healthy, run(true), "flush must return the staged reports");
     }
 
     #[test]

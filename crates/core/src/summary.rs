@@ -24,6 +24,13 @@ pub struct RaceSummary {
     pub by_process_pair: BTreeMap<(Rank, Rank), usize>,
     /// Total reports summarised.
     pub total: usize,
+    /// True when the run that produced this summary degraded: a detection
+    /// component died and a fallback path finished the work (see
+    /// [`crate::error::PipelineHealth`]), or the environment injected
+    /// faults the pipeline had to absorb. The counts above are still
+    /// complete — degradation costs performance, never reports.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 impl RaceSummary {
@@ -84,6 +91,9 @@ impl std::fmt::Display for RaceSummary {
         }
         for ((a, b), count) in &self.by_process_pair {
             writeln!(f, "  P{a} × P{b}: {count}")?;
+        }
+        if self.degraded {
+            writeln!(f, "  (degraded run: detection fell back after a fault)")?;
         }
         Ok(())
     }

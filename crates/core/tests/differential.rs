@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use race_core::{
-    Detector, DsmOp, Granularity, HbDetector, HbMode, MemOp, OpKind, RaceReport,
-    ReferenceHbDetector, ShardedDetector,
+    Detector, DsmOp, Granularity, HbDetector, HbMode, MemOp, OpKind, PipelineHealth, RaceReport,
+    ReferenceHbDetector, ShardedDetector, VecSink,
 };
 
 use dsm::addr::GlobalAddr;
@@ -231,6 +231,57 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Supervision property: killing one shard worker at a random point
+    /// mid-stream (test-only poison message) must leave the report stream
+    /// **byte-identical** to the healthy run — the supervisor replays its
+    /// journal through a rebuilt inline detector — and must surface
+    /// [`PipelineHealth::Degraded`]. A chaos event may cost parallelism,
+    /// never a verdict.
+    #[test]
+    fn worker_death_preserves_stream_and_degrades(
+        n in 2usize..5,
+        raw in collection::vec((0usize..10, 0usize..8, 0usize..8, 0usize..16, 0usize..3), 4..48),
+        shards in 2usize..5,
+        batch in 1usize..9,
+        kill_shard in 0usize..4,
+        kill_frac in 0.0f64..1.0,
+    ) {
+        let steps: Vec<Step> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| decode(n, r, i as u64))
+            .collect();
+        let events = memops(&steps);
+        let chunks = events.len().div_ceil(batch);
+        let kill_shard = kill_shard % shards;
+        let kill_at = ((chunks as f64) * kill_frac) as usize;
+        let healthy = {
+            let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, shards);
+            let mut sink = VecSink::new();
+            for chunk in events.chunks(batch) {
+                det.observe_batch_sink(chunk, &mut sink);
+            }
+            prop_assert_eq!(det.health(), PipelineHealth::Healthy);
+            sink.into_reports()
+        };
+        let mut det = ShardedDetector::new(n, Granularity::WORD, HbMode::Dual, shards);
+        let mut sink = VecSink::new();
+        for (i, chunk) in events.chunks(batch).enumerate() {
+            if i == kill_at {
+                prop_assert!(det.inject_worker_panic(kill_shard));
+            }
+            det.observe_batch_sink(chunk, &mut sink);
+        }
+        prop_assert!(det.is_inline(), "worker death must degrade to inline");
+        prop_assert_eq!(det.health(), PipelineHealth::Degraded);
+        prop_assert!(det.last_error().is_some());
+        prop_assert_eq!(
+            healthy, sink.into_reports(),
+            "stream changed: shards={} batch={} kill_shard={} kill_at={}",
+            shards, batch, kill_shard, kill_at
+        );
     }
 
     /// The fast path must also agree on *process clock evolution* — the

@@ -1,0 +1,270 @@
+//! Deterministic fault injection ("chaos") for the simulated interconnect.
+//!
+//! The paper assumes reliable, FIFO channels (§III); real interconnects
+//! only approximate that, and the detection pipeline above this crate is
+//! supposed to *signal* trouble rather than fall over when the assumption
+//! cracks. A [`FaultPlan`] perturbs [`crate::Network`] delivery in four
+//! seeded, per-link ways:
+//!
+//! | fault | effect on `Network::send` |
+//! |---|---|
+//! | **drop** | the message is consumed (id assigned, counted) but never scheduled — the receiver simply never sees it |
+//! | **duplicate** | a second copy is scheduled behind the original on the same channel |
+//! | **extra delay** | a fixed penalty is added to the modelled latency before the FIFO clamp |
+//! | **reorder** | the arrival may slide *ahead* of the channel front by up to a window, breaking per-channel FIFO |
+//!
+//! Everything is driven by one `StdRng` seeded at construction: the same
+//! plan over the same send sequence makes identical decisions, so a chaos
+//! run is exactly as replayable as a healthy one. Each decision draws a
+//! fixed number of samples regardless of outcome, keeping two plans with
+//! different probabilities comparable on the same seed.
+//!
+//! Dropped messages are deliberately *not* retried here: a wedged rank is
+//! the simulator's job to report (`RunResult::stuck`), never a panic —
+//! the same "signalled, not fatal" stance the detector takes (§IV-D).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Rank;
+
+/// Per-link fault probabilities and magnitudes. All probabilities are in
+/// `[0, 1]`; the default is the all-zero (quiet) spec.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Probability a message is silently dropped.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message is delayed by [`FaultSpec::extra_delay_ns`].
+    pub delay: f64,
+    /// Added latency when a delay fault fires, nanoseconds.
+    pub extra_delay_ns: u64,
+    /// Probability a message may overtake earlier traffic on its channel.
+    pub reorder: f64,
+    /// How far ahead of the channel front a reordered message may slide,
+    /// nanoseconds.
+    pub reorder_window_ns: u64,
+}
+
+impl FaultSpec {
+    /// True when no fault can ever fire under this spec.
+    pub fn is_quiet(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.delay == 0.0 && self.reorder == 0.0
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("delay", self.delay),
+            ("reorder", self.reorder),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} probability out of range");
+        }
+    }
+}
+
+/// The outcome of one per-message fault decision (see
+/// [`FaultPlan::decide`]). The quiet default is "no fault".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultDecision {
+    /// Consume the message without scheduling it.
+    pub drop: bool,
+    /// Schedule a second copy behind the original.
+    pub duplicate: bool,
+    /// Extra latency to add before the FIFO clamp, nanoseconds.
+    pub extra_delay_ns: u64,
+    /// How far ahead of the channel front this message may arrive,
+    /// nanoseconds (0 keeps FIFO).
+    pub reorder_ahead_ns: u64,
+}
+
+/// A seeded schedule of injected faults: a default [`FaultSpec`] plus
+/// per-link overrides, all drawing from one deterministic RNG.
+///
+/// ```
+/// use netsim::{FaultPlan, FaultSpec};
+///
+/// let spec = FaultSpec { drop: 0.5, ..FaultSpec::default() };
+/// let mut a = FaultPlan::uniform(spec, 7);
+/// let mut b = FaultPlan::uniform(spec, 7);
+/// for _ in 0..32 {
+///     assert_eq!(a.decide(0, 1).drop, b.decide(0, 1).drop);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    default: FaultSpec,
+    /// Per-link overrides, checked before the default. Linear scan: plans
+    /// name at most a handful of links.
+    links: Vec<((Rank, Rank), FaultSpec)>,
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    /// Apply `spec` to every link, drawing decisions from a `StdRng`
+    /// seeded with `seed`.
+    ///
+    /// # Panics
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn uniform(spec: FaultSpec, seed: u64) -> Self {
+        spec.validate();
+        FaultPlan {
+            default: spec,
+            links: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A plan that never injects anything (the chaos harness's control
+    /// arm — running it must be byte-identical to no plan at all).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan::uniform(FaultSpec::default(), seed)
+    }
+
+    /// Override the spec for the directed link `src → dst`.
+    ///
+    /// # Panics
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn with_link(mut self, src: Rank, dst: Rank, spec: FaultSpec) -> Self {
+        spec.validate();
+        if let Some(entry) = self.links.iter_mut().find(|(l, _)| *l == (src, dst)) {
+            entry.1 = spec;
+        } else {
+            self.links.push(((src, dst), spec));
+        }
+        self
+    }
+
+    /// The spec governing `src → dst`.
+    pub fn spec_for(&self, src: Rank, dst: Rank) -> FaultSpec {
+        self.links
+            .iter()
+            .find(|(l, _)| *l == (src, dst))
+            .map(|(_, s)| *s)
+            .unwrap_or(self.default)
+    }
+
+    /// Decide the fate of one message on `src → dst`. Always draws the
+    /// same number of RNG samples, so decision streams are comparable
+    /// across plans sharing a seed.
+    pub fn decide(&mut self, src: Rank, dst: Rank) -> FaultDecision {
+        let spec = self.spec_for(src, dst);
+        let drop = self.rng.gen_bool(spec.drop);
+        let duplicate = self.rng.gen_bool(spec.duplicate);
+        let delay = self.rng.gen_bool(spec.delay);
+        let reorder = self.rng.gen_bool(spec.reorder);
+        FaultDecision {
+            drop,
+            // A dropped message has no copy to duplicate.
+            duplicate: duplicate && !drop,
+            extra_delay_ns: if delay && !drop {
+                spec.extra_delay_ns
+            } else {
+                0
+            },
+            reorder_ahead_ns: if reorder && !drop {
+                spec.reorder_window_ns
+            } else {
+                0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let mut plan = FaultPlan::quiet(3);
+        for i in 0..100 {
+            let d = plan.decide(i % 3, (i + 1) % 3);
+            assert!(!d.drop && !d.duplicate);
+            assert_eq!(d.extra_delay_ns, 0);
+            assert_eq!(d.reorder_ahead_ns, 0);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let spec = FaultSpec {
+            drop: 0.3,
+            duplicate: 0.3,
+            delay: 0.3,
+            extra_delay_ns: 500,
+            reorder: 0.3,
+            reorder_window_ns: 200,
+        };
+        let sample = |seed: u64| -> Vec<(bool, bool, u64, u64)> {
+            let mut plan = FaultPlan::uniform(spec, seed);
+            (0..64)
+                .map(|_| {
+                    let d = plan.decide(0, 1);
+                    (d.drop, d.duplicate, d.extra_delay_ns, d.reorder_ahead_ns)
+                })
+                .collect()
+        };
+        assert_eq!(sample(42), sample(42));
+        assert_ne!(sample(42), sample(43));
+    }
+
+    #[test]
+    fn per_link_override_wins() {
+        let quiet = FaultSpec::default();
+        let noisy = FaultSpec {
+            drop: 1.0,
+            ..FaultSpec::default()
+        };
+        let mut plan = FaultPlan::uniform(quiet, 1).with_link(0, 1, noisy);
+        assert!(plan.decide(0, 1).drop, "overridden link always drops");
+        assert!(!plan.decide(1, 0).drop, "other links stay quiet");
+        // Re-overriding replaces, not appends.
+        let plan = FaultPlan::uniform(quiet, 1)
+            .with_link(0, 1, noisy)
+            .with_link(0, 1, quiet);
+        assert!(plan.spec_for(0, 1).is_quiet());
+    }
+
+    #[test]
+    fn drop_suppresses_the_other_faults() {
+        let spec = FaultSpec {
+            drop: 1.0,
+            duplicate: 1.0,
+            delay: 1.0,
+            extra_delay_ns: 99,
+            reorder: 1.0,
+            reorder_window_ns: 99,
+        };
+        let mut plan = FaultPlan::uniform(spec, 5);
+        let d = plan.decide(0, 1);
+        assert!(d.drop);
+        assert!(!d.duplicate);
+        assert_eq!(d.extra_delay_ns, 0);
+        assert_eq!(d.reorder_ahead_ns, 0);
+    }
+
+    #[test]
+    fn quiet_detection() {
+        assert!(FaultSpec::default().is_quiet());
+        assert!(!FaultSpec {
+            reorder: 0.1,
+            ..FaultSpec::default()
+        }
+        .is_quiet());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_probability_rejected() {
+        FaultPlan::uniform(
+            FaultSpec {
+                drop: 1.5,
+                ..FaultSpec::default()
+            },
+            0,
+        );
+    }
+}

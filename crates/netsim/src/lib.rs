@@ -15,7 +15,10 @@
 //! * deterministic tie-breaking (same seed ⇒ bit-identical schedules), and
 //! * full message/byte accounting per operation class ([`stats::NetStats`]),
 //!   which is what lets tests *assert* Fig 2's "put = 1 message, get = 2
-//!   messages" property and the §V-A overhead accounting.
+//!   messages" property and the §V-A overhead accounting, and
+//! * optional seeded fault injection ([`fault::FaultPlan`]: drop /
+//!   duplicate / extra delay / FIFO-breaking reorder) for chaos testing the
+//!   layers above — every injection is counted in [`stats::NetStats`].
 //!
 //! The crate is payload-generic: the DSM layer (`dsm` crate) instantiates
 //! [`network::Network`] with its own RDMA protocol enum.
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod latency;
 pub mod message;
 pub mod network;
@@ -30,6 +34,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use fault::{FaultDecision, FaultPlan, FaultSpec};
 pub use latency::{AlphaBeta, Constant, Jittered, LatencyModel};
 pub use message::{Classify, Message, MsgId, OpClass};
 pub use network::Network;

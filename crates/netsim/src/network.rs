@@ -7,6 +7,7 @@
 //! pairs are *not* ordered relative to each other: that freedom is exactly
 //! where the paper's Fig 5 races come from.
 
+use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::message::{Classify, Message, MsgId};
 use crate::stats::NetStats;
@@ -24,6 +25,9 @@ pub struct Network<P> {
     channel_front: Vec<SimTime>,
     next_id: MsgId,
     stats: NetStats,
+    /// Optional fault injection (see [`crate::fault`]); `None` is the
+    /// reliable network the paper assumes.
+    faults: Option<FaultPlan>,
 }
 
 impl<P: Classify> Network<P> {
@@ -37,7 +41,25 @@ impl<P: Classify> Network<P> {
             channel_front: vec![SimTime::ZERO; n * n],
             next_id: 0,
             stats: NetStats::new(),
+            faults: None,
         }
+    }
+
+    /// [`Network::new`] with a fault-injection plan (see [`crate::fault`]).
+    pub fn with_faults(
+        n: usize,
+        topology: Topology,
+        latency: Box<dyn LatencyModel>,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut net = Network::new(n, topology, latency);
+        net.faults = Some(plan);
+        net
+    }
+
+    /// Install or clear the fault plan mid-run (chaos harnesses).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
     }
 
     /// Convenience constructor: full mesh with a constant latency.
@@ -57,12 +79,26 @@ impl<P: Classify> Network<P> {
     /// Send `payload` from `src` to `dst` at time `now`; returns the
     /// scheduled arrival time and the assigned message id.
     ///
+    /// Under a fault plan (see [`Network::with_faults`]) the message may be
+    /// dropped (the returned time is then the arrival it *would* have had —
+    /// nothing is scheduled), duplicated, delayed, or allowed to overtake
+    /// earlier traffic on its channel; every injection is counted in
+    /// [`NetStats`].
+    ///
     /// # Panics
     /// Panics if a rank is out of range.
-    pub fn send(&mut self, now: SimTime, src: Rank, dst: Rank, payload: P) -> (SimTime, MsgId) {
+    pub fn send(&mut self, now: SimTime, src: Rank, dst: Rank, payload: P) -> (SimTime, MsgId)
+    where
+        P: Clone,
+    {
         assert!(src < self.n && dst < self.n, "rank out of range");
         let id = self.next_id;
         self.next_id += 1;
+
+        let fault = match self.faults.as_mut() {
+            Some(plan) => plan.decide(src, dst),
+            None => Default::default(),
+        };
 
         let hops = self.topology.hops(src, dst);
         let msg = Message {
@@ -73,16 +109,54 @@ impl<P: Classify> Network<P> {
             payload,
         };
         let wire = msg.total_bytes();
-        let delay = self.latency.delay_ns(src, dst, wire, hops);
+        let mut delay = self.latency.delay_ns(src, dst, wire, hops);
+        if fault.extra_delay_ns > 0 {
+            delay += fault.extra_delay_ns;
+            self.stats.record_injected_delay();
+        }
         let mut arrive = now + delay;
 
-        // FIFO per channel: never deliver before (or at the same instant as)
-        // an earlier message on the same (src, dst) pair.
-        let ch = src * self.n + dst;
-        if arrive <= self.channel_front[ch] {
-            arrive = self.channel_front[ch] + 1;
+        if fault.drop {
+            // Consumed but never scheduled: the receiver simply never sees
+            // it. The projected arrival is still returned so callers that
+            // display it stay meaningful; the channel front is untouched.
+            self.stats.record_injected_drop();
+            return (arrive, id);
         }
-        self.channel_front[ch] = arrive;
+
+        // FIFO per channel: never deliver before (or at the same instant as)
+        // an earlier message on the same (src, dst) pair. A reorder fault
+        // relaxes the clamp by its window, letting this message overtake
+        // earlier traffic — the front itself never moves backwards.
+        let ch = src * self.n + dst;
+        let front = self.channel_front[ch];
+        let relaxed = SimTime::from_ns(front.as_ns().saturating_sub(fault.reorder_ahead_ns));
+        if arrive <= relaxed {
+            arrive = relaxed + 1;
+        }
+        if arrive < front {
+            self.stats.record_injected_reorder();
+        }
+        if arrive > front {
+            self.channel_front[ch] = arrive;
+        }
+
+        if fault.duplicate {
+            // The copy queues behind everything on the channel, including
+            // the original.
+            let dup_arrive = self.channel_front[ch] + 1;
+            self.channel_front[ch] = dup_arrive;
+            let dup = Message {
+                id: self.next_id,
+                src,
+                dst,
+                sent_at: now,
+                payload: msg.payload.clone(),
+            };
+            self.next_id += 1;
+            self.in_flight.schedule(dup_arrive, dup);
+            self.stats.record_injected_duplicate();
+        }
 
         self.in_flight.schedule(arrive, msg);
         (arrive, id)
@@ -212,5 +286,117 @@ mod tests {
         let (_, a) = net.send(SimTime::ZERO, 0, 1, P(0, 0));
         let (_, b) = net.send(SimTime::ZERO, 0, 1, P(0, 0));
         assert!(b > a);
+    }
+
+    use crate::fault::{FaultPlan, FaultSpec};
+
+    fn faulty(n: usize, spec: FaultSpec, seed: u64) -> Network<P> {
+        Network::with_faults(
+            n,
+            Topology::FullMesh,
+            Box::new(Constant::new(100)),
+            FaultPlan::uniform(spec, seed),
+        )
+    }
+
+    #[test]
+    fn quiet_plan_is_byte_identical_to_no_plan() {
+        let mut plain: Network<P> = Network::full_mesh(2, 100);
+        let mut chaos = faulty(2, FaultSpec::default(), 7);
+        for i in 0..20 {
+            let a = plain.send(SimTime::from_ns(i), 0, 1, P(i, 4));
+            let b = chaos.send(SimTime::from_ns(i), 0, 1, P(i, 4));
+            assert_eq!(a, b);
+        }
+        while let (Some(a), Some(b)) = (plain.deliver_next(), chaos.deliver_next()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.payload, b.1.payload);
+        }
+        assert_eq!(chaos.stats().injected_total(), 0);
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive_and_are_counted() {
+        let mut net = faulty(
+            2,
+            FaultSpec {
+                drop: 1.0,
+                ..FaultSpec::default()
+            },
+            1,
+        );
+        for i in 0..10 {
+            net.send(SimTime::from_ns(i), 0, 1, P(i, 4));
+        }
+        assert_eq!(net.in_flight_count(), 0, "everything dropped");
+        assert_eq!(net.stats().injected_drops(), 10);
+        assert_eq!(net.stats().total_msgs(), 0, "drops are not deliveries");
+    }
+
+    #[test]
+    fn duplicates_deliver_twice_in_order() {
+        let mut net = faulty(
+            2,
+            FaultSpec {
+                duplicate: 1.0,
+                ..FaultSpec::default()
+            },
+            1,
+        );
+        net.send(SimTime::ZERO, 0, 1, P(7, 4));
+        assert_eq!(net.in_flight_count(), 2);
+        let a = net.deliver_next().unwrap();
+        let b = net.deliver_next().unwrap();
+        assert_eq!(a.1.payload, P(7, 4));
+        assert_eq!(b.1.payload, P(7, 4));
+        assert!(b.0 > a.0, "the copy queues behind the original");
+        assert_eq!(net.stats().injected_duplicates(), 1);
+    }
+
+    #[test]
+    fn extra_delay_fires_and_is_counted() {
+        let mut net = faulty(
+            2,
+            FaultSpec {
+                delay: 1.0,
+                extra_delay_ns: 5_000,
+                ..FaultSpec::default()
+            },
+            1,
+        );
+        let (at, _) = net.send(SimTime::ZERO, 0, 1, P(0, 4));
+        assert_eq!(at, SimTime::from_ns(5_100));
+        assert_eq!(net.stats().injected_delays(), 1);
+    }
+
+    #[test]
+    fn reorder_can_break_channel_fifo() {
+        // A huge reorder window and a fast second message: without the
+        // fault the FIFO clamp would hold it behind the slow first one.
+        let mut net: Network<P> = Network::with_faults(
+            2,
+            Topology::FullMesh,
+            Box::new(Jittered::new(Constant::new(10), 99, 1_000)),
+            FaultPlan::uniform(
+                FaultSpec {
+                    reorder: 1.0,
+                    reorder_window_ns: 1_000_000,
+                    ..FaultSpec::default()
+                },
+                3,
+            ),
+        );
+        let mut sent = Vec::new();
+        for i in 0..50 {
+            let (_, id) = net.send(SimTime::from_ns(i), 0, 1, P(i, 1));
+            sent.push(id);
+        }
+        let mut delivered = Vec::new();
+        while let Some((_, msg)) = net.deliver_next() {
+            delivered.push(msg.id);
+        }
+        assert_eq!(delivered.len(), sent.len(), "reorder never loses");
+        assert_ne!(sent, delivered, "FIFO must actually break");
+        assert!(net.stats().injected_reorders() > 0);
     }
 }

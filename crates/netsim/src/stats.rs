@@ -22,6 +22,10 @@ pub struct NetStats {
     total_msgs: u64,
     total_bytes: u64,
     latency_sum_ns: u128,
+    injected_drops: u64,
+    injected_duplicates: u64,
+    injected_delays: u64,
+    injected_reorders: u64,
 }
 
 impl NetStats {
@@ -101,6 +105,53 @@ impl NetStats {
         }
     }
 
+    pub(crate) fn record_injected_drop(&mut self) {
+        self.injected_drops += 1;
+    }
+
+    pub(crate) fn record_injected_duplicate(&mut self) {
+        self.injected_duplicates += 1;
+    }
+
+    pub(crate) fn record_injected_delay(&mut self) {
+        self.injected_delays += 1;
+    }
+
+    pub(crate) fn record_injected_reorder(&mut self) {
+        self.injected_reorders += 1;
+    }
+
+    /// Messages dropped by fault injection (see [`crate::fault`]).
+    pub fn injected_drops(&self) -> u64 {
+        self.injected_drops
+    }
+
+    /// Messages duplicated by fault injection.
+    pub fn injected_duplicates(&self) -> u64 {
+        self.injected_duplicates
+    }
+
+    /// Messages delayed by fault injection.
+    pub fn injected_delays(&self) -> u64 {
+        self.injected_delays
+    }
+
+    /// Messages that overtook earlier same-channel traffic under a
+    /// reorder fault.
+    pub fn injected_reorders(&self) -> u64 {
+        self.injected_reorders
+    }
+
+    /// Total injected faults of any kind. Zero means the run was
+    /// indistinguishable from a fault-free network — the chaos harness's
+    /// byte-parity precondition.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_drops
+            + self.injected_duplicates
+            + self.injected_delays
+            + self.injected_reorders
+    }
+
     /// Latency histogram as `(bucket_floor_ns, count)` pairs.
     pub fn latency_histogram(&self) -> Vec<(u64, u64)> {
         self.latency_buckets
@@ -129,6 +180,10 @@ impl NetStats {
         self.total_msgs += other.total_msgs;
         self.total_bytes += other.total_bytes;
         self.latency_sum_ns += other.latency_sum_ns;
+        self.injected_drops += other.injected_drops;
+        self.injected_duplicates += other.injected_duplicates;
+        self.injected_delays += other.injected_delays;
+        self.injected_reorders += other.injected_reorders;
     }
 }
 
@@ -154,7 +209,18 @@ impl std::fmt::Display for NetStats {
             self.total_msgs,
             self.total_bytes,
             self.detection_overhead_pct()
-        )
+        )?;
+        if self.injected_total() > 0 {
+            writeln!(
+                f,
+                "injected faults: {} drop, {} dup, {} delay, {} reorder",
+                self.injected_drops,
+                self.injected_duplicates,
+                self.injected_delays,
+                self.injected_reorders
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -257,7 +257,7 @@ impl Pe {
             session.observe_collect(&op, &self.held_locks.borrow())
         };
         let off = target.addr.offset;
-        let old = u64::from_le_bytes(seg[off..off + 8].try_into().expect("8 bytes"));
+        let old = read_le_u64(&seg, off);
         let (new_val, old) = aop.apply(old);
         seg[off..off + 8].copy_from_slice(&new_val.to_le_bytes());
         (old, reports)
@@ -309,14 +309,27 @@ impl ShmemReport {
             .collect()
     }
 
-    /// Read back a u64 from a final segment image.
+    /// Read back a u64 from a final segment image. Bytes past the end of
+    /// the segment read as zero (the runtime bounds every access during
+    /// the run, so this only matters for out-of-range queries).
     pub fn read_u64(&self, range: MemRange) -> u64 {
-        let seg = &self.segments[range.addr.rank];
-        let bytes: [u8; 8] = seg[range.addr.offset..range.addr.offset + 8]
-            .try_into()
-            .expect("8 bytes");
-        u64::from_le_bytes(bytes)
+        read_le_u64(&self.segments[range.addr.rank], range.addr.offset)
     }
+}
+
+/// Read a little-endian u64 at `off`, zero-filling bytes past the end of
+/// the buffer. Every public access is bounds-checked (`Pe::check`) before
+/// the runtime reads memory, so the fill is unreachable in practice — it
+/// exists so a bookkeeping bug would degrade to a wrong value a test
+/// catches rather than a panic that takes the whole run down (the §IV-D
+/// stance: signalled, never fatal).
+fn read_le_u64(buf: &[u8], off: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    let avail = buf.len().saturating_sub(off).min(8);
+    if let Some(src) = buf.get(off..off + avail) {
+        bytes[..avail].copy_from_slice(src);
+    }
+    u64::from_le_bytes(bytes)
 }
 
 /// Launch `cfg.n` PEs, each running `body`, and collect the report.
@@ -357,7 +370,22 @@ where
         }
     });
 
-    let shared = Arc::into_inner(shared).expect("all threads joined");
+    let Some(shared) = Arc::into_inner(shared) else {
+        // Unreachable in practice: the scope above joined every PE thread,
+        // so this is the last reference. If the invariant ever breaks,
+        // return an explicitly degraded empty report instead of panicking —
+        // detection trouble is signalled, never fatal (§IV-D).
+        let summary = race_core::RaceSummary {
+            degraded: true,
+            ..Default::default()
+        };
+        return ShmemReport {
+            reports: Vec::new(),
+            segments: Vec::new(),
+            clock_memory_bytes: 0,
+            summary,
+        };
+    };
     let session = shared.session.into_inner();
     let clock_memory_bytes = session.clock_memory_bytes();
     let (summary, sink) = session.finish();

@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use netsim::{AlphaBeta, Constant, Jittered, LatencyModel, Topology};
+use netsim::{AlphaBeta, Constant, FaultSpec, Jittered, LatencyModel, Topology};
 use race_core::{DetectorConfig, DetectorKind};
 
 /// Which latency model to instantiate (serde-friendly description; the
@@ -60,6 +60,12 @@ pub struct SimConfig {
     /// (with `n` forced to [`SimConfig::n`]), so a committed
     /// `DetectorConfig` JSON plus the simulation knobs reproduces a run.
     pub detector: DetectorConfig,
+    /// Optional fault injection applied uniformly to every link, seeded
+    /// from [`SimConfig::seed`] (see [`netsim::FaultPlan`]). `None` (the
+    /// default) delivers every message exactly once in FIFO order. When a
+    /// plan actually fires during a run, the engine marks the run's
+    /// summary [`race_core::RaceSummary::degraded`].
+    pub faults: Option<FaultSpec>,
 }
 
 /// Events the engine buffers per drain when detection is sharded
@@ -80,6 +86,7 @@ impl SimConfig {
             private_len: 1 << 16,
             public_len: 1 << 16,
             detector: DetectorConfig::new(DetectorKind::Dual, n),
+            faults: None,
         }
     }
 
@@ -136,7 +143,16 @@ impl SimConfig {
             private_len: 1 << 12,
             public_len: 1 << 12,
             detector: DetectorConfig::new(DetectorKind::Dual, n),
+            faults: None,
         }
+    }
+
+    /// Same configuration with uniform per-link fault injection. The plan
+    /// is seeded from [`SimConfig::seed`], so a `(config, seed)` pair
+    /// still reproduces the run bit-for-bit, faults included.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
     }
 }
 
@@ -189,6 +205,18 @@ mod tests {
             explicit.detector.batch, DETECT_BATCH,
             "derived batch is sticky, not clobbered to per-op"
         );
+    }
+
+    #[test]
+    fn faults_default_off_and_build_on() {
+        assert!(SimConfig::debugging(4).faults.is_none());
+        assert!(SimConfig::lockstep(4, 100).faults.is_none());
+        let spec = FaultSpec {
+            drop: 0.1,
+            ..FaultSpec::default()
+        };
+        let c = SimConfig::debugging(4).with_faults(spec);
+        assert_eq!(c.faults, Some(spec));
     }
 
     #[test]

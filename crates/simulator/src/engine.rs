@@ -285,7 +285,15 @@ impl Engine {
     pub fn new(cfg: SimConfig, programs: Vec<Program>) -> Self {
         assert_eq!(programs.len(), cfg.n, "one program per rank");
         let latency = cfg.latency.build(cfg.seed);
-        let net = Network::new(cfg.n, cfg.topology, latency);
+        let net = match cfg.faults {
+            Some(spec) => Network::with_faults(
+                cfg.n,
+                cfg.topology,
+                latency,
+                netsim::FaultPlan::uniform(spec, cfg.seed),
+            ),
+            None => Network::new(cfg.n, cfg.topology, latency),
+        };
         // One construction path for every knob: the embedded DetectorConfig
         // builds the detection Session (shards > 1 plus a batch capacity =
         // the batched drain mode, whose report stream is byte-identical to
@@ -423,7 +431,14 @@ impl Engine {
         // bounded aggregate.
         self.session.flush();
         let clock_memory_bytes = self.session.clock_memory_bytes();
-        let (summary, sink) = self.session.finish();
+        let (mut summary, sink) = self.session.finish();
+        // A run that absorbed injected network faults is a degraded run:
+        // detection still saw every delivered event, but delivery itself
+        // was perturbed, so downstream consumers should know (§IV-D:
+        // trouble is signalled, never fatal).
+        if self.net.stats().injected_total() > 0 {
+            summary.degraded = true;
+        }
         let reports = sink.reports().to_vec();
         let deduped = dedup_reports(&reports);
         RunResult {
@@ -650,7 +665,26 @@ impl Engine {
         }
 
         let idx = self.procs[rank].plan.as_ref().expect("plan").idx;
-        let step = self.procs[rank].plan.as_ref().expect("plan").steps[idx].clone();
+        let step = match self.procs[rank].plan.as_ref().expect("plan").steps.get(idx) {
+            Some(s) => s.clone(),
+            None => {
+                // Every plan ends in Step::Finish, which consumes it, so a
+                // cursor past the end means a stray control message (a
+                // duplicate the guards above didn't recognise)
+                // over-advanced the plan. Signalled, never fatal: complete
+                // the instruction and move on rather than indexing out of
+                // bounds.
+                self.errors.push(format!(
+                    "P{rank}: plan over-advanced; completing instruction"
+                ));
+                let plan = self.procs[rank].plan.take().expect("plan");
+                self.op_latencies
+                    .push((plan.class, self.now.since(plan.started_at)));
+                self.procs[rank].pc += 1;
+                self.wake(rank, self.now);
+                return;
+            }
+        };
         match step {
             Step::DetLock(range) => {
                 // Skip when a held program lock already covers the range
@@ -1332,6 +1366,13 @@ impl Engine {
                 }
             }
             DsmPayload::BarrierArrive { .. } => {
+                // A duplicated arrival (fault injection) must not count as
+                // another rank, or the barrier would release early.
+                if self.barrier_arrived.contains(&src) {
+                    self.errors
+                        .push(format!("P{src}: duplicate barrier arrival ignored"));
+                    return;
+                }
                 self.barrier_arrived.push(src);
                 if self.barrier_arrived.len() == self.cfg.n {
                     self.barrier_arrived.clear();
@@ -1343,10 +1384,18 @@ impl Engine {
                 }
             }
             DsmPayload::BarrierRelease { .. } => {
-                if let Some(plan) = self.procs[dst].plan.as_mut() {
-                    plan.idx += 1;
+                // Only a process actually blocked at a barrier step may
+                // consume a release; a duplicated release would otherwise
+                // over-advance the plan into (or past) later steps.
+                match self.procs[dst].plan.as_mut() {
+                    Some(plan) if matches!(plan.steps.get(plan.idx), Some(Step::Barrier)) => {
+                        plan.idx += 1;
+                        self.wake(dst, self.now);
+                    }
+                    _ => self
+                        .errors
+                        .push(format!("P{dst}: stale barrier release ignored")),
                 }
-                self.wake(dst, self.now);
             }
         }
     }

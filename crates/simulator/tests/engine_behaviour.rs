@@ -499,3 +499,51 @@ fn sharding_is_inert_for_clockless_detectors() {
         assert_eq!(base.virtual_time, sharded.virtual_time);
     }
 }
+
+// ----- fault injection (chaos) ------------------------------------------
+
+#[test]
+fn quiet_fault_plan_is_byte_identical_to_no_plan() {
+    // Asking for faults with the all-zero spec must not perturb a run:
+    // same reports, same virtual time, nothing injected, nothing degraded.
+    let w = stencil::with_barrier(4, 64, 2);
+    let base = run(SimConfig::debugging(w.n), w.programs.clone());
+    let quiet = run(
+        SimConfig::debugging(w.n).with_faults(netsim::FaultSpec::default()),
+        w.programs,
+    );
+    assert_eq!(base.reports, quiet.reports);
+    assert_eq!(base.virtual_time, quiet.virtual_time);
+    assert_eq!(quiet.stats.injected_total(), 0);
+    assert!(!quiet.summary.degraded);
+}
+
+#[test]
+fn injected_delays_degrade_the_summary_but_never_the_run() {
+    // Delay-only chaos perturbs timing without losing messages: every rank
+    // still finishes, and the summary carries the degraded marker.
+    let w = stencil::with_barrier(4, 64, 2);
+    let spec = netsim::FaultSpec {
+        delay: 1.0,
+        extra_delay_ns: 5_000,
+        ..Default::default()
+    };
+    let r = run(SimConfig::debugging(w.n).with_faults(spec), w.programs);
+    assert!(r.stats.injected_delays() > 0);
+    assert!(r.summary.degraded, "fired injection must mark the run");
+}
+
+#[test]
+fn dropped_messages_wedge_ranks_without_panicking() {
+    // Losing every message wedges the communicating ranks; the engine
+    // reports them in `stuck` — §IV-D: signalled, never fatal.
+    let w = figures::fig2();
+    let spec = netsim::FaultSpec {
+        drop: 1.0,
+        ..Default::default()
+    };
+    let r = Engine::new(SimConfig::lockstep(w.n, 100).with_faults(spec), w.programs).run();
+    assert!(r.stats.injected_drops() > 0);
+    assert!(!r.stuck.is_empty(), "lost messages leave ranks stuck");
+    assert!(r.summary.degraded);
+}
