@@ -34,23 +34,61 @@
 //!                         # injection goes unreported as degraded, or a
 //!                         # supervised kill changes the report stream.
 //!                         # `--seeds N` widens the matrix (default 8).
+//!   repro --scenarios     # the oracle-validated scenario matrix: every
+//!                         # annotated workload twin through the engine
+//!                         # across detector kinds × shard counts 1–4 ×
+//!                         # network models, graded by the oracle. Prints
+//!                         # the BENCH_0005.json rows (scored columns next
+//!                         # to throughput) to stdout and fails (exit 1)
+//!                         # on any ground-truth violation: a racy twin
+//!                         # missing a declared site, a race-free twin
+//!                         # reported by the dual clock, a false-positive
+//!                         # dual-clock pair, or a report stream that
+//!                         # changes with the shard count. `--seeds N`
+//!                         # widens the sweep (default 4).
+
+fn parse_seeds(args: &[String], default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == "--seeds")
+        .and_then(|at| args.get(at + 1))
+        .map(|v| match v.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--seeds needs a positive integer, got {v:?}");
+                std::process::exit(1);
+            }
+        })
+        .unwrap_or(default)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    if args.iter().any(|a| a == "--scenarios") {
+        let seeds = parse_seeds(&args, 4);
+        let report = dsm_bench::scenarios::run_scenarios(seeds);
+        for line in &report.lines {
+            eprintln!("{line}");
+        }
+        if !report.ok {
+            eprintln!(
+                "scenarios: ground truth violated ({} runs across {} seed(s))",
+                report.runs, seeds
+            );
+            std::process::exit(1);
+        }
+        for row in dsm_bench::scenarios::bench_rows_scenarios() {
+            println!("{}", row.to_json());
+        }
+        eprintln!(
+            "# scenarios: {} run(s) across {} seed(s), every oracle ground-truth assertion held",
+            report.runs, seeds
+        );
+        return;
+    }
+
     if args.iter().any(|a| a == "--chaos") {
-        let seeds = args
-            .iter()
-            .position(|a| a == "--seeds")
-            .and_then(|at| args.get(at + 1))
-            .map(|v| match v.parse::<u64>() {
-                Ok(n) if n > 0 => n,
-                _ => {
-                    eprintln!("--seeds needs a positive integer, got {v:?}");
-                    std::process::exit(1);
-                }
-            })
-            .unwrap_or(8);
+        let seeds = parse_seeds(&args, 8);
         let report = dsm_bench::chaos::run_chaos(seeds);
         for line in &report.lines {
             println!("{line}");

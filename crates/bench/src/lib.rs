@@ -14,6 +14,7 @@ use simulator::{Engine, Program, RunResult, SimConfig};
 pub mod chaos;
 pub mod opstream;
 pub mod perfjson;
+pub mod scenarios;
 
 /// Run one configuration, asserting the run is healthy.
 pub fn run(cfg: SimConfig, programs: Vec<Program>) -> RunResult {

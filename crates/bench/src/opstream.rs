@@ -8,7 +8,7 @@
 //! synchronisation events, and [`drive`] feeds them straight into a
 //! [`Detector`].
 
-use race_core::{Detector, DsmOp, MemOp, OpKind, ShardedDetector};
+use race_core::{Detector, DsmOp, LockId, MemOp, OpKind, ShardedDetector};
 use simulator::workloads::random_access::RandomSpec;
 
 use dsm::GlobalAddr;
@@ -20,10 +20,29 @@ pub enum StreamEvent {
     Op(DsmOp),
     /// A barrier among all ranks.
     Barrier,
+    /// `rank` acquired the NIC area lock `lock` (scenario streams with
+    /// lock hand-off synchronisation, e.g. [`producer_consumer`]).
+    Acquire {
+        /// Acquiring process.
+        rank: usize,
+        /// The program lock.
+        lock: LockId,
+    },
+    /// `rank` released the NIC area lock `lock`.
+    Release {
+        /// Releasing process.
+        rank: usize,
+        /// The program lock.
+        lock: LockId,
+    },
 }
 
 /// Number of *clocked* memory accesses a stream performs: the public-side
 /// accesses of each op (private memory never reaches the clocks, §IV-A).
+/// Synchronisation events — barriers and lock hand-offs — touch clocks but
+/// never memory, so they count zero; the match is exhaustive on purpose,
+/// so a new event variant cannot silently skew every `ns/access` and
+/// `accesses_per_sec` column in the committed BENCH_*.json files.
 pub fn access_count(events: &[StreamEvent]) -> u64 {
     use dsm::addr::Segment;
     events
@@ -35,6 +54,7 @@ pub fn access_count(events: &[StreamEvent]) -> u64 {
                 .filter(|(_, r, _)| r.addr.segment == Segment::Public)
                 .count() as u64,
             StreamEvent::Barrier => 0,
+            StreamEvent::Acquire { .. } | StreamEvent::Release { .. } => 0,
         })
         .sum()
 }
@@ -160,6 +180,59 @@ pub fn hotspot(n: usize, ops_per_rank: usize, hot_words: usize) -> Vec<StreamEve
     events
 }
 
+/// The producer/consumer hand-off pattern of
+/// `simulator::workloads::producer_consumer`, as a detector-only stream:
+/// `pairs` disjoint rank pairs exchange `items` values through one shared
+/// word each, every access bracketed by the word's lock hand-off events.
+/// Lock-disciplined — zero reports from any sound detector — while still
+/// exercising the lock-clock path the engine benches never isolate.
+pub fn producer_consumer(pairs: usize, items: usize) -> Vec<StreamEvent> {
+    assert!(pairs >= 1 && items >= 1);
+    let mut events = Vec::new();
+    let mut op_id = 0u64;
+    for item in 0..items {
+        for p in 0..pairs {
+            let (producer, consumer) = (2 * p, 2 * p + 1);
+            let buf = GlobalAddr::public(producer, 0).range(8);
+            let lock: LockId = (producer, 0);
+            // Producer writes under the lock…
+            events.push(StreamEvent::Acquire {
+                rank: producer,
+                lock,
+            });
+            events.push(StreamEvent::Op(DsmOp {
+                op_id,
+                actor: producer,
+                kind: OpKind::LocalWrite { range: buf },
+            }));
+            op_id += 1;
+            events.push(StreamEvent::Release {
+                rank: producer,
+                lock,
+            });
+            // …and the consumer gets it under the same lock.
+            events.push(StreamEvent::Acquire {
+                rank: consumer,
+                lock,
+            });
+            events.push(StreamEvent::Op(DsmOp {
+                op_id,
+                actor: consumer,
+                kind: OpKind::Get {
+                    src: buf,
+                    dst: GlobalAddr::private(consumer, item * 8).range(8),
+                },
+            }));
+            op_id += 1;
+            events.push(StreamEvent::Release {
+                rank: consumer,
+                lock,
+            });
+        }
+    }
+    events
+}
+
 /// Feed a stream through a detector; returns the total number of reports.
 pub fn drive(detector: &mut dyn Detector, events: &[StreamEvent]) -> usize {
     let mut reports = 0;
@@ -167,6 +240,8 @@ pub fn drive(detector: &mut dyn Detector, events: &[StreamEvent]) -> usize {
         match e {
             StreamEvent::Op(op) => reports += detector.observe(op, &[]),
             StreamEvent::Barrier => detector.on_barrier(),
+            StreamEvent::Acquire { rank, lock } => detector.on_acquire(*rank, *lock),
+            StreamEvent::Release { rank, lock } => detector.on_release(*rank, *lock),
         }
     }
     reports
@@ -186,6 +261,8 @@ pub fn drive_sink(
         match e {
             StreamEvent::Op(op) => reports += detector.observe_sink(op, &[], sink),
             StreamEvent::Barrier => detector.on_barrier(),
+            StreamEvent::Acquire { rank, lock } => detector.on_acquire(*rank, *lock),
+            StreamEvent::Release { rank, lock } => detector.on_release(*rank, *lock),
         }
     }
     reports + detector.flush_sink(sink)
@@ -200,6 +277,8 @@ pub fn drive_session(session: &mut race_core::Session, events: &[StreamEvent]) -
         match e {
             StreamEvent::Op(op) => reports += session.observe(op, &[]),
             StreamEvent::Barrier => session.on_barrier(),
+            StreamEvent::Acquire { rank, lock } => session.on_acquire(*rank, *lock),
+            StreamEvent::Release { rank, lock } => session.on_release(*rank, *lock),
         }
     }
     reports + session.flush()
@@ -212,6 +291,14 @@ pub fn memops(events: &[StreamEvent]) -> Vec<MemOp> {
         .map(|e| match e {
             StreamEvent::Op(op) => MemOp::Op(*op),
             StreamEvent::Barrier => MemOp::Barrier,
+            StreamEvent::Acquire { rank, lock } => MemOp::Acquire {
+                rank: *rank,
+                lock: *lock,
+            },
+            StreamEvent::Release { rank, lock } => MemOp::Release {
+                rank: *rank,
+                lock: *lock,
+            },
         })
         .collect()
 }
@@ -306,5 +393,51 @@ mod tests {
         // 2 ranks × 2 local writes + 2 ranks × 2 gets (public read side
         // only — the private destination is not clocked).
         assert_eq!(access_count(&events), 4 + 4);
+    }
+
+    #[test]
+    fn lock_events_count_zero_accesses() {
+        // Sync events must never skew the ns/access denominators of
+        // committed bench rows: the producer/consumer stream is 2 clocked
+        // accesses per item per pair (the write and the get's public read),
+        // no matter how many lock events bracket them.
+        let events = producer_consumer(2, 3);
+        assert_eq!(access_count(&events), 2 * 3 * 2);
+        let locks = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Acquire { .. } | StreamEvent::Release { .. }))
+            .count();
+        assert_eq!(locks, 2 * 3 * 4, "an acquire+release bracket per access");
+    }
+
+    #[test]
+    fn lock_disciplined_stream_is_race_free_on_every_drive_path() {
+        let events = producer_consumer(2, 4);
+        let mut d = HbDetector::new(4, Granularity::WORD, HbMode::Dual);
+        assert_eq!(drive(&mut d, &events), 0, "hand-off orders every pair");
+        let mut d = HbDetector::new(4, Granularity::WORD, HbMode::Dual);
+        let mut sink = race_core::VecSink::new();
+        assert_eq!(drive_sink(&mut d, &mut sink, &events), 0);
+        let mut session =
+            race_core::DetectorConfig::new(race_core::DetectorKind::Dual, 4).session();
+        assert_eq!(drive_session(&mut session, &events), 0);
+        let mut par = ShardedDetector::new(4, Granularity::WORD, HbMode::Dual, 3);
+        assert_eq!(drive_batched(&mut par, &memops(&events), 8), 0);
+    }
+
+    #[test]
+    fn stripping_the_locks_races_and_all_paths_agree() {
+        // The same traffic minus the hand-off events must race — proving
+        // the lock events (not luck) made the stream clean — and the
+        // sharded pipeline must agree with the inline detector on it.
+        let events: Vec<StreamEvent> = producer_consumer(2, 4)
+            .into_iter()
+            .filter(|e| matches!(e, StreamEvent::Op(_)))
+            .collect();
+        let mut d = HbDetector::new(4, Granularity::WORD, HbMode::Dual);
+        let inline_reports = drive(&mut d, &events);
+        assert!(inline_reports > 0, "unlocked hand-off must race");
+        let mut par = ShardedDetector::new(4, Granularity::WORD, HbMode::Dual, 2);
+        assert_eq!(drive_batched(&mut par, &memops(&events), 4), inline_reports);
     }
 }

@@ -648,9 +648,203 @@ pub fn speedups(rows: &[PerfRow]) -> Vec<(String, f64)> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Committed-row schema registry
+// ---------------------------------------------------------------------------
+
+/// Every row family a committed `BENCH_*.json` may contain, as `(family,
+/// exact ordered top-level key list)`. The single source of truth for
+/// schema drift: a `to_json` change that adds, drops or reorders a key
+/// fails [`validate_bench_line`] — and with it the test that replays every
+/// committed bench file — instead of silently forking the corpus.
+pub const ROW_SCHEMAS: &[(&str, &[&str])] = &[
+    (
+        "perf",
+        &[
+            "workload",
+            "detector",
+            "n",
+            "accesses",
+            "ops_per_sec",
+            "ns_per_access",
+            "reports",
+            "clock_bytes",
+        ],
+    ),
+    (
+        "sharded",
+        &[
+            "workload",
+            "detector",
+            "shards",
+            "n",
+            "accesses",
+            "ops_per_sec",
+            "ns_per_access",
+            "reports",
+            "host_cores",
+        ],
+    ),
+    (
+        "sink",
+        &[
+            "workload",
+            "path",
+            "n",
+            "accesses",
+            "ops_per_sec",
+            "ns_per_access",
+            "reports",
+            "config",
+        ],
+    ),
+    (
+        "scenario",
+        &[
+            "scenario",
+            "detector",
+            "n",
+            "shards",
+            "net",
+            "seed",
+            "accesses",
+            "wall_ns_per_run",
+            "accesses_per_sec",
+            "reports",
+            "truth_pairs",
+            "truth_sites",
+            "pair_precision",
+            "pair_recall",
+            "site_precision",
+            "site_recall",
+        ],
+    ),
+];
+
+/// The top-level keys of a one-line JSON object, in order (nested objects
+/// — e.g. the sink rows' embedded `config` — contribute their outer key
+/// only).
+pub fn row_keys(line: &str) -> Result<Vec<String>, String> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err(format!("not a JSON object line: {line:?}"));
+    }
+    let mut keys = Vec::new();
+    let mut depth = 0usize;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            '"' => {
+                let mut s = String::new();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                // A string at depth 1 followed by ':' is a top-level key.
+                if depth == 1 {
+                    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+                        chars.next();
+                    }
+                    if chars.peek() == Some(&':') {
+                        keys.push(s);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if keys.is_empty() {
+        return Err(format!("no keys found in {line:?}"));
+    }
+    Ok(keys)
+}
+
+/// Validate one committed bench line against the registry; returns the
+/// matching row family.
+pub fn validate_bench_line(line: &str) -> Result<&'static str, String> {
+    let keys = row_keys(line)?;
+    for (family, schema) in ROW_SCHEMAS {
+        if keys.len() == schema.len() && keys.iter().zip(schema.iter()).all(|(a, b)| a == b) {
+            return Ok(family);
+        }
+    }
+    Err(format!("row matches no known schema; keys = {keys:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn row_keys_handles_nesting_and_rejects_garbage() {
+        let keys = row_keys("{\"a\":1,\"b\":{\"inner\":2},\"c\":\"x\"}").unwrap();
+        assert_eq!(keys, vec!["a", "b", "c"], "nested keys stay invisible");
+        assert!(row_keys("not json").is_err());
+        assert!(row_keys("{}").is_err());
+    }
+
+    #[test]
+    fn every_row_producer_matches_its_registered_schema() {
+        let perf = PerfRow {
+            workload: "stencil",
+            detector: "epoch",
+            n: 4,
+            accesses: 10,
+            ops_per_sec: 1.0,
+            ns_per_access: 1.0,
+            reports: 0,
+            clock_bytes: 0,
+        };
+        assert_eq!(validate_bench_line(&perf.to_json()), Ok("perf"));
+        let scenario = crate::scenarios::ScenarioRow {
+            scenario: "fanout-racy(4p,2r)".into(),
+            detector: "dual-clock",
+            n: 4,
+            shards: 1,
+            net: "jittered-ib",
+            seed: 1,
+            accesses: 18,
+            wall_ns_per_run: 100,
+            accesses_per_sec: 100,
+            reports: 3,
+            truth_pairs: 24,
+            truth_sites: 3,
+            pair_precision: 1.0,
+            pair_recall: 0.5,
+            site_precision: 1.0,
+            site_recall: 1.0,
+        };
+        assert_eq!(validate_bench_line(&scenario.to_json()), Ok("scenario"));
+    }
+
+    #[test]
+    fn committed_bench_files_match_known_schemas() {
+        // The drift gate: every line of every committed BENCH_*.json must
+        // still match a registered row family, bit-for-bit in key order.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let mut checked_files = 0;
+        for entry in std::fs::read_dir(&root).expect("repo root readable") {
+            let path = entry.expect("entry").path();
+            let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("");
+            if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+                continue;
+            }
+            checked_files += 1;
+            let body = std::fs::read_to_string(&path).expect("bench file readable");
+            for (i, line) in body.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+                validate_bench_line(line).unwrap_or_else(|e| {
+                    panic!("{name} line {}: {e}", i + 1);
+                });
+            }
+        }
+        assert!(checked_files >= 4, "committed bench corpus went missing");
+    }
 
     #[test]
     fn shard_row_json_shape() {

@@ -561,9 +561,20 @@ impl DetectorConfig {
         )
     }
 
+    /// Largest shard count [`DetectorConfig::from_json`] accepts. Far above
+    /// any plausible host; a bound so a corrupt or hostile config cannot
+    /// make [`DetectorConfig::build`] spawn an absurd worker fleet.
+    pub const MAX_SHARDS: usize = 1024;
+
+    /// Largest batch size [`DetectorConfig::from_json`] accepts (events
+    /// buffered per drain; bounds the front-end's memory).
+    pub const MAX_BATCH: usize = 1 << 24;
+
     /// Inverse of [`DetectorConfig::to_json`]. Accepts any flat JSON object
     /// with exactly these keys (whitespace-insensitive); unknown kinds,
-    /// labels or malformed numbers are reported, not panicked.
+    /// labels, malformed numbers and out-of-range values are reported, not
+    /// panicked — the parsed config is guaranteed safe to
+    /// [`DetectorConfig::build`].
     pub fn from_json(json: &str) -> Result<Self, String> {
         let kind_label = json_str(json, "kind")?;
         let kind = DetectorKind::from_label(kind_label)
@@ -575,14 +586,32 @@ impl DetectorConfig {
         if !block_bytes.is_power_of_two() {
             return Err(format!("granularity {block_bytes} is not a power of two"));
         }
+        let n = json_usize(json, "n")?;
+        if n == 0 {
+            return Err("n must be at least 1 (the process count)".into());
+        }
+        let shards = json_usize(json, "shards")?;
+        if shards == 0 || shards > Self::MAX_SHARDS {
+            return Err(format!(
+                "shards {shards} out of range 1..={}",
+                Self::MAX_SHARDS
+            ));
+        }
+        let batch = json_usize(json, "batch")?;
+        if batch > Self::MAX_BATCH {
+            return Err(format!(
+                "batch {batch} out of range 0..={}",
+                Self::MAX_BATCH
+            ));
+        }
         Ok(DetectorConfig {
             kind,
-            n: json_usize(json, "n")?,
+            n,
             granularity: Granularity::block(block_bytes),
-            shards: json_usize(json, "shards")?,
+            shards,
             pipeline,
             dense_blocks: json_usize(json, "dense_blocks")?,
-            batch: json_usize(json, "batch")?,
+            batch,
         })
     }
 }

@@ -97,7 +97,7 @@ impl Trace {
 pub type TruthPair = (u64, u64);
 
 /// Result of scoring a detector's reports against ground truth.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Score {
     /// Reported pairs that are true races.
     pub true_positives: usize,
@@ -126,6 +126,31 @@ impl Score {
         } else {
             self.true_positives as f64 / denom as f64
         }
+    }
+
+    /// The all-zero score (identity of [`Score::absorb`] — the starting
+    /// point for matrix aggregation).
+    pub fn zero() -> Self {
+        Score {
+            true_positives: 0,
+            false_positives: 0,
+            false_negatives: 0,
+        }
+    }
+
+    /// Accumulate another score cell-wise (aggregating a matrix of
+    /// independent runs; precision/recall of the sum are the micro-averaged
+    /// metrics over the whole matrix).
+    pub fn absorb(&mut self, other: &Score) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// Perfect means sound *and* complete: no false positives, no false
+    /// negatives.
+    pub fn is_perfect(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
     }
 }
 

@@ -1,0 +1,132 @@
+//! Negative-path coverage for `DetectorConfig::from_json`: every malformed
+//! or out-of-range input must come back as `Err` with a message naming the
+//! offending field — never a panic, and never a config that would panic
+//! later in `build()`.
+
+use race_core::{DetectorConfig, DetectorKind};
+
+fn valid_json() -> String {
+    DetectorConfig::new(DetectorKind::Dual, 4).to_json()
+}
+
+/// Build a valid JSON config with one field's value text replaced.
+fn with_field(field: &str, value: &str) -> String {
+    let json = valid_json();
+    let key = format!("\"{field}\":");
+    let at = json.find(&key).expect("field present") + key.len();
+    let end = json[at..]
+        .find([',', '}'])
+        .map(|i| at + i)
+        .expect("terminated");
+    format!("{}{}{}", &json[..at], value, &json[end..])
+}
+
+#[test]
+fn the_probe_edits_fields_correctly() {
+    // Sanity-check the test helper itself: an edited-but-valid config
+    // parses and carries the edit.
+    let c = DetectorConfig::from_json(&with_field("shards", "8")).unwrap();
+    assert_eq!(c.shards, 8);
+}
+
+#[test]
+fn malformed_json_is_an_error_not_a_panic() {
+    for garbage in [
+        "",
+        "{",
+        "}{",
+        "not json at all",
+        "{\"kind\":\"dual-clock\"",
+        "{\"kind\":\"dual-clock\",\"n\":}",
+        "{\"kind\":\"dual-clock\",\"n\"4}",
+        "{\"kind\":\"dual-clock", // unterminated string value
+        "\u{1F980} crab bytes \u{0}",
+    ] {
+        let r = DetectorConfig::from_json(garbage);
+        assert!(r.is_err(), "accepted garbage {garbage:?}");
+    }
+}
+
+#[test]
+fn missing_fields_name_the_field() {
+    let err = DetectorConfig::from_json("{\"kind\":\"dual-clock\"}").unwrap_err();
+    assert!(err.contains("missing field"), "got {err:?}");
+}
+
+#[test]
+fn unknown_kind_label_is_reported() {
+    let err = DetectorConfig::from_json(&with_field("kind", "\"triple-clock\"")).unwrap_err();
+    assert!(err.contains("unknown detector kind"), "got {err:?}");
+    assert!(
+        err.contains("triple-clock"),
+        "message names the label: {err:?}"
+    );
+}
+
+#[test]
+fn unknown_pipeline_label_is_reported() {
+    let err = DetectorConfig::from_json(&with_field("pipeline", "\"quantum\"")).unwrap_err();
+    assert!(err.contains("unknown pipeline"), "got {err:?}");
+    assert!(err.contains("quantum"), "message names the label: {err:?}");
+}
+
+#[test]
+fn non_power_of_two_granularity_is_rejected() {
+    for bad in ["0", "3", "24"] {
+        let err = DetectorConfig::from_json(&with_field("granularity", bad)).unwrap_err();
+        assert!(err.contains("power of two"), "granularity {bad}: {err:?}");
+    }
+}
+
+#[test]
+fn zero_processes_rejected() {
+    let err = DetectorConfig::from_json(&with_field("n", "0")).unwrap_err();
+    assert!(err.contains("at least 1"), "got {err:?}");
+}
+
+#[test]
+fn shards_out_of_range_rejected() {
+    // shards == 0 would panic in build(); a shard count beyond MAX_SHARDS
+    // would spawn an absurd worker fleet. Both must be parse errors.
+    for bad in ["0", "1025", "999999999"] {
+        let err = DetectorConfig::from_json(&with_field("shards", bad)).unwrap_err();
+        assert!(err.contains("shards"), "shards {bad}: {err:?}");
+        assert!(err.contains("out of range"), "shards {bad}: {err:?}");
+    }
+    let max = DetectorConfig::MAX_SHARDS.to_string();
+    assert!(DetectorConfig::from_json(&with_field("shards", &max)).is_ok());
+}
+
+#[test]
+fn batch_out_of_range_rejected() {
+    let too_big = (DetectorConfig::MAX_BATCH + 1).to_string();
+    let err = DetectorConfig::from_json(&with_field("batch", &too_big)).unwrap_err();
+    assert!(err.contains("batch"), "got {err:?}");
+    assert!(err.contains("out of range"), "got {err:?}");
+    let max = DetectorConfig::MAX_BATCH.to_string();
+    assert!(DetectorConfig::from_json(&with_field("batch", &max)).is_ok());
+}
+
+#[test]
+fn negative_and_non_numeric_numbers_are_field_errors() {
+    for (field, value) in [("n", "-1"), ("shards", "\"two\""), ("batch", "1.5")] {
+        let r = DetectorConfig::from_json(&with_field(field, value));
+        assert!(r.is_err(), "{field}={value} accepted");
+    }
+}
+
+#[test]
+fn every_accepted_config_builds_without_panicking() {
+    // The contract the validation exists for: Ok(config) ⇒ build() is safe.
+    for (field, value) in [
+        ("shards", "1"),
+        ("shards", "4"),
+        ("batch", "0"),
+        ("batch", "1024"),
+        ("n", "1"),
+        ("granularity", "64"),
+    ] {
+        let c = DetectorConfig::from_json(&with_field(field, value)).unwrap();
+        let _ = c.build();
+    }
+}

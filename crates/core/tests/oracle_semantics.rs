@@ -1,0 +1,173 @@
+//! Oracle edge-semantics fixtures, independent of the simulator: hand-built
+//! traces pinning the check-then-absorb order of Algorithm 2 (a data-flow
+//! edge leaves the reading access racy while ordering everything the reader
+//! does *afterwards* — the Fig 5b chains) and the §V-B atomic rule
+//! (NIC-serialised atomic–atomic pairs never race).
+
+use dsm::addr::GlobalAddr;
+use race_core::{AccessKind, Oracle, Rank, Score, Trace, TraceAccess};
+
+fn acc(id: u64, process: Rank, kind: AccessKind, owner: Rank, off: usize) -> TraceAccess {
+    TraceAccess {
+        id,
+        process,
+        kind,
+        range: GlobalAddr::public(owner, off).range(8),
+        atomic: false,
+    }
+}
+
+fn atomic(id: u64, process: Rank, kind: AccessKind, owner: Rank, off: usize) -> TraceAccess {
+    TraceAccess {
+        atomic: true,
+        ..acc(id, process, kind, owner, off)
+    }
+}
+
+/// The full Fig 5b chain across three processes: P0 writes x, P1 reads x
+/// (data flow) then writes y, P2 reads y (data flow) then writes x.
+///
+/// Absorb edges order each reader's *subsequent* accesses, so causality
+/// reaches P2's final write of x transitively — it does NOT race with P0's
+/// original write. But each reading access itself stays concurrent with the
+/// write it observed: exactly two races.
+#[test]
+fn fig5b_chain_transitivity_through_two_absorb_edges() {
+    let mut t = Trace::new(3);
+    t.push_access(acc(1, 0, AccessKind::Write, 0, 0)); // P0: w(x)
+    t.push_access(acc(3, 1, AccessKind::Read, 0, 0)); // P1: r(x), saw w(x)
+    t.push_absorb_edge(1, 3);
+    t.push_access(acc(5, 1, AccessKind::Write, 1, 0)); // P1: w(y)
+    t.push_access(acc(7, 2, AccessKind::Read, 1, 0)); // P2: r(y), saw w(y)
+    t.push_absorb_edge(5, 7);
+    t.push_access(acc(9, 2, AccessKind::Write, 0, 0)); // P2: w(x)
+    let o = Oracle::analyze(&t);
+    assert_eq!(
+        o.truth(),
+        &[(1, 3), (5, 7)],
+        "both observing reads race; the chained final write does not"
+    );
+}
+
+/// An absorb edge is one-directional causality: it orders the reader's
+/// later accesses after the write, but gives the *writer* no knowledge of
+/// the reader — the writer's subsequent conflicting write still races.
+#[test]
+fn absorb_edge_does_not_order_the_writers_later_accesses() {
+    let mut t = Trace::new(2);
+    t.push_access(acc(1, 0, AccessKind::Write, 0, 0)); // P0: w(x)
+    t.push_access(acc(3, 1, AccessKind::Read, 0, 0)); // P1: r(x), saw w(x)
+    t.push_absorb_edge(1, 3);
+    t.push_access(acc(5, 0, AccessKind::Write, 0, 0)); // P0: w(x) again
+    let o = Oracle::analyze(&t);
+    assert_eq!(
+        o.truth(),
+        &[(1, 3), (3, 5)],
+        "the second write races with the read that only the reader absorbed"
+    );
+}
+
+/// Stacking an absorb edge on top of a sync edge must not undo the sync
+/// ordering: with a lock hand-off the read is ordered, data flow or not.
+#[test]
+fn sync_edge_dominates_a_parallel_absorb_edge() {
+    let mut t = Trace::new(2);
+    t.push_access(acc(1, 0, AccessKind::Write, 0, 0));
+    t.push_access(acc(3, 1, AccessKind::Read, 0, 0));
+    t.push_edge(1, 3); // lock hand-off
+    t.push_absorb_edge(1, 3); // and the read also saw the value
+    t.push_access(acc(5, 1, AccessKind::Write, 0, 0));
+    let o = Oracle::analyze(&t);
+    assert!(o.truth().is_empty(), "sync ordering covers everything");
+}
+
+/// Chained absorb edges through an intermediate hop protect only accesses
+/// *after* the hop's read — an access between the two hops still races
+/// with the origin.
+#[test]
+fn chain_protection_starts_only_after_the_absorbing_read() {
+    let mut t = Trace::new(3);
+    t.push_access(acc(1, 0, AccessKind::Write, 0, 0)); // P0: w(x)
+    t.push_access(acc(3, 1, AccessKind::Write, 2, 0)); // P1: w(z), concurrent
+    t.push_access(acc(5, 1, AccessKind::Read, 0, 0)); // P1: r(x), saw w(x)
+    t.push_absorb_edge(1, 5);
+    t.push_access(acc(7, 1, AccessKind::Write, 0, 0)); // P1: w(x), ordered
+    t.push_access(acc(9, 2, AccessKind::Write, 2, 0)); // P2: w(z), concurrent
+    let o = Oracle::analyze(&t);
+    assert!(o.truth().contains(&(1, 5)), "the observing read races");
+    assert!(
+        !o.truth().contains(&(1, 7)),
+        "the write after the absorb is ordered"
+    );
+    assert!(
+        o.truth().contains(&(3, 9)),
+        "w(z) predates the absorb, so P2's conflicting write still races"
+    );
+}
+
+/// §V-B: NIC-executed atomics are serialised by the NIC — an atomic–atomic
+/// conflicting pair never races, no matter how concurrent the clocks are.
+#[test]
+fn atomic_atomic_pairs_never_race() {
+    let mut t = Trace::new(2);
+    t.push_access(atomic(1, 0, AccessKind::Write, 0, 0));
+    t.push_access(atomic(3, 1, AccessKind::Write, 0, 0));
+    let o = Oracle::analyze(&t);
+    assert!(o.truth().is_empty(), "NIC serialises atomic pairs");
+}
+
+/// A mixed pair — one atomic, one plain — is still a race: serialisation
+/// only covers accesses that both go through the NIC's atomic unit.
+#[test]
+fn atomic_versus_plain_access_still_races() {
+    let mut t = Trace::new(2);
+    t.push_access(atomic(1, 0, AccessKind::Write, 0, 0));
+    t.push_access(acc(3, 1, AccessKind::Write, 0, 0));
+    let o = Oracle::analyze(&t);
+    assert_eq!(o.truth(), &[(1, 3)]);
+
+    let mut t = Trace::new(2);
+    t.push_access(acc(1, 0, AccessKind::Read, 0, 0));
+    t.push_access(atomic(3, 1, AccessKind::Write, 0, 0));
+    assert_eq!(Oracle::analyze(&t).truth(), &[(1, 3)]);
+}
+
+/// Atomic reads among themselves follow the ordinary read rule anyway —
+/// no write, no race — and truth sites collapse pairs onto words.
+#[test]
+fn truth_sites_name_the_conflicting_word() {
+    let mut t = Trace::new(3);
+    t.push_access(acc(1, 0, AccessKind::Write, 1, 16)); // word 2 of rank 1
+    t.push_access(acc(3, 2, AccessKind::Write, 1, 16));
+    t.push_access(acc(5, 0, AccessKind::Write, 1, 32)); // word 4 of rank 1
+    t.push_access(acc(7, 2, AccessKind::Read, 1, 32));
+    let o = Oracle::analyze(&t);
+    assert_eq!(o.truth().len(), 2);
+    let sites = o.truth_sites();
+    assert!(sites.contains(&(1, 2)) && sites.contains(&(1, 4)));
+}
+
+/// The aggregation helpers: absorb is cell-wise addition with `zero` as
+/// identity, and `is_perfect` means sound and complete.
+#[test]
+fn score_aggregation_helpers() {
+    let mut total = Score::zero();
+    assert!(total.is_perfect());
+    total.absorb(&Score {
+        true_positives: 2,
+        false_positives: 0,
+        false_negatives: 0,
+    });
+    assert!(total.is_perfect());
+    total.absorb(&Score {
+        true_positives: 1,
+        false_positives: 3,
+        false_negatives: 1,
+    });
+    assert!(!total.is_perfect());
+    assert_eq!(total.true_positives, 3);
+    assert_eq!(total.false_positives, 3);
+    assert_eq!(total.false_negatives, 1);
+    assert!((total.precision() - 0.5).abs() < 1e-9);
+    assert!((total.recall() - 0.75).abs() < 1e-9);
+}

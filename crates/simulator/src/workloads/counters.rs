@@ -38,6 +38,7 @@ pub fn atomic(n: usize, increments: usize) -> Workload {
         n,
         programs,
         races_expected: Some(false),
+        truth: None,
     }
 }
 
@@ -66,6 +67,7 @@ pub fn locked(n: usize, increments: usize) -> Workload {
         n,
         programs,
         races_expected: Some(false),
+        truth: None,
     }
 }
 
@@ -88,6 +90,7 @@ pub fn racy(n: usize, increments: usize) -> Workload {
         n,
         programs,
         races_expected: Some(n >= 2),
+        truth: None,
     }
 }
 

@@ -46,6 +46,7 @@ pub fn fig1() -> Workload {
                 .build(),
         ],
         races_expected: None,
+        truth: None,
     }
 }
 
@@ -65,6 +66,7 @@ pub fn fig2() -> Workload {
                 .build(),
         ],
         races_expected: Some(false),
+        truth: None,
     }
 }
 
@@ -92,6 +94,7 @@ pub fn fig3(block: usize) -> Workload {
                 .build(),
         ],
         races_expected: None, // WW vs R race exists; the story here is timing
+        truth: None,
     }
 }
 
@@ -119,6 +122,7 @@ pub fn fig4() -> Workload {
                 .build(),
         ],
         races_expected: Some(false),
+        truth: None,
     }
 }
 
@@ -135,6 +139,7 @@ pub fn fig5a() -> Workload {
             ProgramBuilder::new(2).put_u64(2, a).build(),
         ],
         races_expected: Some(true),
+        truth: None,
     }
 }
 
@@ -173,6 +178,7 @@ pub fn fig5b() -> Workload {
                 .build(),
         ],
         races_expected: Some(false),
+        truth: None,
     }
 }
 
@@ -211,6 +217,7 @@ pub fn fig5c() -> Workload {
                 .build(),
         ],
         races_expected: None,
+        truth: None,
     }
 }
 
@@ -240,6 +247,7 @@ pub fn fig5c_racy() -> Workload {
             ProgramBuilder::new(4).put_u64(2, b).build(),
         ],
         races_expected: Some(true),
+        truth: None,
     }
 }
 

@@ -41,6 +41,7 @@ pub fn racy(workers: usize, rounds: usize) -> Workload {
         // The master's unsynchronised read races with worker puts even for
         // a single worker; two or more workers add WW races.
         races_expected: Some(workers >= 1 && rounds >= 1),
+        truth: None,
     }
 }
 
@@ -70,6 +71,7 @@ pub fn slotted(workers: usize, rounds: usize) -> Workload {
         n,
         programs,
         races_expected: Some(false),
+        truth: None,
     }
 }
 
@@ -94,6 +96,7 @@ pub fn locked(workers: usize, rounds: usize) -> Workload {
         n,
         programs,
         races_expected: Some(false),
+        truth: None,
     }
 }
 

@@ -112,6 +112,7 @@ pub fn build(n: usize, dim: usize) -> MatVec {
             n,
             programs,
             races_expected: Some(false),
+            truth: None,
         },
         y,
         gathered,

@@ -21,18 +21,81 @@
 //! * [`counters`] — the same shared counter under atomic / locked / racy
 //!   disciplines (the §V-B extension study);
 //! * [`matvec`] — distributed matrix–vector multiply placed by the
-//!   symmetric heap (the allocator's compiler role, §III-A).
+//!   symmetric heap (the allocator's compiler role, §III-A);
+//! * the **scenario matrix** (`repro --scenarios`): Suite A/B-style
+//!   communication-pattern twins, each carrying a [`ScenarioTruth`]
+//!   annotation so the oracle can grade detectors against known ground
+//!   truth — [`fanout`], [`fanin`], [`pipeline_nm`], [`poisson`],
+//!   [`producer_consumer`], [`lock_contention`].
 
 pub mod counters;
+pub mod fanin;
+pub mod fanout;
 pub mod figures;
+pub mod lock_contention;
 pub mod master_worker;
 pub mod matvec;
+pub mod pipeline_nm;
+pub mod poisson;
+pub mod producer_consumer;
 pub mod random_access;
 pub mod reduction;
 pub mod ring;
 pub mod stencil;
 
 use crate::program::Program;
+
+/// Embedded ground truth for an oracle-validated scenario.
+///
+/// `racy_sites` is the *complete* catalogue of race sites — `(owner rank,
+/// 8-byte word index)` pairs, the same [`race_core::SiteKey`] shape the
+/// oracle's site scoring uses — where conflicting unsynchronised accesses
+/// exist in the workload. Empty means race-free by construction in every
+/// schedule. The harness asserts two directions per run:
+///
+/// * **soundness of the annotation** — every site the oracle finds racy is
+///   in the catalogue;
+/// * **completeness of the detector** — when `always_races` holds, every
+///   catalogued site must be found by the oracle (and, for site-complete
+///   detector kinds, reported).
+///
+/// `always_races` is set only when the racy accesses carry *no*
+/// synchronisation whatsoever, so no schedule can order them (a data-flow
+/// absorb edge never orders the reading access itself — oracle semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioTruth {
+    /// All `(owner rank, word index)` sites where races can occur; empty =
+    /// race-free in every schedule.
+    pub racy_sites: Vec<(usize, usize)>,
+    /// True when every catalogued site races in *every* schedule.
+    pub always_races: bool,
+}
+
+impl ScenarioTruth {
+    /// The race-free annotation.
+    pub fn race_free() -> Self {
+        ScenarioTruth {
+            racy_sites: Vec::new(),
+            always_races: false,
+        }
+    }
+
+    /// An always-racing annotation over the given sites (sorted, deduped).
+    pub fn always(mut sites: Vec<(usize, usize)>) -> Self {
+        assert!(!sites.is_empty(), "an always-racing truth needs sites");
+        sites.sort_unstable();
+        sites.dedup();
+        ScenarioTruth {
+            racy_sites: sites,
+            always_races: true,
+        }
+    }
+
+    /// True when the annotation declares race-freedom.
+    pub fn is_race_free(&self) -> bool {
+        self.racy_sites.is_empty()
+    }
+}
 
 /// A named set of per-rank programs.
 #[derive(Debug, Clone)]
@@ -47,11 +110,29 @@ pub struct Workload {
     /// schedule (`Some(true)`), in no schedule (`Some(false)`), or
     /// schedule-dependently (`None`). Used by integration tests.
     pub races_expected: Option<bool>,
+    /// Oracle-checkable ground truth, when the workload is a scenario-matrix
+    /// fixture. `None` for legacy workloads that predate the matrix.
+    pub truth: Option<ScenarioTruth>,
 }
 
 impl Workload {
     /// Total data operations across ranks.
     pub fn data_ops(&self) -> usize {
         self.programs.iter().map(|p| p.data_ops()).sum()
+    }
+
+    /// Attach a ground-truth annotation (also sets `races_expected` to the
+    /// matching coarse expectation: race-free ⇒ `Some(false)`, always ⇒
+    /// `Some(true)`, otherwise schedule-dependent).
+    pub fn with_truth(mut self, truth: ScenarioTruth) -> Self {
+        self.races_expected = if truth.is_race_free() {
+            Some(false)
+        } else if truth.always_races {
+            Some(true)
+        } else {
+            None
+        };
+        self.truth = Some(truth);
+        self
     }
 }

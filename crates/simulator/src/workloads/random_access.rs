@@ -92,6 +92,7 @@ pub fn generate(spec: RandomSpec) -> Workload {
         n: spec.n,
         programs,
         races_expected: if spec.locked { Some(false) } else { None },
+        truth: None,
     }
 }
 

@@ -56,6 +56,7 @@ pub fn onesided(n: usize) -> Workload {
         n,
         programs,
         races_expected: Some(false),
+        truth: None,
     }
 }
 
@@ -83,6 +84,7 @@ pub fn onesided_unsynced(n: usize) -> Workload {
         n,
         programs,
         races_expected: None,
+        truth: None,
     }
 }
 
@@ -101,6 +103,7 @@ pub fn push_racy(n: usize) -> Workload {
         n,
         programs,
         races_expected: Some(n >= 2),
+        truth: None,
     }
 }
 

@@ -51,6 +51,7 @@ pub fn pipeline(n: usize, laps: usize) -> Workload {
         n,
         programs,
         races_expected: Some(false),
+        truth: None,
     }
 }
 

@@ -71,6 +71,7 @@ fn build(n: usize, cells: usize, iters: usize, barrier: bool) -> Workload {
         n,
         programs,
         races_expected: if barrier { Some(false) } else { None },
+        truth: None,
     }
 }
 

@@ -1,0 +1,133 @@
+//! Parity safety net for `vclock::sparse` and `vclock::delta` against the
+//! dense `VectorClock` reference, at random widths 1..=128.
+//!
+//! Neither module is wired into the detectors yet; the planned clock
+//! compaction work will adopt them, and these properties pin the exact
+//! contract it will rely on: every sparse/delta operation must agree with
+//! the dense lattice it compresses.
+
+use proptest::prelude::*;
+use vclock::{ClockDelta, DeltaDecoder, DeltaEncoder, SparseClock, VectorClock};
+
+/// A random width in 1..=128 plus a dense clock of exactly that width,
+/// sparse-friendly: roughly half the components are zero so the sparse
+/// representation actually exercises its "absent = 0" path.
+fn arb_wide_clock() -> impl Strategy<Value = VectorClock> {
+    (1usize..=128, proptest::collection::vec(0u64..64, 128)).prop_map(|(w, raw)| {
+        let components: Vec<u64> = raw[..w]
+            .iter()
+            .map(|&v| if v < 32 { 0 } else { v })
+            .collect();
+        VectorClock::from_components(components)
+    })
+}
+
+/// Two clocks of one shared random width (binary-operation parity needs
+/// equal widths, as the dense API does).
+fn arb_clock_pair() -> impl Strategy<Value = (VectorClock, VectorClock)> {
+    (
+        1usize..=128,
+        proptest::collection::vec(0u64..64, 128),
+        proptest::collection::vec(0u64..64, 128),
+    )
+        .prop_map(|(w, ra, rb)| {
+            let mk = |raw: &[u64]| {
+                VectorClock::from_components(
+                    raw[..w]
+                        .iter()
+                        .map(|&v| if v < 32 { 0 } else { v })
+                        .collect(),
+                )
+            };
+            (mk(&ra), mk(&rb))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sparse_round_trips_through_dense(a in arb_wide_clock()) {
+        let s = SparseClock::from_dense(&a);
+        prop_assert_eq!(s.to_dense(a.len()), a.clone());
+        prop_assert_eq!(s.nnz(), a.components().iter().filter(|&&v| v != 0).count());
+        for rank in 0..a.len() {
+            prop_assert_eq!(s.get(rank), a.get(rank));
+        }
+    }
+
+    #[test]
+    fn sparse_merge_matches_dense_merge((a, b) in arb_clock_pair()) {
+        let mut sa = SparseClock::from_dense(&a);
+        sa.merge(&SparseClock::from_dense(&b));
+        prop_assert_eq!(sa.to_dense(a.len()), a.merged(&b));
+    }
+
+    #[test]
+    fn sparse_leq_matches_dense_leq((a, b) in arb_clock_pair()) {
+        let (sa, sb) = (SparseClock::from_dense(&a), SparseClock::from_dense(&b));
+        prop_assert_eq!(sa.leq(&sb), a.leq(&b));
+        prop_assert_eq!(sb.leq(&sa), b.leq(&a));
+    }
+
+    #[test]
+    fn sparse_relation_matches_dense_relation((a, b) in arb_clock_pair()) {
+        let (sa, sb) = (SparseClock::from_dense(&a), SparseClock::from_dense(&b));
+        prop_assert_eq!(sa.relation(&sb), a.relation(&b));
+    }
+
+    #[test]
+    fn sparse_tick_matches_dense_tick(mut a in arb_wide_clock(), r in 0usize..128) {
+        let rank = r % a.len();
+        let mut s = SparseClock::from_dense(&a);
+        let sparse_val = s.tick(rank);
+        a.tick(rank);
+        prop_assert_eq!(sparse_val, a.get(rank));
+        prop_assert_eq!(s.to_dense(a.len()), a);
+    }
+
+    #[test]
+    fn delta_between_then_apply_is_merge((a, b) in arb_clock_pair()) {
+        // between(base, next) captures exactly the components where next
+        // exceeds base; applying it to base lands on the lattice join.
+        let d = ClockDelta::between(&a, &b);
+        let mut applied = a.clone();
+        d.apply(&mut applied);
+        prop_assert_eq!(applied, a.merged(&b));
+        prop_assert!(d.len() <= a.len());
+    }
+
+    #[test]
+    fn delta_between_identical_clocks_is_empty(a in arb_wide_clock()) {
+        prop_assert!(ClockDelta::between(&a, &a).is_empty());
+        prop_assert_eq!(ClockDelta::between(&a, &a).wire_size(), 0);
+    }
+
+    #[test]
+    fn encoder_decoder_round_trips_a_monotone_stream(
+        seedc in arb_wide_clock(),
+        steps in proptest::collection::vec((0usize..128, 1u64..5), 1..20),
+    ) {
+        // A monotone clock stream (each next dominates the last, as a
+        // process's clock does): encode each state as a delta, decode on
+        // the other side, and require exact dense parity at every step.
+        let n = seedc.len();
+        let mut enc = DeltaEncoder::new(n);
+        let mut dec = DeltaDecoder::new(n);
+        let mut current = VectorClock::zero(n);
+        let mut stream = vec![seedc.clone()];
+        for &(rank, amount) in &steps {
+            let mut next = stream.last().unwrap().clone();
+            for _ in 0..amount {
+                next.tick(rank % n);
+            }
+            stream.push(next);
+        }
+        for state in &stream {
+            current.merge(state);
+            let delta = enc.encode(&current);
+            prop_assert_eq!(delta.wire_size(), delta.len() * 12);
+            prop_assert_eq!(dec.decode(&delta), &current);
+        }
+    }
+}
