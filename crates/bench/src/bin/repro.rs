@@ -26,6 +26,15 @@
 //!                         # stream, serialize → reparse → rebuild, and
 //!                         # fail (exit 1) unless the two report streams
 //!                         # are byte-identical
+//!   repro --serve-smoke   # detection-service stress: one server, 128
+//!                         # concurrent clients (override with --clients N)
+//!                         # mixing clean streams, mid-stream hangups,
+//!                         # garbage bytes and stallers, plus an injected
+//!                         # session panic. Fails (exit 1) unless the
+//!                         # server survives, every misbehaving session is
+//!                         # recorded degraded with the right outcome, and
+//!                         # every clean summary is byte-identical to an
+//!                         # in-process Session run
 //!   repro --chaos         # fault-injection sweep: scenario workloads
 //!                         # under a seed matrix of network fault plans,
 //!                         # plus sharded-pipeline runs with a worker
@@ -83,6 +92,38 @@ fn main() {
         eprintln!(
             "# scenarios: {} run(s) across {} seed(s), every oracle ground-truth assertion held",
             report.runs, seeds
+        );
+        return;
+    }
+
+    if args.iter().any(|a| a == "--serve-smoke") {
+        let clients = args
+            .iter()
+            .position(|a| a == "--clients")
+            .and_then(|at| args.get(at + 1))
+            .map(|v| match v.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--clients needs a positive integer, got {v:?}");
+                    std::process::exit(1);
+                }
+            })
+            .unwrap_or(128);
+        let seeds = parse_seeds(&args, 1);
+        let mut failed = false;
+        for seed in 0..seeds {
+            let report = dsm_bench::serve::run_serve_smoke(clients, seed);
+            for line in &report.lines {
+                println!("{line}");
+            }
+            failed |= !report.ok;
+        }
+        if failed {
+            eprintln!("serve-smoke: invariant violated");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# serve-smoke: server survived {clients}+ chaotic clients across {seeds} seed(s); clean summaries byte-identical"
         );
         return;
     }

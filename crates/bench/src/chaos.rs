@@ -11,7 +11,9 @@
 //!    a plan injected nothing (delivery order preserved), the report
 //!    stream is byte-identical to the no-fault baseline and the run is
 //!    not degraded; (c) whenever injection fired, the run's summary says
-//!    [`RaceSummary::degraded`](race_core::RaceSummary::degraded).
+//!    [`RaceSummary::degraded`](race_core::RaceSummary::degraded); (d) no
+//!    run ever wedges — the lossy cells (drop, storm) complete through
+//!    the engine's bounded-wait degrade path with zero stuck ranks.
 //! 2. **Pipeline chaos** — detector-only streams through the sharded
 //!    pipeline with a worker killed at a seed-derived point mid-stream.
 //!    Invariants: byte-identical report stream versus the healthy inline
@@ -115,6 +117,7 @@ struct RunOutcome {
     reports: Vec<RaceReport>,
     degraded: bool,
     injected: u64,
+    stuck: Vec<usize>,
 }
 
 fn engine_run(cfg: SimConfig, w: &Workload) -> Result<RunOutcome, String> {
@@ -125,6 +128,7 @@ fn engine_run(cfg: SimConfig, w: &Workload) -> Result<RunOutcome, String> {
             reports: r.reports,
             degraded: r.summary.degraded,
             injected: r.stats.injected_total(),
+            stuck: r.stuck,
         }
     }))
     .map_err(|payload| {
@@ -168,6 +172,15 @@ fn network_chaos(seeds: u64, report: &mut ChaosReport) {
                 };
                 report.runs += 1;
                 checked += 1;
+                if !out.stuck.is_empty() {
+                    // The wedge-free smoke: lossy plans must complete via
+                    // the engine's bounded-wait degrade path, never leave
+                    // ranks stuck.
+                    report.fail(format!(
+                        "{} spec {label} seed {seed}: rank(s) {:?} wedged",
+                        w.name, out.stuck
+                    ));
+                }
                 if out.injected == 0 {
                     // Delivery untouched: the run must be indistinguishable
                     // from the baseline.
@@ -305,6 +318,39 @@ mod tests {
         assert!(r.ok, "chaos sweep failed:\n{}", r.lines.join("\n"));
         assert!(r.runs > 0);
         assert!(r.lines.iter().all(|l| !l.starts_with("FAIL")));
+    }
+
+    #[test]
+    fn lossy_plans_complete_wedge_free() {
+        // The drop and storm cells must genuinely inject (else the smoke
+        // proves nothing) and every run must complete with zero stuck
+        // ranks via the engine's bounded-wait degrade path.
+        for label in ["drop", "storm"] {
+            let spec = spec_matrix()
+                .into_iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, s)| s)
+                .unwrap();
+            let mut fired = 0u64;
+            for w in scenarios() {
+                for seed in 0..4 {
+                    let cfg = SimConfig::debugging(w.n).with_seed(seed).with_faults(spec);
+                    let out = engine_run(cfg, &w)
+                        .unwrap_or_else(|msg| panic!("{label} seed {seed} panicked: {msg}"));
+                    assert!(
+                        out.stuck.is_empty(),
+                        "{} {label} seed {seed}: wedged ranks {:?}",
+                        w.name,
+                        out.stuck
+                    );
+                    if out.injected > 0 {
+                        fired += 1;
+                        assert!(out.degraded);
+                    }
+                }
+            }
+            assert!(fired > 0, "{label} plan never injected across the sweep");
+        }
     }
 
     #[test]

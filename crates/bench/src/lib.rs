@@ -15,6 +15,7 @@ pub mod chaos;
 pub mod opstream;
 pub mod perfjson;
 pub mod scenarios;
+pub mod serve;
 
 /// Run one configuration, asserting the run is healthy.
 pub fn run(cfg: SimConfig, programs: Vec<Program>) -> RunResult {

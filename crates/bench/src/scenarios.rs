@@ -5,9 +5,12 @@
 //! race-freedom). The harness drives each scenario through the full engine
 //! across **detector kinds × shard counts 1–4 × network models** (quiet
 //! latency/topology variants plus the PR-6 fault matrix's delay and
-//! reorder plans — the non-lossy plans, since dropped messages can wedge a
-//! program on a never-arriving barrier), runs [`Oracle::analyze`] on each
-//! recorded trace, and asserts:
+//! reorder plans — the non-lossy plans: dropped messages no longer wedge
+//! the engine, which force-completes lost waits degraded, but a run that
+//! skipped detection traffic cannot be graded against the oracle's
+//! ground truth; the lossy plans' wedge-free smoke lives in
+//! `repro --chaos`), runs [`Oracle::analyze`] on each recorded trace, and
+//! asserts:
 //!
 //! * **annotation soundness** — every site the oracle finds racy is in the
 //!   scenario's declared catalogue; race-free twins have empty oracle
@@ -74,7 +77,9 @@ pub fn scenario_matrix() -> Vec<Workload> {
 }
 
 /// One network model of the sweep: latency spec, topology and an optional
-/// fault plan (delay / reorder only — lossy plans can wedge barriers).
+/// fault plan (delay / reorder only — a lossy plan completes degraded by
+/// skipping lost waits, so its trace cannot be oracle-graded; its
+/// wedge-free smoke lives in `repro --chaos`).
 #[derive(Debug, Clone)]
 pub struct NetModel {
     /// Row label.
@@ -563,7 +568,7 @@ mod tests {
             nets.iter()
                 .filter_map(|n| n.faults)
                 .all(|f| f.drop == 0.0 && f.duplicate == 0.0),
-            "only non-lossy, non-duplicating plans — drops can wedge barriers"
+            "only non-lossy, non-duplicating plans — skipped waits can't be oracle-graded"
         );
     }
 

@@ -1,0 +1,403 @@
+//! Stress harness for the detection service: hundreds of concurrent
+//! clients mixing clean streams with hangups, garbage bytes, stallers and
+//! one injected worker panic. The server must survive all of it, every
+//! clean session's summary must be byte-identical to an in-process twin,
+//! and every misbehaving session must land in the ledger with the right
+//! degraded outcome.
+//!
+//! Driven by `repro --serve-smoke` (CI) and the tier-1
+//! `serve_stress` test.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dsm::GlobalAddr;
+use dsm_service::frame::WireEvent;
+use dsm_service::server::{outcome_histogram, ServeConfig, Server, SessionOutcome};
+use dsm_service::ServiceClient;
+use race_core::api::SummarySink;
+use race_core::{DetectorConfig, DetectorKind, DsmOp, OpKind};
+
+use crate::opstream::{self, StreamEvent};
+
+/// Op id reserved for the panic-injection client; no generated workload
+/// reaches it.
+const PANIC_OP_ID: u64 = u64::MAX / 2;
+
+/// Idle timeout for the stress server — short enough that staller clients
+/// (who sleep `2 * STRESS_IDLE`) are reaped within the harness's bounded
+/// runtime.
+const STRESS_IDLE: Duration = Duration::from_millis(300);
+
+/// What one simulated client does to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientKind {
+    /// Streams a workload, finishes, checks summary parity.
+    Clean,
+    /// Streams half a workload, then vanishes without `Finish`.
+    Hangup,
+    /// Sends hostile bytes (garbage payloads or a hostile length prefix).
+    Garbage,
+    /// Streams a little, then goes silent past the idle timeout.
+    Staller,
+}
+
+fn kind_for(index: usize) -> ClientKind {
+    match index % 4 {
+        0 => ClientKind::Clean,
+        1 => ClientKind::Hangup,
+        2 => ClientKind::Garbage,
+        _ => ClientKind::Staller,
+    }
+}
+
+/// The stream events of client `index` — deterministic per index/seed, so
+/// the in-process twin replays exactly the same workload.
+fn client_events(index: usize, seed: u64) -> Vec<StreamEvent> {
+    let variant = (index as u64 + seed) % 3;
+    match variant {
+        0 => opstream::hotspot(4, 30, 4),
+        1 => opstream::stencil(4, 16, 2),
+        _ => opstream::producer_consumer(2, 12),
+    }
+}
+
+/// Convert a detector stream into wire events (the bench→service bridge).
+pub fn wire_events(events: &[StreamEvent]) -> Vec<WireEvent> {
+    events
+        .iter()
+        .map(|e| match e {
+            StreamEvent::Op(op) => WireEvent::Op(*op),
+            StreamEvent::Barrier => WireEvent::Barrier,
+            StreamEvent::Acquire { rank, lock } => WireEvent::Acquire {
+                rank: *rank,
+                lock: *lock,
+            },
+            StreamEvent::Release { rank, lock } => WireEvent::Release {
+                rank: *rank,
+                lock: *lock,
+            },
+        })
+        .collect()
+}
+
+/// The in-process twin of a served session: the same events through a plain
+/// bounded `Session`, summarised with the same canonical JSON.
+pub fn in_process_summary_json(config: &DetectorConfig, events: &[WireEvent]) -> String {
+    let mut session = config.session_with(Box::new(SummarySink::default()));
+    for ev in events {
+        match ev {
+            WireEvent::Op(op) => {
+                session.observe(op, &[]);
+            }
+            WireEvent::Barrier => session.on_barrier(),
+            WireEvent::Acquire { rank, lock } => session.on_acquire(*rank, *lock),
+            WireEvent::Release { rank, lock } => session.on_release(*rank, *lock),
+        }
+    }
+    session.finish().0.to_json()
+}
+
+/// What one client thread reports back to the harness.
+#[derive(Debug)]
+enum ClientResult {
+    /// Clean client: parity verdict (remote JSON vs twin JSON).
+    Parity { matched: bool, detail: String },
+    /// The misbehaviour was delivered as intended.
+    Misbehaved(ClientKind),
+    /// The client could not even do its job (e.g. connect failed) — a
+    /// harness-level failure, not a server verdict.
+    Broken(String),
+}
+
+/// Outcome of one stress run.
+#[derive(Debug)]
+pub struct ServeSmokeReport {
+    /// Human-readable log lines (printed by `repro --serve-smoke`).
+    pub lines: Vec<String>,
+    /// True when every invariant held.
+    pub ok: bool,
+    /// Total client connections simulated (including the panic client and
+    /// the final liveness probe).
+    pub clients: usize,
+    /// Clean sessions whose summary matched the in-process twin.
+    pub parity_ok: usize,
+    /// Clean sessions whose summary differed (must be 0).
+    pub parity_failed: usize,
+}
+
+/// Run the stress mix against a fresh server: `clients` concurrent
+/// connections (at least 8; rounded up to a multiple of 4 so every
+/// misbehaviour kind appears), plus one panic-injection client and one
+/// post-chaos liveness probe.
+pub fn run_serve_smoke(clients: usize, seed: u64) -> ServeSmokeReport {
+    let clients = clients.max(8).div_ceil(4) * 4;
+    let mut lines = Vec::new();
+    let mut ok = true;
+    let config = DetectorConfig::new(DetectorKind::Dual, 4);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            idle_timeout: STRESS_IDLE,
+            queue_capacity: 64,
+            panic_on_op_id: Some(PANIC_OP_ID),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind stress server");
+    let addr = server.local_addr();
+
+    // --- The chaos fleet. --------------------------------------------------
+    let mut handles = Vec::new();
+    for index in 0..clients {
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            run_client(addr, &config, index, seed)
+        }));
+    }
+    // One panic-injection client rides along.
+    {
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || run_panic_client(addr, &config)));
+    }
+
+    let mut parity_ok = 0usize;
+    let mut parity_failed = 0usize;
+    let mut misbehaved = [0usize; 4];
+    for handle in handles {
+        match handle.join() {
+            Ok(ClientResult::Parity { matched: true, .. }) => parity_ok += 1,
+            Ok(ClientResult::Parity {
+                matched: false,
+                detail,
+            }) => {
+                parity_failed += 1;
+                ok = false;
+                lines.push(format!("serve-smoke: PARITY MISMATCH: {detail}"));
+            }
+            Ok(ClientResult::Misbehaved(kind)) => {
+                misbehaved[match kind {
+                    ClientKind::Clean => 0,
+                    ClientKind::Hangup => 1,
+                    ClientKind::Garbage => 2,
+                    ClientKind::Staller => 3,
+                }] += 1;
+            }
+            Ok(ClientResult::Broken(what)) => {
+                ok = false;
+                lines.push(format!("serve-smoke: client broke: {what}"));
+            }
+            Err(_) => {
+                ok = false;
+                lines.push("serve-smoke: client thread panicked".into());
+            }
+        }
+    }
+
+    // --- Post-chaos liveness probe: the server must still serve cleanly. --
+    let probe_events = wire_events(&client_events(0, seed));
+    match serve_one(addr, &config, &probe_events) {
+        Ok(json) => {
+            let twin = in_process_summary_json(&config, &probe_events);
+            if json == twin {
+                parity_ok += 1;
+                lines.push("serve-smoke: post-chaos liveness probe passed".into());
+            } else {
+                ok = false;
+                parity_failed += 1;
+                lines.push("serve-smoke: post-chaos probe summary mismatched".into());
+            }
+        }
+        Err(e) => {
+            ok = false;
+            lines.push(format!("serve-smoke: server unreachable after chaos: {e}"));
+        }
+    }
+
+    // --- Ledger invariants. ------------------------------------------------
+    let report = server.shutdown();
+    let stats = report.stats;
+    let quarter = clients / 4;
+    lines.push(format!(
+        "serve-smoke: {} connections, outcomes {:?}, {} frames rejected, parity {}/{}",
+        stats.accepted,
+        outcome_histogram(&report.sessions),
+        stats.frames_rejected,
+        parity_ok,
+        parity_ok + parity_failed,
+    ));
+
+    let mut check = |cond: bool, what: &str| {
+        if !cond {
+            ok = false;
+            lines.push(format!("serve-smoke: INVARIANT FAILED: {what}"));
+        }
+    };
+    // The misbehaving clients must all have delivered their chaos (indices
+    // 1=hangup, 2=garbage, 3=staller; the panic client logs under 0).
+    check(
+        misbehaved[1] == quarter && misbehaved[2] == quarter && misbehaved[3] == quarter,
+        "every misbehaving client must have delivered its fault",
+    );
+    // Every connection is accounted for: the fleet + panic client + probe
+    // (+1 shutdown wake-up connection that is dropped unrecorded).
+    check(
+        stats.accepted >= (clients + 2) as u64,
+        "server must have accepted every connection",
+    );
+    check(
+        stats.finished == (quarter + 1) as u64,
+        "every clean client (and the probe) must finish",
+    );
+    check(
+        stats.hangups == quarter as u64,
+        "every hangup client must be recorded as a hangup",
+    );
+    check(
+        stats.poisoned == quarter as u64,
+        "every garbage client must be recorded as poisoned",
+    );
+    check(
+        stats.reaped == quarter as u64,
+        "every staller must be reaped by the idle timeout",
+    );
+    check(
+        stats.panics_supervised == 1,
+        "the injected panic must be supervised exactly once",
+    );
+    check(parity_failed == 0, "clean summaries must be byte-identical");
+    check(
+        report
+            .sessions
+            .iter()
+            .filter(|r| {
+                !matches!(
+                    r.outcome,
+                    SessionOutcome::Finished | SessionOutcome::Drained
+                )
+            })
+            .all(|r| r.degraded),
+        "every non-clean outcome must be marked degraded",
+    );
+    check(
+        report
+            .sessions
+            .iter()
+            .filter(|r| r.outcome == SessionOutcome::Finished)
+            .all(|r| !r.degraded),
+        "no clean session may be marked degraded",
+    );
+
+    ServeSmokeReport {
+        lines,
+        ok,
+        clients: clients + 2,
+        parity_ok,
+        parity_failed,
+    }
+}
+
+/// Drive one clean session and return the remote summary's raw JSON.
+fn serve_one(
+    addr: std::net::SocketAddr,
+    config: &DetectorConfig,
+    events: &[WireEvent],
+) -> Result<String, String> {
+    let mut client = ServiceClient::connect(addr, config).map_err(|e| format!("connect: {e}"))?;
+    for ev in events {
+        client.send(ev).map_err(|e| format!("send: {e}"))?;
+    }
+    let remote = client.finish().map_err(|e| format!("finish: {e}"))?;
+    Ok(remote.raw_json)
+}
+
+fn run_client(
+    addr: std::net::SocketAddr,
+    config: &DetectorConfig,
+    index: usize,
+    seed: u64,
+) -> ClientResult {
+    let kind = kind_for(index);
+    let events = wire_events(&client_events(index, seed));
+    match kind {
+        ClientKind::Clean => match serve_one(addr, config, &events) {
+            Ok(json) => {
+                let twin = in_process_summary_json(config, &events);
+                ClientResult::Parity {
+                    matched: json == twin,
+                    detail: format!("client {index}: remote {json} != twin {twin}"),
+                }
+            }
+            Err(e) => ClientResult::Broken(format!("clean client {index}: {e}")),
+        },
+        ClientKind::Hangup => {
+            let mut client = match ServiceClient::connect(addr, config) {
+                Ok(c) => c,
+                Err(e) => return ClientResult::Broken(format!("hangup client {index}: {e}")),
+            };
+            for ev in events.iter().take(events.len() / 2) {
+                if client.send(ev).is_err() {
+                    break;
+                }
+            }
+            drop(client); // vanish mid-stream
+            ClientResult::Misbehaved(kind)
+        }
+        ClientKind::Garbage => {
+            let mut stream = match TcpStream::connect(addr) {
+                Ok(s) => s,
+                Err(e) => return ClientResult::Broken(format!("garbage client {index}: {e}")),
+            };
+            // Alternate hostile shapes: junk payload behind a valid prefix,
+            // or a hostile oversized length prefix.
+            let attack: &[u8] = if index.is_multiple_of(2) {
+                &[
+                    12, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff,
+                    0xff,
+                ]
+            } else {
+                &[0xff, 0xff, 0xff, 0x7f, 0x00]
+            };
+            let _ = stream.write_all(attack);
+            let _ = stream.flush();
+            ClientResult::Misbehaved(kind)
+        }
+        ClientKind::Staller => {
+            let mut client = match ServiceClient::connect(addr, config) {
+                Ok(c) => c,
+                Err(e) => return ClientResult::Broken(format!("staller {index}: {e}")),
+            };
+            for ev in events.iter().take(4) {
+                if client.send(ev).is_err() {
+                    break;
+                }
+            }
+            // Silence past the idle timeout: the server must reap us.
+            std::thread::sleep(STRESS_IDLE * 2);
+            drop(client);
+            ClientResult::Misbehaved(kind)
+        }
+    }
+}
+
+/// A client whose stream trips the server's injected-panic hook, proving
+/// per-session supervision under concurrent load.
+fn run_panic_client(addr: std::net::SocketAddr, config: &DetectorConfig) -> ClientResult {
+    let mut client = match ServiceClient::connect(addr, config) {
+        Ok(c) => c,
+        Err(e) => return ClientResult::Broken(format!("panic client: {e}")),
+    };
+    let range = GlobalAddr::public(0, 0).range(8);
+    let op = DsmOp {
+        op_id: PANIC_OP_ID,
+        actor: 0,
+        kind: OpKind::LocalWrite { range },
+    };
+    let _ = client.send(&WireEvent::Op(op));
+    // The worker is dead; finishing may fail at any point — both are fine,
+    // the ledger (panics_supervised == 1) is the assertion that matters.
+    let _ = client.finish();
+    ClientResult::Misbehaved(ClientKind::Clean)
+}

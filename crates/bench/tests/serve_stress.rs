@@ -1,0 +1,20 @@
+//! Tier-1 acceptance test for the detection service: 128 concurrent
+//! clients mixing clean streams, mid-stream hangups, garbage bytes and
+//! stallers, plus one injected session panic. The server must never die,
+//! every clean session's summary must be byte-identical to an in-process
+//! run, and every poisoned/stalled/vanished session must be recorded
+//! degraded with the right outcome.
+
+#[test]
+fn server_survives_128_chaotic_clients_with_byte_identical_clean_summaries() {
+    let report = dsm_bench::serve::run_serve_smoke(128, 0);
+    assert!(
+        report.ok,
+        "serve smoke invariants violated:\n{}",
+        report.lines.join("\n")
+    );
+    assert_eq!(report.parity_failed, 0);
+    // 128 clients / 4 kinds = 32 clean, plus the post-chaos probe.
+    assert_eq!(report.parity_ok, 33);
+    assert_eq!(report.clients, 130, "fleet + panic client + probe");
+}

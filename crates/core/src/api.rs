@@ -254,37 +254,94 @@ impl ReportSink for ChannelSink {
 /// Deduplicates by unordered access pair before forwarding to an inner
 /// sink — the streaming form of [`crate::report::dedup_reports`], so one
 /// logical race crossing several granularity blocks reaches the inner sink
-/// once. Memory is one key per *distinct* pair (i.e. per deduplicated
-/// report), not per raw report.
+/// once.
+///
+/// Memory is **bounded**: the seen-key set holds at most
+/// [`DedupSink::DEFAULT_CAPACITY`] distinct pairs (configurable via
+/// [`DedupSink::with_capacity`]); beyond that the *oldest* key is evicted
+/// first-in-first-out and counted in [`DedupSink::evictions`]. An evicted
+/// pair that races again reaches the inner sink a second time — for a
+/// week-long session, a rare duplicate beats an unbounded key set (the
+/// same trade the paper makes for the bounded area histories).
 pub struct DedupSink {
     inner: Box<dyn ReportSink>,
     seen: HashSet<(u64, u64)>,
+    /// Insertion order of `seen`, for FIFO eviction at the bound.
+    order: std::collections::VecDeque<(u64, u64)>,
+    capacity: usize,
+    evictions: u64,
 }
 
 impl DedupSink {
-    /// Wrap `inner`, forwarding only first occurrences.
+    /// Default bound on distinct seen keys (~16 MiB of key memory at the
+    /// worst case) — far above any single run in this workspace, small
+    /// enough that an always-on service session cannot grow without limit.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Wrap `inner`, forwarding only first occurrences, with the default
+    /// key-memory bound.
     pub fn new(inner: Box<dyn ReportSink>) -> Self {
+        Self::with_capacity(inner, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Wrap `inner` with an explicit bound on distinct seen keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` (a zero-key dedup would forward nothing
+    /// deterministically useful).
+    pub fn with_capacity(inner: Box<dyn ReportSink>, capacity: usize) -> Self {
+        assert!(capacity > 0, "dedup capacity must be at least 1");
         DedupSink {
             inner,
             seen: HashSet::new(),
+            order: std::collections::VecDeque::new(),
+            capacity,
+            evictions: 0,
         }
+    }
+
+    /// Distinct keys currently held (never exceeds the capacity).
+    pub fn seen_keys(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Keys evicted to honour the bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Consume the wrapper, returning the inner sink.
     pub fn into_inner(self) -> Box<dyn ReportSink> {
         self.inner
     }
+
+    /// Record `key` as seen; true when it is new. Evicts the oldest key
+    /// first when the set is at capacity.
+    fn remember(&mut self, key: (u64, u64)) -> bool {
+        if self.seen.contains(&key) {
+            return false;
+        }
+        if self.seen.len() == self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.seen.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.seen.insert(key);
+        self.order.push_back(key);
+        true
+    }
 }
 
 impl ReportSink for DedupSink {
     fn on_report(&mut self, report: &RaceReport) {
-        if self.seen.insert(report.dedup_key()) {
+        if self.remember(report.dedup_key()) {
             self.inner.on_report(report);
         }
     }
 
     fn accept(&mut self, report: RaceReport) {
-        if self.seen.insert(report.dedup_key()) {
+        if self.remember(report.dedup_key()) {
             self.inner.accept(report);
         }
     }
@@ -963,6 +1020,61 @@ mod tests {
             2,
             "the session summary still counts raw reports"
         );
+    }
+
+    #[test]
+    fn dedup_sink_seen_keys_stay_bounded_with_counted_evictions() {
+        // Regression for the unbounded seen-key set: stream far more
+        // distinct racing pairs than the capacity and pin the bound.
+        const CAP: usize = 16;
+        let mut sink = DedupSink::with_capacity(Box::new(CountingSink::default()), CAP);
+        let mut det = crate::HbDetector::new(3, crate::Granularity::WORD, crate::HbMode::Dual);
+        let mut emitted = 0;
+        for i in 0..u64::try_from(6 * CAP).expect("fits") {
+            // Alternating unsynchronised writers on a fresh word each round:
+            // every report carries a brand-new access pair.
+            emitted += det.observe_sink(
+                &put(2 * i, 0, 1, 8 * usize::try_from(i).expect("fits")),
+                &[],
+                &mut sink,
+            );
+            emitted += det.observe_sink(
+                &put(2 * i + 1, 2, 1, 8 * usize::try_from(i).expect("fits")),
+                &[],
+                &mut sink,
+            );
+        }
+        assert!(emitted >= 6 * CAP, "every round must race");
+        assert_eq!(sink.seen_keys(), CAP, "the key set is pinned at the bound");
+        assert_eq!(
+            sink.evictions(),
+            emitted as u64 - CAP as u64,
+            "every key beyond the bound was evicted, and counted"
+        );
+        // A key evicted long ago may legitimately be forwarded again; a key
+        // still resident must not be.
+        let before = sink.seen_keys();
+        sink.on_report(&crate::RaceReport {
+            detector: "t",
+            class: RaceClass::WriteWrite,
+            current: crate::AccessSummary {
+                id: 1,
+                process: 0,
+                kind: crate::AccessKind::Write,
+                range: GlobalAddr::public(1, 0).range(8),
+                clock: std::sync::Arc::new(vclock::VectorClock::zero(3)),
+                atomic: false,
+            },
+            previous: None,
+            area: crate::AreaKey::new(1, 0),
+        });
+        assert_eq!(sink.seen_keys(), before, "bound holds under re-insertion");
+    }
+
+    #[test]
+    #[should_panic(expected = "dedup capacity")]
+    fn dedup_sink_rejects_zero_capacity() {
+        let _ = DedupSink::with_capacity(Box::new(VecSink::new()), 0);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub enum OpKind {
 /// `Copy`: an op is three plain words plus a [`OpKind`] of inline ranges,
 /// so buffering front-ends (the sharded pipeline's batching layer) store
 /// ops by value without heap traffic.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsmOp {
     /// Engine-assigned operation id; access ids derive from it (see
     /// [`DsmOp::read_access_id`] / [`DsmOp::write_access_id`]) so that

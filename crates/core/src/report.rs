@@ -38,6 +38,16 @@ impl RaceClass {
             RaceClass::ReadRead => "read-read",
         }
     }
+
+    /// Inverse of [`RaceClass::label`] (the wire/JSON decoding).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "write-write" => Some(RaceClass::WriteWrite),
+            "read-write" => Some(RaceClass::ReadWrite),
+            "read-read" => Some(RaceClass::ReadRead),
+            _ => None,
+        }
+    }
 }
 
 /// One detected race: the access being performed and the recorded access it

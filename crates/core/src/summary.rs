@@ -14,7 +14,7 @@ use crate::Rank;
 /// Keys are the cheap value types ([`RaceClass`], [`AreaKey`], rank pairs),
 /// so folding a report in ([`RaceSummary::add`]) allocates nothing — this
 /// is on the session hot path for every detected race.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RaceSummary {
     /// Count per race class.
     pub by_class: BTreeMap<RaceClass, usize>,
@@ -78,6 +78,112 @@ impl RaceSummary {
             .max_by_key(|(_, &c)| c)
             .map(|(&k, &c)| (k, c))
     }
+
+    /// One-line canonical JSON encoding — the detection service's wire
+    /// currency. `BTreeMap` iteration is ordered, so two structurally equal
+    /// summaries always serialise to **byte-identical** strings; the server
+    /// parity checks (remote session vs in-process run) compare exactly
+    /// this. Hand-formatted like every JSON producer in the workspace.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"total\":{},\"degraded\":{},\"by_class\":{{",
+            self.total, self.degraded
+        );
+        for (i, (class, count)) in self.by_class.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\"{}\":{count}", class.label());
+        }
+        s.push_str("},\"by_area\":{");
+        for (i, (area, count)) in self.by_area.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\"{}:{}\":{count}", area.rank, area.block);
+        }
+        s.push_str("},\"by_pair\":{");
+        for (i, ((a, b), count)) in self.by_process_pair.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\"{a}-{b}\":{count}");
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Inverse of [`RaceSummary::to_json`]. Malformed input is reported,
+    /// never panicked — this sits on the service's untrusted wire path.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let mut out = RaceSummary {
+            total: scalar_field(json, "total")?
+                .parse()
+                .map_err(|e| format!("total: {e}"))?,
+            degraded: match scalar_field(json, "degraded")? {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("degraded: expected bool, got {other:?}")),
+            },
+            ..RaceSummary::default()
+        };
+        for (key, count) in object_entries(json, "by_class")? {
+            let class =
+                RaceClass::from_label(&key).ok_or_else(|| format!("unknown race class {key:?}"))?;
+            out.by_class.insert(class, count);
+        }
+        for (key, count) in object_entries(json, "by_area")? {
+            let (rank, block) = key
+                .split_once(':')
+                .ok_or_else(|| format!("area key {key:?} is not rank:block"))?;
+            let rank = rank.parse().map_err(|e| format!("area rank: {e}"))?;
+            let block = block.parse().map_err(|e| format!("area block: {e}"))?;
+            out.by_area.insert(AreaKey::new(rank, block), count);
+        }
+        for (key, count) in object_entries(json, "by_pair")? {
+            let (a, b) = key
+                .split_once('-')
+                .ok_or_else(|| format!("pair key {key:?} is not a-b"))?;
+            let a: Rank = a.parse().map_err(|e| format!("pair rank: {e}"))?;
+            let b: Rank = b.parse().map_err(|e| format!("pair rank: {e}"))?;
+            out.by_process_pair.insert((a, b), count);
+        }
+        Ok(out)
+    }
+}
+
+/// The raw token of a scalar (non-object) field in the summary JSON.
+fn scalar_field<'a>(json: &'a str, key: &str) -> Result<&'a str, String> {
+    let pattern = format!("\"{key}\":");
+    let at = json
+        .find(&pattern)
+        .ok_or_else(|| format!("missing field {key:?}"))?;
+    let rest = &json[at + pattern.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim())
+}
+
+/// The `"key":count` entries of a flat `{"k":1,...}` sub-object.
+fn object_entries(json: &str, key: &str) -> Result<Vec<(String, usize)>, String> {
+    let pattern = format!("\"{key}\":{{");
+    let at = json
+        .find(&pattern)
+        .ok_or_else(|| format!("missing object {key:?}"))?;
+    let body = &json[at + pattern.len()..];
+    let end = body
+        .find('}')
+        .ok_or_else(|| format!("unterminated object {key:?}"))?;
+    let mut entries = Vec::new();
+    for part in body[..end].split(',').filter(|p| !p.trim().is_empty()) {
+        // rsplit: the count never contains ':', but an area key ("0:3") does.
+        let (k, v) = part
+            .rsplit_once(':')
+            .ok_or_else(|| format!("object {key:?}: entry {part:?} has no ':'"))?;
+        let k = k.trim().trim_matches('"').to_string();
+        let v = v
+            .trim()
+            .parse()
+            .map_err(|e| format!("object {key:?}: count for {k:?}: {e}"))?;
+        entries.push((k, v));
+    }
+    Ok(entries)
 }
 
 impl std::fmt::Display for RaceSummary {
@@ -176,5 +282,44 @@ mod tests {
         assert_eq!(s.total, 0);
         assert!(s.hottest_area().is_none());
         assert_eq!(s.true_races(), 0);
+    }
+
+    #[test]
+    fn json_round_trips_and_is_canonical() {
+        let mut s = RaceSummary::from_reports(&[
+            report(RaceClass::WriteWrite, 0, 0, 1),
+            report(RaceClass::ReadWrite, 3, 2, 1),
+            report(RaceClass::ReadRead, 1, 0, 2),
+        ]);
+        s.degraded = true;
+        let json = s.to_json();
+        let back = RaceSummary::from_json(&json).expect("round trip");
+        assert_eq!(s, back);
+        assert_eq!(
+            json,
+            back.to_json(),
+            "canonical: equal summaries serialise byte-identically"
+        );
+
+        let empty = RaceSummary::default();
+        assert_eq!(
+            RaceSummary::from_json(&empty.to_json()).expect("empty round trip"),
+            empty
+        );
+    }
+
+    #[test]
+    fn json_rejects_garbage_without_panicking() {
+        for bad in [
+            "",
+            "{}",
+            "{\"total\":x}",
+            "{\"total\":1,\"degraded\":maybe,\"by_class\":{},\"by_area\":{},\"by_pair\":{}}",
+            "{\"total\":1,\"degraded\":true,\"by_class\":{\"quantum\":1},\"by_area\":{},\"by_pair\":{}}",
+            "{\"total\":1,\"degraded\":true,\"by_class\":{},\"by_area\":{\"07\":1},\"by_pair\":{}}",
+            "{\"total\":1,\"degraded\":true,\"by_class\":{},\"by_area\":{},\"by_pair\":{\"0:1\":1}}",
+        ] {
+            assert!(RaceSummary::from_json(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -1,0 +1,205 @@
+//! Blocking client handle for the detection service.
+//!
+//! [`ServiceClient`] wraps one TCP connection: handshake on connect, one
+//! frame per event, and a final `Finish` → `Summary` exchange whose JSON is
+//! exactly the canonical `RaceSummary::to_json` bytes — callers compare it
+//! directly against an in-process run for parity checks.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use race_core::api::DetectorConfig;
+use race_core::summary::RaceSummary;
+
+use crate::frame::{
+    read_frame, write_frame, ClientFrame, FrameError, ServerFrame, WireError, WireEvent,
+};
+
+/// A client-side failure. Like the server, the client never panics on wire
+/// input: everything wrong comes back typed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes were not a valid frame.
+    Frame(FrameError),
+    /// The server answered with an `Error` frame (its message preserved).
+    Rejected(String),
+    /// The server sent a well-formed frame the client did not expect at
+    /// this point of the exchange.
+    Unexpected(&'static str),
+    /// The summary JSON did not parse back into a `RaceSummary`.
+    BadSummary(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Rejected(msg) => write!(f, "server rejected session: {msg}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected server frame: {what}"),
+            ClientError::BadSummary(e) => write!(f, "unparseable summary: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            WireError::Frame(e) => ClientError::Frame(e),
+        }
+    }
+}
+
+/// The session's liveness line, as answered to a `Ping`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthLine {
+    /// True when the session's pipeline or summary is degraded.
+    pub degraded: bool,
+    /// Events the session has applied.
+    pub events: u64,
+    /// Races reported so far.
+    pub reports: u64,
+    /// Events shed by the slow-client policy.
+    pub shed: u64,
+}
+
+/// The final result of a remote session.
+#[derive(Debug, Clone)]
+pub struct RemoteSummary {
+    /// The parsed summary.
+    pub summary: RaceSummary,
+    /// The summary's exact wire bytes (canonical JSON) — compare these for
+    /// byte-identical parity with an in-process run.
+    pub raw_json: String,
+    /// Events the server shed under its slow-client policy.
+    pub shed: u64,
+    /// The server's error message, when the session ended degraded but a
+    /// summary was still produced (reap, poison, supervised panic).
+    pub error: Option<String>,
+}
+
+/// One live connection to the detection server.
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: TcpStream,
+    session: u64,
+}
+
+impl ServiceClient {
+    /// Connect and perform the Hello handshake. The read timeout bounds how
+    /// long any single server response is awaited.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        config: &DetectorConfig,
+    ) -> Result<ServiceClient, ClientError> {
+        Self::connect_with_timeout(addr, config, Duration::from_secs(10))
+    }
+
+    /// [`ServiceClient::connect`] with an explicit per-read timeout.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        config: &DetectorConfig,
+        read_timeout: Duration,
+    ) -> Result<ServiceClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(read_timeout))?;
+        let mut client = ServiceClient { stream, session: 0 };
+        client.send_client_frame(&ClientFrame::Hello {
+            config_json: config.to_json(),
+        })?;
+        match client.read_server_frame()? {
+            ServerFrame::HelloAck { session } => {
+                client.session = session;
+                Ok(client)
+            }
+            ServerFrame::Error { message } => Err(ClientError::Rejected(message)),
+            _ => Err(ClientError::Unexpected("wanted hello-ack")),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// Stream one event.
+    pub fn send(&mut self, event: &WireEvent) -> Result<(), ClientError> {
+        self.send_client_frame(&ClientFrame::Event(*event))
+    }
+
+    /// Probe the session's liveness.
+    pub fn ping(&mut self) -> Result<HealthLine, ClientError> {
+        self.send_client_frame(&ClientFrame::Ping)?;
+        match self.read_server_frame()? {
+            ServerFrame::Health {
+                degraded,
+                events,
+                reports,
+                shed,
+            } => Ok(HealthLine {
+                degraded,
+                events,
+                reports,
+                shed,
+            }),
+            ServerFrame::Error { message } => Err(ClientError::Rejected(message)),
+            _ => Err(ClientError::Unexpected("wanted health")),
+        }
+    }
+
+    /// End the stream and collect the summary. Consumes the client; the
+    /// connection closes when this returns.
+    pub fn finish(mut self) -> Result<RemoteSummary, ClientError> {
+        self.send_client_frame(&ClientFrame::Finish)?;
+        let mut error = None;
+        loop {
+            match self.read_server_frame()? {
+                // A late Health answer (pipelined ping) is skipped, not an
+                // error: frames are ordered but the client may not have
+                // drained every response before finishing.
+                ServerFrame::Health { .. } => continue,
+                ServerFrame::Error { message } => error = Some(message),
+                ServerFrame::Summary { shed, json } => {
+                    let summary = RaceSummary::from_json(&json).map_err(ClientError::BadSummary)?;
+                    return Ok(RemoteSummary {
+                        summary,
+                        raw_json: json,
+                        shed,
+                        error,
+                    });
+                }
+                ServerFrame::HelloAck { .. } => {
+                    return Err(ClientError::Unexpected("second hello-ack"))
+                }
+            }
+        }
+    }
+
+    fn send_client_frame(&mut self, frame: &ClientFrame) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &frame.encode())?;
+        Ok(())
+    }
+
+    fn read_server_frame(&mut self) -> Result<ServerFrame, ClientError> {
+        let payload = read_frame(&mut self.stream)?;
+        Ok(ServerFrame::decode(&payload)?)
+    }
+}

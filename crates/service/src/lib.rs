@@ -1,0 +1,55 @@
+//! Detection-as-a-service: a crash-tolerant TCP server that multiplexes
+//! many concurrent client event streams onto bounded
+//! [`race_core::api::Session`]s.
+//!
+//! The paper's runtime embeds detection inside the DSM library; this crate
+//! is the operational complement for a deployment where instrumented
+//! processes *ship* their operation streams to a long-lived detection
+//! service instead. The service inherits the paper's §IV-D stance — races
+//! (and now infrastructure failures) are signalled, never fatal — and the
+//! PR-6 supervision discipline: any single session may degrade (malformed
+//! bytes, mid-stream hangup, a panic in its worker), but the server's
+//! accept loop and every other session keep running.
+//!
+//! Layering:
+//!
+//! - [`frame`] — the length-prefixed wire codec; the trust boundary.
+//!   Decoding untrusted bytes returns typed [`frame::FrameError`]s and has
+//!   no panicking path.
+//! - [`server`] — accept loop, per-session supervision, bounded queues
+//!   with an explicit slow-client policy, idle reaping, and a graceful
+//!   shutdown that drains every live session's summary.
+//! - [`client`] — a blocking client handle whose final
+//!   [`client::RemoteSummary`] carries the summary's exact canonical-JSON
+//!   bytes, so callers can assert byte-identical parity with an in-process
+//!   run.
+//!
+//! ```no_run
+//! use dsm_service::client::ServiceClient;
+//! use dsm_service::frame::WireEvent;
+//! use dsm_service::server::{ServeConfig, Server};
+//! use race_core::{DetectorConfig, DetectorKind};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let config = DetectorConfig::new(DetectorKind::Dual, 4);
+//! let mut client = ServiceClient::connect(server.local_addr(), &config).unwrap();
+//! client.send(&WireEvent::Barrier).unwrap();
+//! let remote = client.finish().unwrap();
+//! println!("races: {}", remote.summary.total);
+//! let report = server.shutdown();
+//! assert_eq!(report.stats.finished, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientError, HealthLine, RemoteSummary, ServiceClient};
+pub use frame::{ClientFrame, FrameError, ServerFrame, WireError, WireEvent, MAX_FRAME};
+pub use server::{
+    ServeConfig, Server, SessionOutcome, SessionRecord, ShutdownReport, SinkFactory,
+    SlowClientPolicy, StatsSnapshot,
+};

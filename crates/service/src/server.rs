@@ -1,0 +1,872 @@
+//! The crash-tolerant detection server.
+//!
+//! One long-lived process accepts framed event streams from many concurrent
+//! clients; each connection gets its own bounded [`race_core::api::Session`]
+//! driven by a supervised worker thread. The robustness contract, in order
+//! of importance:
+//!
+//! 1. **The accept loop never dies.** Whatever one connection does — garbage
+//!    bytes, mid-stream hangup, a panic inside its session — only that
+//!    session degrades. Supervision is per-session `catch_unwind`, the same
+//!    discipline the sharded pipeline applies per shard worker.
+//! 2. **Per-session memory is bounded.** Events flow through a
+//!    `sync_channel` of [`ServeConfig::queue_capacity`]; when a client
+//!    outruns its session the [`SlowClientPolicy`] decides between
+//!    back-pressure ([`SlowClientPolicy::Block`]) and shedding with a
+//!    counted `shed` statistic ([`SlowClientPolicy::Shed`], paced by the
+//!    PR-6 [`RetryPolicy`] backoff).
+//! 3. **Idle sessions are reaped**, so a staller cannot pin a thread and a
+//!    detector forever: no frame for [`ServeConfig::idle_timeout`] ends the
+//!    session as [`SessionOutcome::Reaped`] (degraded).
+//! 4. **Shutdown drains.** [`Server::shutdown`] stops accepting, lets every
+//!    live session flush, and returns each session's summary in the
+//!    [`ShutdownReport`] — no in-flight stream is silently discarded.
+//!
+//! Clean sessions produce summaries byte-identical (via
+//! `RaceSummary::to_json`) to an in-process `Session` fed the same events —
+//! the parity property the bench stress harness pins.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use race_core::api::{DetectorConfig, ReportSink, Session, SummarySink};
+use race_core::error::RetryPolicy;
+use race_core::summary::RaceSummary;
+
+use crate::frame::{write_frame, ClientFrame, FrameError, ServerFrame, WireError, WireEvent};
+
+/// How often blocked reads wake up to check for shutdown and idleness.
+const TICK: Duration = Duration::from_millis(25);
+
+/// What to do when a client produces events faster than its session absorbs
+/// them and the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlowClientPolicy {
+    /// Stop reading from the socket until the queue drains — TCP back-
+    /// pressure propagates to the client. Nothing is lost; a slow session
+    /// slows only its own client.
+    #[default]
+    Block,
+    /// Retry briefly (the [`ServeConfig::retry`] backoff schedule), then
+    /// drop the event and count it. The session's final summary reports the
+    /// shed count and is marked degraded when any event was shed.
+    Shed,
+}
+
+/// Builds the per-session report sink. The summary returned to clients is
+/// the `Session`'s own bounded tee, so the sink choice changes what is
+/// *retained* server-side, never what the client receives.
+pub type SinkFactory = Arc<dyn Fn() -> Box<dyn ReportSink> + Send + Sync>;
+
+/// Server tuning knobs. `Default` is production-shaped: blocking back-
+/// pressure, 256-event queues, 30 s idle reaping.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Bound of the per-session event queue (events buffered between the
+    /// socket reader and the session worker).
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub slow_policy: SlowClientPolicy,
+    /// A session with no complete frame for this long is reaped (degraded).
+    pub idle_timeout: Duration,
+    /// Backoff schedule used by [`SlowClientPolicy::Shed`] before giving up
+    /// on an event — the same bounded-probing policy the sharded pipeline
+    /// uses at batch fences.
+    pub retry: RetryPolicy,
+    /// Fault-injection hook: the session worker panics when it observes
+    /// this op id. Exercises the supervision path from tests and the chaos
+    /// harness; `None` in production.
+    pub panic_on_op_id: Option<u64>,
+    /// Per-session report sink. `None` uses a [`SummarySink`] (bounded
+    /// memory, the right default for a long-lived service).
+    pub sink_factory: Option<SinkFactory>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            slow_policy: SlowClientPolicy::default(),
+            idle_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+            panic_on_op_id: None,
+            sink_factory: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("queue_capacity", &self.queue_capacity)
+            .field("slow_policy", &self.slow_policy)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("retry", &self.retry)
+            .field("panic_on_op_id", &self.panic_on_op_id)
+            .field("sink_factory", &self.sink_factory.as_ref().map(|_| "..."))
+            .finish()
+    }
+}
+
+/// How a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// The client sent `Finish` and received its summary.
+    Finished,
+    /// Server shutdown drained the session; the summary covers every event
+    /// received before the drain.
+    Drained,
+    /// No frame within the idle timeout; session degraded and closed.
+    Reaped,
+    /// The client vanished mid-stream (EOF or reset before `Finish`).
+    Hangup,
+    /// The client sent bytes the codec rejected; the typed decode error is
+    /// in [`SessionRecord::error`].
+    Poisoned,
+    /// The session worker panicked and was caught by supervision; the
+    /// server kept running.
+    Panicked,
+}
+
+impl SessionOutcome {
+    /// Stable lowercase label for logs and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionOutcome::Finished => "finished",
+            SessionOutcome::Drained => "drained",
+            SessionOutcome::Reaped => "reaped",
+            SessionOutcome::Hangup => "hangup",
+            SessionOutcome::Poisoned => "poisoned",
+            SessionOutcome::Panicked => "panicked",
+        }
+    }
+}
+
+/// The server's record of one session, pushed to the ledger when the
+/// session ends (and readable after [`Server::shutdown`]).
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// Server-assigned session id (also sent to the client in `HelloAck`).
+    pub session: u64,
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+    /// Whether the summary is degraded (folded into the JSON too).
+    pub degraded: bool,
+    /// Events applied to the session.
+    pub events: u64,
+    /// Events shed by the slow-client policy.
+    pub shed: u64,
+    /// The session's `RaceSummary` as canonical JSON — the same bytes the
+    /// client received in its `Summary` frame (when one was sent).
+    pub summary_json: String,
+    /// The failure message for degraded outcomes.
+    pub error: Option<String>,
+}
+
+/// Monotonic server counters (all relaxed atomics; read via
+/// [`Server::stats`]).
+#[derive(Debug, Default)]
+struct ServerStats {
+    accepted: AtomicU64,
+    finished: AtomicU64,
+    drained: AtomicU64,
+    reaped: AtomicU64,
+    hangups: AtomicU64,
+    poisoned: AtomicU64,
+    panics_supervised: AtomicU64,
+    frames_rejected: AtomicU64,
+    events_shed: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Sessions that ended with a clean `Finish`.
+    pub finished: u64,
+    /// Sessions drained by shutdown.
+    pub drained: u64,
+    /// Sessions reaped for idleness.
+    pub reaped: u64,
+    /// Sessions whose client hung up mid-stream.
+    pub hangups: u64,
+    /// Sessions poisoned by malformed frames.
+    pub poisoned: u64,
+    /// Session-worker panics caught by supervision.
+    pub panics_supervised: u64,
+    /// Frames rejected by the codec.
+    pub frames_rejected: u64,
+    /// Events shed under [`SlowClientPolicy::Shed`].
+    pub events_shed: u64,
+}
+
+impl StatsSnapshot {
+    /// Sessions that ended degraded, by any cause.
+    pub fn degraded_sessions(&self) -> u64 {
+        self.reaped + self.hangups + self.poisoned + self.panics_supervised
+    }
+}
+
+/// Everything [`Server::shutdown`] hands back: the full session ledger and
+/// the final counters.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Every session the server ever completed, in completion order.
+    pub sessions: Vec<SessionRecord>,
+    /// Final counter values.
+    pub stats: StatsSnapshot,
+}
+
+impl ShutdownReport {
+    /// The records with a given outcome.
+    pub fn with_outcome(&self, outcome: SessionOutcome) -> Vec<&SessionRecord> {
+        self.sessions
+            .iter()
+            .filter(|r| r.outcome == outcome)
+            .collect()
+    }
+}
+
+type Ledger = Arc<Mutex<Vec<SessionRecord>>>;
+
+/// The running server: an accept thread plus two threads (socket reader,
+/// session worker) per live connection.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: Arc<ServerStats>,
+    ledger: Ledger,
+}
+
+impl Server {
+    /// Bind and start accepting. `addr` is usually `"127.0.0.1:0"` (ephemeral
+    /// port; read it back with [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(ServerStats::default());
+        let ledger: Ledger = Arc::new(Mutex::new(Vec::new()));
+        let next_session = Arc::new(AtomicU64::new(1));
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let stats = Arc::clone(&stats);
+            let ledger = Arc::clone(&ledger);
+            let config = Arc::new(config);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break; // the wake-up connection (or any late arrival) is dropped
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue, // transient accept failure; the loop survives
+                    };
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    let session_id = next_session.fetch_add(1, Ordering::Relaxed);
+                    let config = Arc::clone(&config);
+                    let shutdown = Arc::clone(&shutdown);
+                    let stats = Arc::clone(&stats);
+                    let ledger = Arc::clone(&ledger);
+                    let handle = std::thread::spawn(move || {
+                        // Belt and braces: the connection body is already
+                        // panic-supervised internally; this outer catch
+                        // keeps even a reader-side bug from aborting via a
+                        // double panic in thread teardown.
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(
+                                stream, session_id, &config, &shutdown, &stats, &ledger,
+                            );
+                        }));
+                    });
+                    conns.lock().expect("conn registry poisoned").push(handle);
+                }
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+            stats,
+            ledger,
+        })
+    }
+
+    /// The bound address (connect clients here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.stats;
+        StatsSnapshot {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            finished: s.finished.load(Ordering::Relaxed),
+            drained: s.drained.load(Ordering::Relaxed),
+            reaped: s.reaped.load(Ordering::Relaxed),
+            hangups: s.hangups.load(Ordering::Relaxed),
+            poisoned: s.poisoned.load(Ordering::Relaxed),
+            panics_supervised: s.panics_supervised.load(Ordering::Relaxed),
+            frames_rejected: s.frames_rejected.load(Ordering::Relaxed),
+            events_shed: s.events_shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Copy of the completed-session ledger so far (live sessions are not
+    /// in it until they end).
+    pub fn sessions(&self) -> Vec<SessionRecord> {
+        self.ledger.lock().expect("ledger poisoned").clone()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every live session (each
+    /// flushes and records its summary as [`SessionOutcome::Drained`]),
+    /// join all threads, and return the complete ledger.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        ShutdownReport {
+            sessions: self.ledger.lock().expect("ledger poisoned").clone(),
+            stats: self.stats(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort: a dropped (not shut down) server still stops its
+        // accept loop so the process can exit; connection threads notice
+        // the flag within one tick.
+        if self.accept.is_some() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.local_addr);
+            if let Some(h) = self.accept.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Why the reader stopped feeding the worker.
+enum EndReason {
+    Finish,
+    Drain,
+    Reap,
+    Hangup,
+    Poison(String),
+}
+
+/// Commands from the socket reader to the session worker.
+enum Cmd {
+    Event(WireEvent),
+    Ping,
+    End(EndReason),
+}
+
+/// Incremental frame reader that survives read timeouts: partial bytes of
+/// the current frame are retained across `WouldBlock`, so the liveness tick
+/// never corrupts the stream. (A plain `read_exact` would drop the partial
+/// prefix on timeout and resynchronise mid-frame.)
+struct TickedFrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    need: Option<usize>,
+}
+
+impl TickedFrameReader {
+    fn new(stream: TcpStream) -> Self {
+        TickedFrameReader {
+            stream,
+            buf: Vec::new(),
+            need: None,
+        }
+    }
+
+    /// Read until one whole frame is buffered. Returns the payload, or a
+    /// `WireError` — timeouts come back as `Io` with state preserved.
+    fn poll_frame(&mut self) -> Result<Vec<u8>, WireError> {
+        loop {
+            if self.need.is_none() && self.buf.len() >= 4 {
+                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if len == 0 {
+                    return Err(FrameError::Empty.into());
+                }
+                if len > crate::frame::MAX_FRAME {
+                    return Err(FrameError::Oversized { len }.into());
+                }
+                self.need = Some(4 + len);
+            }
+            if let Some(need) = self.need {
+                if self.buf.len() >= need {
+                    let payload = self.buf[4..need].to_vec();
+                    self.buf.clear();
+                    self.need = None;
+                    return Ok(payload);
+                }
+            }
+            let target = self.need.unwrap_or(4);
+            let mut tmp = [0u8; 4096];
+            let want = (target - self.buf.len()).min(tmp.len());
+            use std::io::Read;
+            match (&self.stream).read(&mut tmp[..want]) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        FrameError::ConnectionClosed.into()
+                    } else {
+                        FrameError::Truncated { what: "payload" }.into()
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+}
+
+/// One connection, start to finish. Runs on the connection's reader thread;
+/// spawns (and joins) the session worker.
+fn handle_connection(
+    stream: TcpStream,
+    session_id: u64,
+    cfg: &ServeConfig,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    ledger: &Ledger,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(TICK));
+
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return, // connection unusable before it began
+    };
+    let mut reader = TickedFrameReader::new(stream);
+
+    // --- Handshake: first frame must be a well-formed Hello. -------------
+    let config = match read_hello(&mut reader, cfg, shutdown, stats) {
+        Ok(c) => c,
+        Err(handshake) => {
+            // No session ever ran; record the degraded stub so operators
+            // see hostile/broken connections in the ledger.
+            let (outcome, message) = handshake;
+            let summary = RaceSummary {
+                degraded: true,
+                ..RaceSummary::default()
+            };
+            if let Some(msg) = &message {
+                let frame = ServerFrame::Error {
+                    message: msg.clone(),
+                };
+                send_frame(&write_stream, &frame);
+            }
+            bump_outcome(stats, outcome);
+            push_record(
+                ledger,
+                SessionRecord {
+                    session: session_id,
+                    outcome,
+                    degraded: true,
+                    events: 0,
+                    shed: 0,
+                    summary_json: summary.to_json(),
+                    error: message,
+                },
+            );
+            return;
+        }
+    };
+
+    send_frame(
+        &write_stream,
+        &ServerFrame::HelloAck {
+            session: session_id,
+        },
+    );
+
+    // --- Session worker. --------------------------------------------------
+    let (tx, rx) = mpsc::sync_channel::<Cmd>(cfg.queue_capacity.max(1));
+    let shed = Arc::new(AtomicU64::new(0));
+    let worker = {
+        let cfg = cfg.clone();
+        let shed = Arc::clone(&shed);
+        let worker_stream = match write_stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => write_stream, // fall back to sharing; writes are framed
+        };
+        std::thread::spawn(move || run_session(rx, worker_stream, config, cfg, shed))
+    };
+
+    // --- Pump frames until the stream ends one way or another. ------------
+    let mut last_frame = Instant::now();
+    loop {
+        match reader.poll_frame() {
+            Ok(payload) => {
+                last_frame = Instant::now();
+                match ClientFrame::decode(&payload) {
+                    Ok(ClientFrame::Event(ev)) => {
+                        if !enqueue_event(&tx, ev, cfg, &shed, stats) {
+                            // Worker is gone (it panicked); record what the
+                            // supervisor already counted and stop reading.
+                            break;
+                        }
+                    }
+                    Ok(ClientFrame::Ping) => {
+                        if tx.send(Cmd::Ping).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(ClientFrame::Finish) => {
+                        let _ = tx.send(Cmd::End(EndReason::Finish));
+                        break;
+                    }
+                    Ok(ClientFrame::Hello { .. }) => {
+                        stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Cmd::End(EndReason::Poison(
+                            "unexpected second hello".into(),
+                        )));
+                        break;
+                    }
+                    Err(e) => {
+                        stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Cmd::End(EndReason::Poison(e.to_string())));
+                        break;
+                    }
+                }
+            }
+            Err(e) if e.is_timeout() => {
+                if shutdown.load(Ordering::SeqCst) {
+                    let _ = tx.send(Cmd::End(EndReason::Drain));
+                    break;
+                }
+                if last_frame.elapsed() >= cfg.idle_timeout {
+                    let _ = tx.send(Cmd::End(EndReason::Reap));
+                    break;
+                }
+            }
+            Err(WireError::Frame(FrameError::ConnectionClosed)) => {
+                let _ = tx.send(Cmd::End(EndReason::Hangup));
+                break;
+            }
+            Err(WireError::Frame(e)) => {
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Cmd::End(EndReason::Poison(e.to_string())));
+                break;
+            }
+            Err(WireError::Io(_)) => {
+                let _ = tx.send(Cmd::End(EndReason::Hangup));
+                break;
+            }
+        }
+    }
+
+    drop(tx);
+    if let Ok(record) = worker.join() {
+        let mut record = record;
+        record.session = session_id;
+        bump_outcome(stats, record.outcome);
+        push_record(ledger, record);
+    }
+    // worker.join() Err is unreachable: run_session catches its own panics.
+}
+
+/// Reads and validates the Hello frame. On failure, the connection is
+/// charged to the returned outcome (with a message to echo to the peer when
+/// one makes sense).
+fn read_hello(
+    reader: &mut TickedFrameReader,
+    cfg: &ServeConfig,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) -> Result<DetectorConfig, (SessionOutcome, Option<String>)> {
+    let started = Instant::now();
+    loop {
+        match reader.poll_frame() {
+            Ok(payload) => {
+                return match ClientFrame::decode(&payload) {
+                    Ok(ClientFrame::Hello { config_json }) => {
+                        match DetectorConfig::from_json(&config_json) {
+                            Ok(config) => Ok(config),
+                            Err(e) => {
+                                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                                Err((
+                                    SessionOutcome::Poisoned,
+                                    Some(format!("bad detector config: {e}")),
+                                ))
+                            }
+                        }
+                    }
+                    Ok(_) => {
+                        stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                        Err((
+                            SessionOutcome::Poisoned,
+                            Some("first frame must be hello".into()),
+                        ))
+                    }
+                    Err(e) => {
+                        stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                        Err((SessionOutcome::Poisoned, Some(e.to_string())))
+                    }
+                };
+            }
+            Err(e) if e.is_timeout() => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err((SessionOutcome::Drained, None));
+                }
+                if started.elapsed() >= cfg.idle_timeout {
+                    return Err((
+                        SessionOutcome::Reaped,
+                        Some("idle timeout before hello".into()),
+                    ));
+                }
+            }
+            Err(WireError::Frame(FrameError::ConnectionClosed)) => {
+                return Err((SessionOutcome::Hangup, None));
+            }
+            Err(WireError::Frame(e)) => {
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err((SessionOutcome::Poisoned, Some(e.to_string())));
+            }
+            Err(WireError::Io(_)) => return Err((SessionOutcome::Hangup, None)),
+        }
+    }
+}
+
+/// Queue one event under the configured slow-client policy. Returns false
+/// when the worker is gone.
+fn enqueue_event(
+    tx: &SyncSender<Cmd>,
+    ev: WireEvent,
+    cfg: &ServeConfig,
+    shed: &AtomicU64,
+    stats: &ServerStats,
+) -> bool {
+    match cfg.slow_policy {
+        SlowClientPolicy::Block => tx.send(Cmd::Event(ev)).is_ok(),
+        SlowClientPolicy::Shed => {
+            let mut cmd = Cmd::Event(ev);
+            match tx.try_send(cmd) {
+                Ok(()) => return true,
+                Err(TrySendError::Disconnected(_)) => return false,
+                Err(TrySendError::Full(c)) => cmd = c,
+            }
+            for delay in cfg.retry.delays() {
+                std::thread::sleep(delay);
+                match tx.try_send(cmd) {
+                    Ok(()) => return true,
+                    Err(TrySendError::Disconnected(_)) => return false,
+                    Err(TrySendError::Full(c)) => cmd = c,
+                }
+            }
+            shed.fetch_add(1, Ordering::Relaxed);
+            stats.events_shed.fetch_add(1, Ordering::Relaxed);
+            true // shed, but the stream goes on
+        }
+    }
+}
+
+/// The session worker: owns the `Session`, applies events under
+/// `catch_unwind` supervision, and always produces a `SessionRecord` — a
+/// panic degrades this session, never the server.
+fn run_session(
+    rx: Receiver<Cmd>,
+    stream: TcpStream,
+    config: DetectorConfig,
+    cfg: ServeConfig,
+    shed: Arc<AtomicU64>,
+) -> SessionRecord {
+    let sink: Box<dyn ReportSink> = match &cfg.sink_factory {
+        Some(f) => f(),
+        None => Box::new(SummarySink::default()),
+    };
+    let mut session = config.session_with(sink);
+    let mut events: u64 = 0;
+
+    let driven = catch_unwind(AssertUnwindSafe(|| loop {
+        match rx.recv() {
+            Err(_) => break EndReason::Hangup, // reader died without a verdict
+            Ok(Cmd::Event(ev)) => {
+                if let WireEvent::Op(op) = &ev {
+                    if cfg.panic_on_op_id == Some(op.op_id) {
+                        panic!("injected session panic at op {}", op.op_id);
+                    }
+                }
+                events += 1;
+                apply_event(&mut session, &ev);
+            }
+            Ok(Cmd::Ping) => {
+                let summary = session.summary();
+                let frame = ServerFrame::Health {
+                    degraded: session.health().is_degraded() || summary.degraded,
+                    events,
+                    reports: summary.total as u64,
+                    shed: shed.load(Ordering::Relaxed),
+                };
+                send_frame(&stream, &frame);
+            }
+            Ok(Cmd::End(reason)) => break reason,
+        }
+    }));
+
+    let shed_total = shed.load(Ordering::Relaxed);
+    let (outcome, mut summary, error) = match driven {
+        Ok(end) => {
+            // Even the finishing flush runs supervised: a pipeline poisoned
+            // mid-stream must not take the worker down un-recorded.
+            let finished = catch_unwind(AssertUnwindSafe(move || session.finish().0));
+            match finished {
+                Ok(summary) => match end {
+                    EndReason::Finish => (SessionOutcome::Finished, summary, None),
+                    EndReason::Drain => (SessionOutcome::Drained, summary, None),
+                    EndReason::Reap => (
+                        SessionOutcome::Reaped,
+                        summary,
+                        Some("session idle past timeout".to_string()),
+                    ),
+                    EndReason::Hangup => (
+                        SessionOutcome::Hangup,
+                        summary,
+                        Some("client hung up mid-stream".to_string()),
+                    ),
+                    EndReason::Poison(msg) => (SessionOutcome::Poisoned, summary, Some(msg)),
+                },
+                Err(payload) => (
+                    SessionOutcome::Panicked,
+                    RaceSummary::default(),
+                    Some(format!(
+                        "session flush panicked: {}",
+                        panic_text(payload.as_ref())
+                    )),
+                ),
+            }
+        }
+        Err(payload) => {
+            // The session may be mid-mutation; drop it supervised so a
+            // panicking Drop cannot re-enter the unwind.
+            let _ = catch_unwind(AssertUnwindSafe(move || drop(session)));
+            (
+                SessionOutcome::Panicked,
+                RaceSummary::default(),
+                Some(format!(
+                    "session panicked: {}",
+                    panic_text(payload.as_ref())
+                )),
+            )
+        }
+    };
+
+    let degraded = summary.degraded
+        || shed_total > 0
+        || !matches!(outcome, SessionOutcome::Finished | SessionOutcome::Drained);
+    summary.degraded = degraded;
+    let summary_json = summary.to_json();
+
+    // Tell the client what happened (ignore write failures — for hangups
+    // and reaps the peer may already be gone).
+    if let Some(msg) = &error {
+        send_frame(
+            &stream,
+            &ServerFrame::Error {
+                message: msg.clone(),
+            },
+        );
+    }
+    if outcome != SessionOutcome::Hangup {
+        send_frame(
+            &stream,
+            &ServerFrame::Summary {
+                shed: shed_total,
+                json: summary_json.clone(),
+            },
+        );
+    }
+
+    SessionRecord {
+        session: 0, // filled in by the reader thread from its id
+        outcome,
+        degraded,
+        events,
+        shed: shed_total,
+        summary_json,
+        error,
+    }
+}
+
+/// Apply one wire event to the session — the exact mirror of the
+/// in-process driving surface, so remote and local runs agree byte-for-byte.
+fn apply_event(session: &mut Session, ev: &WireEvent) {
+    match ev {
+        WireEvent::Op(op) => {
+            session.observe(op, &[]);
+        }
+        WireEvent::Barrier => session.on_barrier(),
+        WireEvent::Acquire { rank, lock } => session.on_acquire(*rank, *lock),
+        WireEvent::Release { rank, lock } => session.on_release(*rank, *lock),
+    }
+}
+
+fn send_frame(stream: &TcpStream, frame: &ServerFrame) {
+    let mut w = stream;
+    let _ = write_frame(&mut w, &frame.encode());
+}
+
+fn bump_outcome(stats: &ServerStats, outcome: SessionOutcome) {
+    let counter = match outcome {
+        SessionOutcome::Finished => &stats.finished,
+        SessionOutcome::Drained => &stats.drained,
+        SessionOutcome::Reaped => &stats.reaped,
+        SessionOutcome::Hangup => &stats.hangups,
+        SessionOutcome::Poisoned => &stats.poisoned,
+        SessionOutcome::Panicked => &stats.panics_supervised,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn push_record(ledger: &Ledger, record: SessionRecord) {
+    ledger.lock().expect("ledger poisoned").push(record);
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    // Mirrors the sharded pipeline's payload stringification.
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Outcome histogram of a ledger — convenience for logs and the stress
+/// harness's one-line report.
+pub fn outcome_histogram(records: &[SessionRecord]) -> BTreeMap<&'static str, usize> {
+    let mut hist = BTreeMap::new();
+    for r in records {
+        *hist.entry(r.outcome.label()).or_insert(0) += 1;
+    }
+    hist
+}

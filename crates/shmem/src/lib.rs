@@ -370,11 +370,18 @@ where
         }
     });
 
+    collect_report(shared)
+}
+
+/// Reclaim sole ownership of the shared state and build the final report.
+///
+/// `run` calls this after its thread scope joined every PE, so the `Arc`
+/// is down to one reference and [`Arc::into_inner`] succeeds. If that
+/// invariant ever breaks (a leaked clone keeps the state alive), the
+/// fallback returns an explicitly degraded *empty* report instead of
+/// panicking — detection trouble is signalled, never fatal (§IV-D).
+fn collect_report(shared: Arc<Shared>) -> ShmemReport {
     let Some(shared) = Arc::into_inner(shared) else {
-        // Unreachable in practice: the scope above joined every PE thread,
-        // so this is the last reference. If the invariant ever breaks,
-        // return an explicitly degraded empty report instead of panicking —
-        // detection trouble is signalled, never fatal (§IV-D).
         let summary = race_core::RaceSummary {
             degraded: true,
             ..Default::default()
@@ -409,6 +416,53 @@ mod tests {
 
     fn word(rank: Rank, offset: usize) -> MemRange {
         GlobalAddr::public(rank, offset).range(8)
+    }
+
+    fn bare_shared(n: usize, public_len: usize) -> Arc<Shared> {
+        Arc::new(Shared {
+            n,
+            segments: (0..n)
+                .map(|_| Mutex::new(vec![0u8; public_len].into_boxed_slice()))
+                .collect(),
+            session: Mutex::new(ShmemConfig::new(n).detector.with_n(n).session()),
+            lock_registry: LockRegistry::new(),
+            barrier: Barrier::new(n),
+            op_ids: AtomicU64::new(0),
+        })
+    }
+
+    #[test]
+    fn leaked_shared_reference_degrades_the_report_instead_of_panicking() {
+        // The Arc::into_inner fallback: if a clone of the shared state
+        // outlives the PE threads, collection cannot reclaim the session.
+        // The report must come back empty and explicitly degraded — never
+        // a panic (§IV-D).
+        let shared = bare_shared(2, 64);
+        let leak = Arc::clone(&shared);
+        let report = collect_report(shared);
+        assert!(report.summary.degraded, "leaked clone must degrade");
+        assert!(report.reports.is_empty());
+        assert!(report.segments.is_empty());
+        assert_eq!(report.clock_memory_bytes, 0);
+        assert_eq!(
+            report.summary,
+            race_core::RaceSummary {
+                degraded: true,
+                ..Default::default()
+            }
+        );
+        drop(leak);
+    }
+
+    #[test]
+    fn sole_shared_reference_collects_a_healthy_report() {
+        // Control for the fallback test: with the last reference handed
+        // over, collection reclaims the session and the report is whole.
+        let report = collect_report(bare_shared(2, 64));
+        assert!(!report.summary.degraded);
+        assert_eq!(report.segments.len(), 2);
+        assert_eq!(report.segments[0].len(), 64);
+        assert!(report.reports.is_empty());
     }
 
     #[test]

@@ -47,6 +47,11 @@ const LOCAL_ACCESS_NS: u64 = 50;
 const LOCAL_LOCK_NS: u64 = 20;
 /// Safety cap on processed events (runaway guard).
 const MAX_EVENTS: u64 = 50_000_000;
+/// Safety cap on wedge-recovery rounds under lossy fault plans. Each round
+/// force-advances every wedged rank by at least one plan step, so the
+/// rounds a real program can need are bounded by its total step count;
+/// this is a backstop against a recovery that stops making progress.
+const MAX_RECOVERY_ROUNDS: u64 = 1_000_000;
 
 /// Instruction class for latency reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -227,7 +232,9 @@ pub struct RunResult {
     /// Final memory images (for result verification).
     pub memories: Vec<ProcessMemory>,
     /// Ranks that never finished (deadlock / starvation bug in the input
-    /// program).
+    /// program). A wait lost to a *lossy fault plan* does not land here:
+    /// the engine forces the waiter past the dropped step (recorded in
+    /// [`RunResult::errors`]) and the run completes degraded.
     pub stuck: Vec<Rank>,
     /// Substrate errors surfaced during the run.
     pub errors: Vec<String>,
@@ -275,6 +282,7 @@ pub struct Engine {
     op_latencies: Vec<(InstrClass, u64)>,
     put_apply_delays: Vec<u64>,
     errors: Vec<String>,
+    recovery_rounds: u64,
 }
 
 impl Engine {
@@ -339,6 +347,7 @@ impl Engine {
             op_latencies: Vec::new(),
             put_apply_delays: Vec::new(),
             errors: Vec::new(),
+            recovery_rounds: 0,
             now: SimTime::ZERO,
             cfg,
         }
@@ -399,7 +408,16 @@ impl Engine {
             let t_net = self.net.next_arrival_time();
             let t_eng = self.queue.peek_time();
             match (t_net, t_eng) {
-                (None, None) => break,
+                (None, None) => {
+                    // Quiescent with unfinished ranks: under a lossy fault
+                    // plan a request or reply was dropped and the waiters
+                    // would wedge forever. Force them past the lost wait
+                    // (bounded-wait degrade) instead of giving up.
+                    if self.recover_wedged() {
+                        continue;
+                    }
+                    break;
+                }
                 (Some(tn), Some(te)) if te <= tn => {
                     let (at, ev) = self.queue.pop().expect("peeked");
                     self.now = at;
@@ -454,6 +472,104 @@ impl Engine {
             memories: self.memories,
             stuck,
             errors: self.errors,
+        }
+    }
+
+    /// Bounded-wait degrade for lossy fault plans (§IV-D: signalled,
+    /// never fatal).
+    ///
+    /// Called when both queues drained with unfinished ranks. On a healthy
+    /// network that is a program bug (a lock cycle), and the ranks are
+    /// reported in [`RunResult::stuck`] — this returns `false` and the run
+    /// ends. But when the fault plan injected drops or duplicates, the
+    /// wait a rank wedged on may simply never resolve; here each wedged
+    /// rank is forced past its blocked step, the skip is recorded in
+    /// [`RunResult::errors`], and the loop resumes so the run *completes*
+    /// (degraded — the injection already marked the summary). Forcing past
+    /// a barrier clears the partial arrival set: those arrivals belong to
+    /// the epoch being broken, and keeping them would trip a later barrier
+    /// early. Returns `true` when any rank was re-armed.
+    fn recover_wedged(&mut self) -> bool {
+        if self.net.stats().injected_total() == 0 {
+            return false;
+        }
+        let wedged: Vec<Rank> = (0..self.cfg.n).filter(|&r| !self.procs[r].done).collect();
+        if wedged.is_empty() {
+            return false;
+        }
+        self.recovery_rounds += 1;
+        if self.recovery_rounds > MAX_RECOVERY_ROUNDS {
+            self.errors
+                .push("recovery round cap exceeded; reporting remaining ranks stuck".into());
+            return false;
+        }
+        let mut barrier_broken = false;
+        for rank in wedged {
+            // A rank wedges *waiting*: on a reply message (remote lock,
+            // clock, get, atomic), on a local lock-table grant, or on a
+            // barrier release. Skip that step — the reply is gone — and
+            // wake the rank so the plan continues. Steps that complete
+            // inline cannot be pending at quiescence, but if one is found
+            // anyway a plain re-wake re-executes it harmlessly.
+            let forced = match self.procs[rank].plan.as_mut() {
+                Some(plan) => match plan.steps.get(plan.idx) {
+                    Some(step) => {
+                        let waits = matches!(
+                            step,
+                            Step::DetLock(_)
+                                | Step::ProgLock(_)
+                                | Step::ClockFetch(_)
+                                | Step::ClockPush(_)
+                                | Step::GetData { .. }
+                                | Step::AtomicData { .. }
+                                | Step::Barrier
+                        );
+                        barrier_broken |= matches!(step, Step::Barrier);
+                        let label = Self::step_label(step);
+                        if waits {
+                            plan.idx += 1;
+                        }
+                        Some((label, waits))
+                    }
+                    None => None,
+                },
+                None => None,
+            };
+            match forced {
+                Some((label, true)) => self.errors.push(format!(
+                    "P{rank}: wedged at {label} under lossy delivery; step skipped (degraded)"
+                )),
+                Some((label, false)) => self.errors.push(format!(
+                    "P{rank}: re-woken at {label} under lossy delivery (degraded)"
+                )),
+                None => self.errors.push(format!(
+                    "P{rank}: wedged between steps under lossy delivery; re-woken (degraded)"
+                )),
+            }
+            self.wake(rank, self.now);
+        }
+        if barrier_broken {
+            self.barrier_arrived.clear();
+        }
+        true
+    }
+
+    /// Human-readable name of a plan step for recovery error lines.
+    fn step_label(step: &Step) -> &'static str {
+        match step {
+            Step::DetLock(_) => "detection-lock wait",
+            Step::ProgLock(_) => "program-lock wait",
+            Step::ProgUnlock(_) => "program unlock",
+            Step::ClockFetch(_) => "clock fetch",
+            Step::ClockPush(_) => "clock push",
+            Step::PutData { .. } => "put data",
+            Step::GetData { .. } => "get data",
+            Step::AtomicData { .. } => "atomic",
+            Step::LocalAccess { .. } => "local access",
+            Step::Compute(_) => "compute",
+            Step::Barrier => "barrier wait",
+            Step::ReleaseDetLocks => "detection-lock release",
+            Step::Finish => "finish",
         }
     }
 

@@ -534,9 +534,11 @@ fn injected_delays_degrade_the_summary_but_never_the_run() {
 }
 
 #[test]
-fn dropped_messages_wedge_ranks_without_panicking() {
-    // Losing every message wedges the communicating ranks; the engine
-    // reports them in `stuck` — §IV-D: signalled, never fatal.
+fn dropped_messages_degrade_the_run_without_wedging() {
+    // Losing every message would wedge the communicating ranks forever;
+    // the bounded-wait degrade path forces them past each lost wait so
+    // the run *completes* — degraded, with every skip recorded — instead
+    // of reporting them stuck. §IV-D: signalled, never fatal.
     let w = figures::fig2();
     let spec = netsim::FaultSpec {
         drop: 1.0,
@@ -544,6 +546,68 @@ fn dropped_messages_wedge_ranks_without_panicking() {
     };
     let r = Engine::new(SimConfig::lockstep(w.n, 100).with_faults(spec), w.programs).run();
     assert!(r.stats.injected_drops() > 0);
-    assert!(!r.stuck.is_empty(), "lost messages leave ranks stuck");
+    assert!(
+        r.stuck.is_empty(),
+        "lossy plans must not wedge: {:?}",
+        r.stuck
+    );
     assert!(r.summary.degraded);
+    assert!(
+        r.errors.iter().any(|e| e.contains("lossy delivery")),
+        "forced recovery must be recorded: {:?}",
+        r.errors
+    );
+}
+
+#[test]
+fn dropped_barrier_messages_break_the_barrier_not_the_run() {
+    // Barriers are the classic lossy-plan wedge: one dropped arrival or
+    // release message and every rank blocks forever. The recovery path
+    // must force the ranks through and clear the stale arrival set.
+    let w = stencil::with_barrier(4, 8, 2);
+    let spec = netsim::FaultSpec {
+        drop: 0.3,
+        ..Default::default()
+    };
+    let r = Engine::new(
+        SimConfig::lockstep(w.n, 500).with_seed(7).with_faults(spec),
+        w.programs,
+    )
+    .run();
+    assert!(r.stats.injected_drops() > 0);
+    assert!(r.stuck.is_empty(), "barrier wedge survived: {:?}", r.stuck);
+    assert!(r.summary.degraded);
+}
+
+#[test]
+fn healthy_net_deadlocks_still_report_stuck() {
+    // The recovery path is gated on injected faults: a genuine program
+    // deadlock on a healthy network must still surface via `stuck`, not
+    // be silently forced to completion.
+    let a = GlobalAddr::public(0, 0).range(8);
+    let b = GlobalAddr::public(1, 0).range(8);
+    let programs = vec![
+        ProgramBuilder::new(0)
+            .lock(a)
+            .compute(100_000)
+            .lock(b)
+            .unlock(b)
+            .unlock(a)
+            .build(),
+        ProgramBuilder::new(1)
+            .lock(b)
+            .compute(100_000)
+            .lock(a)
+            .unlock(a)
+            .unlock(b)
+            .build(),
+    ];
+    let cfg = SimConfig::lockstep(2, 1_000)
+        .with_faults(netsim::FaultSpec {
+            drop: 0.0,
+            ..Default::default()
+        })
+        .with_detector(DetectorKind::Vanilla);
+    let r = Engine::new(cfg, programs).run();
+    assert_eq!(r.stuck, vec![0, 1], "quiet plan must not mask the deadlock");
 }

@@ -77,6 +77,7 @@
 //! ```
 
 pub use dsm;
+pub use dsm_service;
 pub use netsim;
 pub use race_core;
 pub use shmem;
