@@ -1,9 +1,11 @@
 //! Stress harness for the detection service: hundreds of concurrent
-//! clients mixing clean streams with hangups, garbage bytes, stallers and
-//! one injected worker panic. The server must survive all of it, every
-//! clean session's summary must be byte-identical to an in-process twin,
-//! and every misbehaving session must land in the ledger with the right
-//! degraded outcome.
+//! clients mixing clean streams with hangups, garbage bytes, stallers, one
+//! injected worker panic (recovered in place from its checkpoint) and two
+//! reconnect cells — a clean mid-stream hangup and a mid-frame TCP cut,
+//! both resumed via the session token. The server must survive all of it,
+//! every clean, recovered or resumed session's summary must be
+//! byte-identical to an in-process twin, and every misbehaving session
+//! must land in the ledger with the right degraded outcome.
 //!
 //! Driven by `repro --serve-smoke` (CI) and the tier-1
 //! `serve_stress` test.
@@ -13,11 +15,11 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use dsm::GlobalAddr;
-use dsm_service::frame::WireEvent;
+use dsm_service::frame::{read_frame, write_frame, ClientFrame, ServerFrame, WireEvent};
 use dsm_service::server::{outcome_histogram, ServeConfig, Server, SessionOutcome};
 use dsm_service::ServiceClient;
 use race_core::api::SummarySink;
-use race_core::{DetectorConfig, DetectorKind, DsmOp, OpKind};
+use race_core::{DetectorConfig, DetectorKind, DsmOp, OpKind, RaceSummary, RetryPolicy};
 
 use crate::opstream::{self, StreamEvent};
 
@@ -160,7 +162,23 @@ pub fn run_serve_smoke(clients: usize, seed: u64) -> ServeSmokeReport {
     // One panic-injection client rides along.
     {
         let config = config.clone();
-        handles.push(std::thread::spawn(move || run_panic_client(addr, &config)));
+        handles.push(std::thread::spawn(move || {
+            run_panic_client(addr, &config, seed)
+        }));
+    }
+    // Two reconnect cells: a clean hangup at a frame boundary, and a TCP
+    // cut in the middle of a frame — both must resume byte-identical.
+    {
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            run_boundary_resume_client(addr, &config, seed)
+        }));
+    }
+    {
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            run_midframe_resume_client(addr, &config, seed)
+        }));
     }
 
     let mut parity_ok = 0usize;
@@ -241,19 +259,20 @@ pub fn run_serve_smoke(clients: usize, seed: u64) -> ServeSmokeReport {
         misbehaved[1] == quarter && misbehaved[2] == quarter && misbehaved[3] == quarter,
         "every misbehaving client must have delivered its fault",
     );
-    // Every connection is accounted for: the fleet + panic client + probe
-    // (+1 shutdown wake-up connection that is dropped unrecorded).
+    // Every connection is accounted for: the fleet + panic client + the two
+    // resume cells (two connections each) + probe (+1 shutdown wake-up
+    // connection that is dropped unrecorded).
     check(
-        stats.accepted >= (clients + 2) as u64,
+        stats.accepted >= (clients + 6) as u64,
         "server must have accepted every connection",
     );
     check(
-        stats.finished == (quarter + 1) as u64,
-        "every clean client (and the probe) must finish",
+        stats.finished == (quarter + 4) as u64,
+        "every clean client, the probe, the recovered panic client and both resume cells must finish",
     );
     check(
         stats.hangups == quarter as u64,
-        "every hangup client must be recorded as a hangup",
+        "every unresumed hangup must be swept into a hangup record",
     );
     check(
         stats.poisoned == quarter as u64,
@@ -266,6 +285,14 @@ pub fn run_serve_smoke(clients: usize, seed: u64) -> ServeSmokeReport {
     check(
         stats.panics_supervised == 1,
         "the injected panic must be supervised exactly once",
+    );
+    check(
+        stats.parked == (quarter + 2) as u64,
+        "every hangup and both resume cells must have parked",
+    );
+    check(
+        stats.resumed == 2,
+        "exactly the two resume cells must have resumed",
     );
     check(parity_failed == 0, "clean summaries must be byte-identical");
     check(
@@ -282,18 +309,23 @@ pub fn run_serve_smoke(clients: usize, seed: u64) -> ServeSmokeReport {
         "every non-clean outcome must be marked degraded",
     );
     check(
+        report.with_outcome(SessionOutcome::Panicked).is_empty(),
+        "the supervised panic must recover, not end its session",
+    );
+    check(
         report
             .sessions
             .iter()
-            .filter(|r| r.outcome == SessionOutcome::Finished)
-            .all(|r| !r.degraded),
-        "no clean session may be marked degraded",
+            .filter(|r| r.outcome == SessionOutcome::Finished && r.degraded)
+            .count()
+            == 1,
+        "exactly the recovered panic victim may finish degraded",
     );
 
     ServeSmokeReport {
         lines,
         ok,
-        clients: clients + 2,
+        clients: clients + 4,
         parity_ok,
         parity_failed,
     }
@@ -382,22 +414,196 @@ fn run_client(
     }
 }
 
-/// A client whose stream trips the server's injected-panic hook, proving
-/// per-session supervision under concurrent load.
-fn run_panic_client(addr: std::net::SocketAddr, config: &DetectorConfig) -> ClientResult {
+/// A client whose stream trips the server's injected-panic hook in the
+/// middle of a real workload. The worker must recover the session in place
+/// from its checkpoint + journal and the final summary must match the
+/// in-process twin of the *complete* stream — degraded, because a panic
+/// happened, but not truncated.
+fn run_panic_client(
+    addr: std::net::SocketAddr,
+    config: &DetectorConfig,
+    seed: u64,
+) -> ClientResult {
+    let mut events = wire_events(&client_events(1, seed));
+    let half = events.len() / 2;
+    events.insert(
+        half,
+        WireEvent::Op(DsmOp {
+            op_id: PANIC_OP_ID,
+            actor: 0,
+            kind: OpKind::LocalWrite {
+                range: GlobalAddr::public(0, 0).range(8),
+            },
+        }),
+    );
+
     let mut client = match ServiceClient::connect(addr, config) {
         Ok(c) => c,
         Err(e) => return ClientResult::Broken(format!("panic client: {e}")),
     };
-    let range = GlobalAddr::public(0, 0).range(8);
-    let op = DsmOp {
-        op_id: PANIC_OP_ID,
-        actor: 0,
-        kind: OpKind::LocalWrite { range },
+    for ev in &events {
+        if let Err(e) = client.send(ev) {
+            return ClientResult::Broken(format!("panic client send: {e}"));
+        }
+    }
+    let remote = match client.finish() {
+        Ok(r) => r,
+        Err(e) => return ClientResult::Broken(format!("panic client finish: {e}")),
     };
-    let _ = client.send(&WireEvent::Op(op));
-    // The worker is dead; finishing may fail at any point — both are fine,
-    // the ledger (panics_supervised == 1) is the assertion that matters.
-    let _ = client.finish();
-    ClientResult::Misbehaved(ClientKind::Clean)
+    let twin = match RaceSummary::from_json(&in_process_summary_json(config, &events)) {
+        Ok(mut twin) => {
+            twin.degraded = true; // the one divergence a recovered panic may cause
+            twin.to_json()
+        }
+        Err(e) => return ClientResult::Broken(format!("panic twin: {e}")),
+    };
+    ClientResult::Parity {
+        matched: remote.raw_json == twin && remote.error.is_some(),
+        detail: format!(
+            "panic client: remote {} != degraded twin {twin} (error {:?})",
+            remote.raw_json, remote.error
+        ),
+    }
+}
+
+/// How long the resume cells wait after killing a connection before
+/// reconnecting, so the server has provably parked the session.
+const PARK_SETTLE: Duration = Duration::from_millis(50);
+
+/// Reconnect cell 1: kill the TCP connection at a clean frame boundary
+/// mid-stream, then let the client's auto-reconnect resume the parked
+/// session. The final summary must be byte-identical to an uninterrupted
+/// in-process run — parks are lossless, so not even `degraded` may differ.
+fn run_boundary_resume_client(
+    addr: std::net::SocketAddr,
+    config: &DetectorConfig,
+    seed: u64,
+) -> ClientResult {
+    let events = wire_events(&client_events(2, seed));
+    let cut = events.len() / 2;
+    let mut client = match ServiceClient::connect(addr, config) {
+        Ok(c) => c,
+        Err(e) => return ClientResult::Broken(format!("boundary-resume client: {e}")),
+    };
+    client.set_retry_policy(RetryPolicy {
+        attempts: 8,
+        base_delay: Duration::from_millis(2),
+    });
+    let session_id = client.session_id();
+    for (i, ev) in events.iter().enumerate() {
+        if i == cut {
+            client.drop_connection();
+            std::thread::sleep(PARK_SETTLE);
+        }
+        if let Err(e) = client.send(ev) {
+            return ClientResult::Broken(format!("boundary-resume send {i}: {e}"));
+        }
+    }
+    if client.reconnects() != 1 || client.session_id() != session_id {
+        return ClientResult::Broken(format!(
+            "boundary-resume: expected one identity-preserving reconnect, got {} (session {} -> {})",
+            client.reconnects(),
+            session_id,
+            client.session_id()
+        ));
+    }
+    match client.finish() {
+        Ok(remote) => {
+            let twin = in_process_summary_json(config, &events);
+            ClientResult::Parity {
+                matched: remote.raw_json == twin && !remote.summary.degraded,
+                detail: format!("boundary-resume: remote {} != twin {twin}", remote.raw_json),
+            }
+        }
+        Err(e) => ClientResult::Broken(format!("boundary-resume finish: {e}")),
+    }
+}
+
+/// Reconnect cell 2: cut the TCP stream in the *middle of a frame* (length
+/// prefix promising more bytes than ever arrive), then resume by hand with
+/// the raw wire protocol. The half-frame must be discarded, the `ResumeAck`
+/// must name exactly the applied-event count, and the finished summary must
+/// be byte-identical to the uninterrupted twin.
+fn run_midframe_resume_client(
+    addr: std::net::SocketAddr,
+    config: &DetectorConfig,
+    seed: u64,
+) -> ClientResult {
+    let broken = |what: String| ClientResult::Broken(format!("midframe-resume: {what}"));
+    let events = wire_events(&client_events(3, seed));
+    let cut = events.len() / 2;
+
+    // Handshake + prefix on the first connection, by hand.
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return broken(format!("connect: {e}")),
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let hello = ClientFrame::Hello {
+        config_json: config.to_json(),
+    };
+    if let Err(e) = write_frame(&mut stream, &hello.encode()) {
+        return broken(format!("hello: {e}"));
+    }
+    let (session_id, token) = match read_frame(&mut stream).map(|p| ServerFrame::decode(&p)) {
+        Ok(Ok(ServerFrame::HelloAck { session, token })) => (session, token),
+        other => return broken(format!("hello-ack: {other:?}")),
+    };
+    for ev in &events[..cut] {
+        if let Err(e) = write_frame(&mut stream, &ClientFrame::Event(*ev).encode()) {
+            return broken(format!("prefix send: {e}"));
+        }
+    }
+    // The mid-frame cut: a length prefix promising 40 bytes, 7 bytes of
+    // payload, then the connection dies.
+    let _ = stream.write_all(&40u32.to_le_bytes());
+    let _ = stream.write_all(&[0x02, 0, 1, 2, 3, 4, 5]);
+    let _ = stream.flush();
+    drop(stream);
+    std::thread::sleep(PARK_SETTLE);
+
+    // Resume on a fresh connection and stream the rest.
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return broken(format!("reconnect: {e}")),
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let resume = ClientFrame::Resume {
+        token,
+        last_acked_seq: 0,
+    };
+    if let Err(e) = write_frame(&mut stream, &resume.encode()) {
+        return broken(format!("resume: {e}"));
+    }
+    match read_frame(&mut stream).map(|p| ServerFrame::decode(&p)) {
+        Ok(Ok(ServerFrame::ResumeAck { session, next_seq })) => {
+            if session != session_id || next_seq != cut as u64 {
+                return broken(format!(
+                    "resume-ack mismatch: session {session} (want {session_id}), \
+                     next_seq {next_seq} (want {cut}) — the half-frame must not count"
+                ));
+            }
+        }
+        other => return broken(format!("resume-ack: {other:?}")),
+    }
+    for ev in &events[cut..] {
+        if let Err(e) = write_frame(&mut stream, &ClientFrame::Event(*ev).encode()) {
+            return broken(format!("tail send: {e}"));
+        }
+    }
+    if let Err(e) = write_frame(&mut stream, &ClientFrame::Finish.encode()) {
+        return broken(format!("finish: {e}"));
+    }
+    let json = loop {
+        match read_frame(&mut stream).map(|p| ServerFrame::decode(&p)) {
+            Ok(Ok(ServerFrame::Summary { json, .. })) => break json,
+            Ok(Ok(ServerFrame::Health { .. } | ServerFrame::Error { .. })) => continue,
+            other => return broken(format!("summary: {other:?}")),
+        }
+    };
+    let twin = in_process_summary_json(config, &events);
+    ClientResult::Parity {
+        matched: json == twin,
+        detail: format!("midframe-resume: remote {json} != twin {twin}"),
+    }
 }

@@ -1,9 +1,12 @@
 //! Tier-1 acceptance test for the detection service: 128 concurrent
 //! clients mixing clean streams, mid-stream hangups, garbage bytes and
-//! stallers, plus one injected session panic. The server must never die,
-//! every clean session's summary must be byte-identical to an in-process
-//! run, and every poisoned/stalled/vanished session must be recorded
-//! degraded with the right outcome.
+//! stallers, plus one injected session panic (recovered in place from its
+//! checkpoint) and two reconnect cells (boundary hangup and mid-frame TCP
+//! cut, both resumed via token). The server must never die, every clean,
+//! recovered or resumed session's summary must be byte-identical to an
+//! in-process run, and every poisoned/stalled/vanished session must be
+//! recorded degraded with the right outcome — with exact park/resume
+//! accounting in the ledger.
 
 #[test]
 fn server_survives_128_chaotic_clients_with_byte_identical_clean_summaries() {
@@ -14,7 +17,11 @@ fn server_survives_128_chaotic_clients_with_byte_identical_clean_summaries() {
         report.lines.join("\n")
     );
     assert_eq!(report.parity_failed, 0);
-    // 128 clients / 4 kinds = 32 clean, plus the post-chaos probe.
-    assert_eq!(report.parity_ok, 33);
-    assert_eq!(report.clients, 130, "fleet + panic client + probe");
+    // 128 clients / 4 kinds = 32 clean, plus the recovered panic client,
+    // both resume cells and the post-chaos probe.
+    assert_eq!(report.parity_ok, 36);
+    assert_eq!(
+        report.clients, 132,
+        "fleet + panic client + two resume cells + probe"
+    );
 }

@@ -105,6 +105,23 @@ pub trait ReportSink: Send {
     fn reports(&self) -> &[RaceReport] {
         &[]
     }
+
+    /// Serialize sink state that must survive a [`Session::checkpoint`] /
+    /// [`Session::restore`] cycle. Most sinks are either stateless or
+    /// re-derivable and return `None` (the default); [`DedupSink`]
+    /// persists its seen-key window so a restored session does not
+    /// re-forward races the interrupted one already reported.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state produced by [`ReportSink::snapshot_state`]. Returns
+    /// true when the state was understood and applied; the default ignores
+    /// it (false).
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        let _ = state;
+        false
+    }
 }
 
 /// The keep-everything sink: today's detector log as a pluggable value.
@@ -353,6 +370,46 @@ impl ReportSink for DedupSink {
     fn reports(&self) -> &[RaceReport] {
         self.inner.reports()
     }
+
+    /// Persist the dedup window: eviction counter plus the seen keys in
+    /// insertion order (the `seen` set is re-derived on restore).
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut buf = Vec::with_capacity(16 + self.order.len() * 16);
+        buf.extend_from_slice(&self.evictions.to_le_bytes());
+        buf.extend_from_slice(&(self.order.len() as u64).to_le_bytes());
+        for (a, b) in &self.order {
+            buf.extend_from_slice(&a.to_le_bytes());
+            buf.extend_from_slice(&b.to_le_bytes());
+        }
+        Some(buf)
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        let u64_at = |at: usize| -> Option<u64> {
+            let bytes: [u8; 8] = state.get(at..at + 8)?.try_into().ok()?;
+            Some(u64::from_le_bytes(bytes))
+        };
+        let Some(evictions) = u64_at(0) else {
+            return false;
+        };
+        let Some(len) = u64_at(8) else { return false };
+        if state.len() as u64 != 16 + len.saturating_mul(16) {
+            return false;
+        }
+        self.seen.clear();
+        self.order.clear();
+        for i in 0..len as usize {
+            let key = (
+                u64_at(16 + i * 16).expect("length checked"),
+                u64_at(24 + i * 16).expect("length checked"),
+            );
+            // `remember` re-applies the FIFO bound, so a blob recorded
+            // under a larger capacity cannot overfill this sink.
+            self.remember(key);
+        }
+        self.evictions = evictions;
+        true
+    }
 }
 
 /// The session-internal tee: every report feeds the bounded summary *and*
@@ -596,6 +653,8 @@ impl DetectorConfig {
             config: self.clone(),
             sink,
             summary: RaceSummary::default(),
+            events: 0,
+            journal: None,
         }
     }
 
@@ -730,6 +789,13 @@ pub struct Session {
     detector: Box<dyn Detector>,
     sink: Box<dyn ReportSink>,
     summary: RaceSummary,
+    /// Events applied over the session's whole lifetime (ops + sync
+    /// events) — the resume watermark persisted by every checkpoint.
+    events: u64,
+    /// Replay journal of events since the last checkpoint. `None` until
+    /// the first [`Session::checkpoint`] (or [`Session::enable_journal`]):
+    /// sessions that never checkpoint pay nothing for durability.
+    journal: Option<Vec<crate::snapshot::JournalEvent>>,
 }
 
 impl Session {
@@ -770,6 +836,16 @@ impl Session {
     /// exactly what the bare detector costs — the sink is only consulted
     /// when a report exists.
     pub fn observe(&mut self, op: &DsmOp, held_locks: &[LockId]) -> usize {
+        // Journal-before-apply: if the detector dies mid-apply, the journal
+        // still names the event, so `restore(checkpoint) + replay(journal)`
+        // applies it exactly once.
+        if let Some(journal) = &mut self.journal {
+            journal.push(crate::snapshot::JournalEvent::Op {
+                op: *op,
+                held: held_locks.to_vec(),
+            });
+        }
+        self.events += 1;
         self.detector.observe_sink(
             op,
             held_locks,
@@ -796,6 +872,13 @@ impl Session {
             self.config.batch, 0,
             "observe_collect is per-access; a batched config defers reports to drains"
         );
+        if let Some(journal) = &mut self.journal {
+            journal.push(crate::snapshot::JournalEvent::Op {
+                op: *op,
+                held: held_locks.to_vec(),
+            });
+        }
+        self.events += 1;
         let mut tmp = VecSink::new();
         self.detector.observe_sink(op, held_locks, &mut tmp);
         let collected = tmp.into_reports();
@@ -808,17 +891,132 @@ impl Session {
 
     /// `rank` released program lock `lock` (the release carries its clock).
     pub fn on_release(&mut self, rank: usize, lock: LockId) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(crate::snapshot::JournalEvent::Release { rank, lock });
+        }
+        self.events += 1;
         self.detector.on_release(rank, lock);
     }
 
     /// `rank` acquired program lock `lock` (the grant carries the clock).
     pub fn on_acquire(&mut self, rank: usize, lock: LockId) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(crate::snapshot::JournalEvent::Acquire { rank, lock });
+        }
+        self.events += 1;
         self.detector.on_acquire(rank, lock);
     }
 
     /// A barrier completed among all ranks.
     pub fn on_barrier(&mut self) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(crate::snapshot::JournalEvent::Barrier);
+        }
+        self.events += 1;
         self.detector.on_barrier();
+    }
+
+    /// Total events (ops, lock transitions, barriers) this session has
+    /// absorbed — the logical position in the event stream. Survives
+    /// [`Session::checkpoint`] / [`Session::restore`] round trips.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether the session is journalling events for crash replay.
+    /// Journalling starts at the first [`Session::checkpoint`] or an
+    /// explicit [`Session::enable_journal`]; before that the session pays
+    /// nothing for durability.
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Events observed since the last checkpoint (empty when journalling is
+    /// off). `restore(checkpoint)` + replaying exactly these events
+    /// reproduces the uninterrupted session byte-for-byte.
+    pub fn journal(&self) -> &[crate::snapshot::JournalEvent] {
+        self.journal.as_deref().unwrap_or(&[])
+    }
+
+    /// Turn on event journalling without taking a checkpoint (used by
+    /// harnesses that checkpoint lazily). Idempotent.
+    pub fn enable_journal(&mut self) {
+        self.journal.get_or_insert_with(Vec::new);
+    }
+
+    /// Serialize the session — detector clocks, running summary, sink dedup
+    /// state and event count — into a versioned snapshot, and truncate the
+    /// journal: replay cost from a snapshot is O(events since it was taken).
+    ///
+    /// Flushes any buffering front-end first so the snapshot never holds
+    /// half-applied state. Errors are typed
+    /// ([`crate::snapshot::SnapshotError::Unsupported`]
+    /// when the detector cannot expose its state, e.g. a threaded pipeline
+    /// whose worker died).
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, crate::snapshot::SnapshotError> {
+        self.flush();
+        let bytes = crate::snapshot::encode_session(
+            &self.config,
+            self.events,
+            &self.summary,
+            &*self.sink,
+            &*self.detector,
+        )?;
+        match &mut self.journal {
+            Some(journal) => journal.clear(),
+            None => self.journal = Some(Vec::new()),
+        }
+        Ok(bytes)
+    }
+
+    /// Rebuild a session from a [`Session::checkpoint`] snapshot. The
+    /// restored session journals from the start (it exists to be durable)
+    /// and always runs the inline pipeline — inline and sharded pipelines
+    /// produce byte-identical report streams, and a restored session must
+    /// not depend on worker threads that died with the original process.
+    ///
+    /// `sink` is the fresh downstream sink; if the snapshot carries sink
+    /// dedup state it is restored into it, so replayed events never
+    /// re-emit reports the original session already delivered.
+    pub fn restore(
+        bytes: &[u8],
+        mut sink: Box<dyn ReportSink>,
+    ) -> Result<Session, crate::snapshot::SnapshotError> {
+        let parts = crate::snapshot::decode_session(bytes)?;
+        let detector = crate::snapshot::restore_detector(&parts.config, &parts.detector_state)?;
+        if let Some(state) = &parts.sink_state {
+            if !sink.restore_state(state) {
+                return Err(crate::snapshot::SnapshotError::Malformed { what: "sink state" });
+            }
+        }
+        Ok(Session {
+            config: parts.config,
+            detector,
+            sink,
+            summary: parts.summary,
+            events: parts.events,
+            journal: Some(Vec::new()),
+        })
+    }
+
+    /// Re-apply one journalled event (crash-recovery replay). Returns the
+    /// number of reports the event produced, mirroring [`Session::observe`].
+    pub fn replay(&mut self, event: &crate::snapshot::JournalEvent) -> usize {
+        match event {
+            crate::snapshot::JournalEvent::Op { op, held } => self.observe(op, held),
+            crate::snapshot::JournalEvent::Barrier => {
+                self.on_barrier();
+                0
+            }
+            crate::snapshot::JournalEvent::Acquire { rank, lock } => {
+                self.on_acquire(*rank, *lock);
+                0
+            }
+            crate::snapshot::JournalEvent::Release { rank, lock } => {
+                self.on_release(*rank, *lock);
+                0
+            }
+        }
     }
 
     /// Drain any buffering front-end through the sink; returns the number

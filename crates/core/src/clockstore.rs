@@ -428,6 +428,27 @@ impl ClockStore {
         self.touched * per_clock * if self.dual { 2 } else { 1 }
     }
 
+    /// Every touched area with its key, in deterministic order (sorted by
+    /// [`AreaKey`]): per rank, the dense prefix by block index, then the
+    /// spillover map sorted by block. Snapshot codecs rely on this order so
+    /// that encoding the same store twice yields identical bytes.
+    pub fn sorted_entries(&self) -> Vec<(AreaKey, &AreaHistory)> {
+        let mut out = Vec::with_capacity(self.touched);
+        for (rank, slab) in self.slabs.iter().enumerate() {
+            for (block, slot) in slab.dense.iter().enumerate() {
+                if let Some(history) = slot {
+                    out.push((AreaKey::new(rank, block), history));
+                }
+            }
+            let mut sparse: Vec<(&usize, &AreaHistory)> = slab.sparse.iter().collect();
+            sparse.sort_by_key(|(block, _)| **block);
+            for (block, history) in sparse {
+                out.push((AreaKey::new(rank, *block), history));
+            }
+        }
+        out
+    }
+
     /// How many touched areas currently hold both clocks in the O(1) epoch
     /// representation (instrumentation for benches and tests).
     pub fn epoch_areas(&self) -> usize {

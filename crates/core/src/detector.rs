@@ -145,6 +145,16 @@ pub trait Detector: Send {
     fn health(&self) -> PipelineHealth {
         PipelineHealth::Healthy
     }
+
+    /// Serialize this detector's state for the session checkpoint codec
+    /// (see [`crate::snapshot`]). `None` means the detector has no durable
+    /// representation (the default); the production kinds built by
+    /// [`crate::api::DetectorConfig::build`] all return `Some`. Buffering
+    /// front-ends must be flushed first ([`Detector::flush_sink`]) —
+    /// [`crate::api::Session::checkpoint`] does this before asking.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// The shared body of every legacy [`Detector::observe`] shim: take the

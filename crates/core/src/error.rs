@@ -121,6 +121,26 @@ impl RetryPolicy {
         let base = self.base_delay;
         (0..self.attempts).map(move |i| base.saturating_mul(1u32 << i.min(16)))
     }
+
+    /// The backoff schedule with deterministic pseudo-random jitter: each
+    /// delay is scaled by a factor in `[0.5, 1.0]` derived from `seed` and
+    /// the attempt index, so a fleet of clients reconnecting after the same
+    /// outage does not thunder back in lockstep. Same seed ⇒ same schedule
+    /// (reconnect tests stay reproducible).
+    pub fn jittered_delays(&self, seed: u64) -> impl Iterator<Item = Duration> + '_ {
+        self.delays().enumerate().map(move |(i, delay)| {
+            // SplitMix64 on (seed, attempt): cheap, dependency-free, and
+            // well-distributed even for adjacent seeds.
+            let mut z = seed.wrapping_add(i as u64).wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            // Map to [512, 1024] / 1024 — never below half the nominal
+            // delay, so backoff keeps its exponential floor.
+            let scale = 512 + (z % 513) as u32;
+            delay.saturating_mul(scale) / 1024
+        })
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +175,23 @@ mod tests {
         assert_eq!(delays[0], Duration::from_millis(1));
         assert_eq!(delays[1], Duration::from_millis(2));
         assert_eq!(delays[3], Duration::from_millis(8));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_seed_sensitive() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(64),
+        };
+        let a: Vec<_> = policy.jittered_delays(7).collect();
+        let b: Vec<_> = policy.jittered_delays(7).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 8);
+        for (jittered, nominal) in a.iter().zip(policy.delays()) {
+            assert!(*jittered >= nominal / 2, "never below half the nominal");
+            assert!(*jittered <= nominal, "never above the nominal");
+        }
+        let c: Vec<_> = policy.jittered_delays(8).collect();
+        assert_ne!(a, c, "different seeds decorrelate");
     }
 }

@@ -184,6 +184,43 @@ impl HbDetector {
         &self.store
     }
 
+    /// The durable parts of the detector, for the snapshot codec
+    /// ([`crate::snapshot`]): the area store, the per-process matrix
+    /// clocks, and the program-lock clock snapshots. The legacy log and
+    /// the per-op scratch buffers are transient at op boundaries and are
+    /// not part of the durable state.
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        &ClockStore,
+        &[MatrixClock],
+        &std::collections::HashMap<LockId, VectorClock>,
+    ) {
+        (&self.store, &self.clocks, &self.lock_clocks)
+    }
+
+    /// Rebuild a detector from restored parts — the inverse of
+    /// [`HbDetector::snapshot_parts`]. Scratch state starts empty, exactly
+    /// as it is at every op boundary of a live detector.
+    pub(crate) fn from_parts(
+        mode: HbMode,
+        store: ClockStore,
+        clocks: Vec<MatrixClock>,
+        lock_clocks: std::collections::HashMap<LockId, VectorClock>,
+    ) -> Self {
+        let n = store.n();
+        HbDetector {
+            mode,
+            store,
+            clocks,
+            lock_clocks,
+            log: VecSink::new(),
+            scratch: Vec::new(),
+            absorb: VectorClock::zero(n),
+            n,
+        }
+    }
+
     /// Reports whose class is a true race under the paper's definition
     /// (filters the read-read false positives of the baselines). Reads the
     /// legacy log, like [`Detector::reports`].
@@ -393,6 +430,10 @@ impl Detector for HbDetector {
 
     fn on_barrier(&mut self) {
         barrier_join(&mut self.clocks);
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(crate::snapshot::encode_hb(self))
     }
 }
 

@@ -61,6 +61,7 @@ pub mod oracle;
 pub mod reference;
 pub mod report;
 pub mod sharded;
+pub mod snapshot;
 pub mod summary;
 pub mod vanilla;
 pub mod wire;
@@ -79,6 +80,7 @@ pub use oracle::{Oracle, Score, SiteKey, Trace, TraceAccess};
 pub use reference::ReferenceHbDetector;
 pub use report::{dedup_reports, RaceClass, RaceReport};
 pub use sharded::{BatchingDetector, MemOp, ShardedDetector};
+pub use snapshot::{JournalEvent, SnapshotError, SnapshotHeader, SNAPSHOT_VERSION};
 pub use summary::{hot_areas, RaceSummary};
 pub use vanilla::VanillaDetector;
 pub use wire::{ClockCache, ClockEncoder, ClockWire};

@@ -24,9 +24,10 @@ use crate::event::{AccessSummary, DsmOp, LockId};
 use crate::report::{RaceClass, RaceReport};
 use crate::Rank;
 
-/// Per-area lockset state (the Eraser state machine).
+/// Per-area lockset state (the Eraser state machine). `pub(crate)` so the
+/// snapshot codec ([`crate::snapshot`]) can persist and restore it.
 #[derive(Debug, Clone)]
-enum AreaState {
+pub(crate) enum AreaState {
     /// Never accessed.
     Virgin,
     /// Accessed by a single process so far.
@@ -65,6 +66,20 @@ impl LocksetDetector {
     /// The configured granularity.
     pub fn granularity(&self) -> Granularity {
         self.granularity
+    }
+
+    /// The per-area state machine, sorted by key — deterministic input for
+    /// the snapshot codec.
+    pub(crate) fn snapshot_states(&self) -> Vec<(&AreaKey, &AreaState)> {
+        let mut states: Vec<(&AreaKey, &AreaState)> = self.states.iter().collect();
+        states.sort_by_key(|(key, _)| **key);
+        states
+    }
+
+    /// Replace the state machine with restored entries (the snapshot
+    /// codec's restore path).
+    pub(crate) fn restore_states(&mut self, entries: Vec<(AreaKey, AreaState)>) {
+        self.states = entries.into_iter().collect();
     }
 
     fn step(
@@ -258,6 +273,10 @@ impl Detector for LocksetDetector {
 
     fn requires_locking(&self) -> bool {
         false // purely observational
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(crate::snapshot::encode_lockset(self))
     }
 }
 

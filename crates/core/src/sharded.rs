@@ -680,6 +680,19 @@ impl ShardedDetector {
         }
     }
 
+    /// Rebuild from a restored inline detector (the snapshot codec's
+    /// restore path, see [`crate::snapshot`]). Restored sessions always run
+    /// the inline pipeline regardless of the config's shard count: the two
+    /// pipelines are report-stream byte-identical by construction, so this
+    /// is a performance trade, never a correctness one.
+    pub(crate) fn from_restored(hb: Box<crate::hb::HbDetector>) -> Self {
+        ShardedDetector {
+            pipeline: Pipeline::Inline(hb),
+            log: VecSink::new(),
+            last_error: None,
+        }
+    }
+
     /// Number of worker shards (1 for the inline pipeline).
     pub fn shards(&self) -> usize {
         match &self.pipeline {
@@ -1327,6 +1340,34 @@ impl Detector for ShardedDetector {
             PipelineHealth::Healthy
         }
     }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        match &self.pipeline {
+            Pipeline::Inline(hb) => Some(crate::snapshot::encode_hb(hb)),
+            // The threaded pipeline's state lives across worker threads;
+            // its recovery journal (every event ever routed, the same
+            // record a worker-death replay uses) rebuilds an equivalent
+            // inline detector whose state *is* the pipeline's state.
+            // Reports regenerated by the replay are discarded — they were
+            // already delivered at past fences.
+            Pipeline::Threaded(t) => {
+                let mut hb =
+                    crate::hb::HbDetector::with_config(t.n, t.granularity, t.mode, t.store);
+                let mut discard = crate::api::CountingSink::default();
+                for event in &t.journal {
+                    match event {
+                        MemOp::Op(op) => {
+                            hb.observe_sink(op, &[], &mut discard);
+                        }
+                        MemOp::Barrier => hb.on_barrier(),
+                        MemOp::Release { rank, lock } => hb.on_release(*rank, *lock),
+                        MemOp::Acquire { rank, lock } => hb.on_acquire(*rank, *lock),
+                    }
+                }
+                Some(crate::snapshot::encode_hb(&hb))
+            }
+        }
+    }
 }
 
 impl Drop for Threaded {
@@ -1529,6 +1570,18 @@ impl Detector for BatchingDetector {
 
     fn health(&self) -> PipelineHealth {
         self.inner.health()
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        if self.buf.is_empty() {
+            // Drained: the wrapper is stateless, the inner detector is the
+            // durable state (the restore path re-wraps per the config).
+            self.inner.snapshot_state()
+        } else {
+            // A buffered prefix has not been observed yet; callers must
+            // flush first (Session::checkpoint does).
+            None
+        }
     }
 }
 

@@ -1,0 +1,937 @@
+//! Versioned snapshot codec for durable, resumable sessions.
+//!
+//! A [`crate::api::Session`] can be checkpointed to a self-contained byte
+//! blob ([`crate::api::Session::checkpoint`]) and later rebuilt from it
+//! ([`crate::api::Session::restore`]). The blob carries everything the
+//! detection stream needs to continue exactly where it left off:
+//!
+//! - the [`crate::api::DetectorConfig`] (canonical JSON),
+//! - the event count (the resume watermark services ack against),
+//! - the running [`RaceSummary`] (canonical JSON),
+//! - the sink's optional state ([`crate::api::ReportSink::snapshot_state`],
+//!   e.g. the dedup window of a [`crate::api::DedupSink`]),
+//! - and the detector state itself: the full [`ClockStore`] (every touched
+//!   area's `V`/`W` clocks and antichains), the per-process matrix clocks,
+//!   and the program-lock clock snapshots — or the lockset / vanilla
+//!   baselines' equivalent state.
+//!
+//! The contract, proptested in `tests/checkpoint.rs`: for every
+//! [`DetectorKind`] × shard count, `restore(checkpoint) + replay(journal)`
+//! produces a report stream and summary **byte-identical** to the
+//! uninterrupted run. Replay cost is O(events since the last checkpoint)
+//! because [`crate::api::Session`] truncates its [`JournalEvent`] log at
+//! every checkpoint.
+//!
+//! Like every codec in this workspace the format is hand-rolled (no
+//! serialisation dependency), little-endian, length-prefixed, and strict:
+//! decoding untrusted bytes returns a typed [`SnapshotError`] — an unknown
+//! version byte, truncation, or trailing garbage is an error, never a
+//! panic. The leading version byte ([`SNAPSHOT_VERSION`]) is the drift
+//! guard; a committed golden blob pins the v1 layout.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsm::addr::{GlobalAddr, MemRange, Segment};
+use vclock::{AreaClock, Epoch, MatrixClock, VectorClock};
+
+use crate::api::{DetectorConfig, ReportSink};
+use crate::clockstore::{AreaKey, ClockStore};
+use crate::detector::{Detector, DetectorKind};
+use crate::event::{AccessKind, AccessSummary, DsmOp, LockId, OpKind};
+use crate::hb::{HbDetector, HbMode};
+use crate::lockset::{AreaState, LocksetDetector};
+use crate::summary::RaceSummary;
+use crate::vanilla::VanillaDetector;
+use crate::Rank;
+
+/// Current snapshot format version (the blob's first byte).
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// A typed snapshot failure. Decoding never panics: hostile, truncated or
+/// future-versioned bytes all come back as one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The version byte names a format this build does not understand.
+    UnknownVersion {
+        /// The version byte found in the blob.
+        got: u8,
+    },
+    /// The blob ended before the named field was complete.
+    Truncated {
+        /// Which field ran out of bytes.
+        what: &'static str,
+    },
+    /// A field decoded but its value is structurally impossible.
+    Malformed {
+        /// Which field was malformed.
+        what: &'static str,
+    },
+    /// The embedded `DetectorConfig` JSON did not parse.
+    BadConfig(String),
+    /// The embedded `RaceSummary` JSON did not parse.
+    BadSummary(String),
+    /// Bytes remained after the last field — the blob is not from this
+    /// codec (or was concatenated with something else).
+    TrailingBytes,
+    /// The session's detector has no snapshot representation.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnknownVersion { got } => {
+                write!(
+                    f,
+                    "unknown snapshot version {got} (this build reads {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated { what } => write!(f, "snapshot truncated in {what}"),
+            SnapshotError::Malformed { what } => write!(f, "malformed snapshot field {what}"),
+            SnapshotError::BadConfig(e) => write!(f, "snapshot config: {e}"),
+            SnapshotError::BadSummary(e) => write!(f, "snapshot summary: {e}"),
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after snapshot"),
+            SnapshotError::Unsupported(what) => write!(f, "snapshot unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---------------------------------------------------------------------------
+// Primitive writers / strict reader
+// ---------------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(buf, bytes.len() as u32);
+    buf.extend_from_slice(bytes);
+}
+
+/// Strict little-endian reader over a snapshot blob. Every read names the
+/// field it is reading so a truncation error points at the culprit.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(SnapshotError::Malformed { what })?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated { what });
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    fn utf8(&mut self, what: &'static str) -> Result<&'a str, SnapshotError> {
+        std::str::from_utf8(self.bytes(what)?).map_err(|_| SnapshotError::Malformed { what })
+    }
+
+    fn finish(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::TrailingBytes)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal events
+// ---------------------------------------------------------------------------
+
+/// One entry of a session's replay journal: an operation (with the lock
+/// context the lockset baseline needs) or a synchronisation event, exactly
+/// as the session observed it. `restore(checkpoint)` + replaying the
+/// journal in order reproduces the uninterrupted session byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A DSM operation, with the program locks the actor held.
+    Op {
+        /// The operation.
+        op: DsmOp,
+        /// Locks held for application purposes (see
+        /// [`Detector::observe_sink`]).
+        held: Vec<LockId>,
+    },
+    /// A barrier completed among all ranks.
+    Barrier,
+    /// `rank` acquired program lock `lock`.
+    Acquire {
+        /// Acquiring process.
+        rank: Rank,
+        /// The lock.
+        lock: LockId,
+    },
+    /// `rank` released program lock `lock`.
+    Release {
+        /// Releasing process.
+        rank: Rank,
+        /// The lock.
+        lock: LockId,
+    },
+}
+
+const JOURNAL_OP: u8 = 0;
+const JOURNAL_BARRIER: u8 = 1;
+const JOURNAL_ACQUIRE: u8 = 2;
+const JOURNAL_RELEASE: u8 = 3;
+
+/// Encode a journal slice for external persistence (a durable log beside
+/// the checkpoint blob). Unversioned: the journal always travels with a
+/// checkpoint, whose version byte governs both.
+pub fn encode_journal(journal: &[JournalEvent]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, journal.len() as u64);
+    for event in journal {
+        match event {
+            JournalEvent::Op { op, held } => {
+                put_u8(&mut buf, JOURNAL_OP);
+                put_op(&mut buf, op);
+                put_u32(&mut buf, held.len() as u32);
+                for lock in held {
+                    put_lock(&mut buf, lock);
+                }
+            }
+            JournalEvent::Barrier => put_u8(&mut buf, JOURNAL_BARRIER),
+            JournalEvent::Acquire { rank, lock } => {
+                put_u8(&mut buf, JOURNAL_ACQUIRE);
+                put_u32(&mut buf, *rank as u32);
+                put_lock(&mut buf, lock);
+            }
+            JournalEvent::Release { rank, lock } => {
+                put_u8(&mut buf, JOURNAL_RELEASE);
+                put_u32(&mut buf, *rank as u32);
+                put_lock(&mut buf, lock);
+            }
+        }
+    }
+    buf
+}
+
+/// Inverse of [`encode_journal`]; strict (trailing bytes are an error).
+pub fn decode_journal(bytes: &[u8]) -> Result<Vec<JournalEvent>, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let count = r.u64("journal count")?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let event = match r.u8("journal tag")? {
+            JOURNAL_OP => {
+                let op = take_op(&mut r)?;
+                let held_len = r.u32("journal held")?;
+                let mut held = Vec::new();
+                for _ in 0..held_len {
+                    held.push(take_lock(&mut r)?);
+                }
+                JournalEvent::Op { op, held }
+            }
+            JOURNAL_BARRIER => JournalEvent::Barrier,
+            JOURNAL_ACQUIRE => JournalEvent::Acquire {
+                rank: r.u32("journal rank")? as Rank,
+                lock: take_lock(&mut r)?,
+            },
+            JOURNAL_RELEASE => JournalEvent::Release {
+                rank: r.u32("journal rank")? as Rank,
+                lock: take_lock(&mut r)?,
+            },
+            _ => {
+                return Err(SnapshotError::Malformed {
+                    what: "journal tag",
+                })
+            }
+        };
+        out.push(event);
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Shared value codecs
+// ---------------------------------------------------------------------------
+
+fn put_vc(buf: &mut Vec<u8>, vc: &VectorClock) {
+    let components = vc.components();
+    put_u32(buf, components.len() as u32);
+    for &c in components {
+        put_u64(buf, c);
+    }
+}
+
+fn take_vc(r: &mut Reader<'_>) -> Result<VectorClock, SnapshotError> {
+    let len = r.u32("clock width")?;
+    let mut components = Vec::new();
+    for _ in 0..len {
+        components.push(r.u64("clock component")?);
+    }
+    Ok(VectorClock::from_components(components))
+}
+
+fn put_lock(buf: &mut Vec<u8>, lock: &LockId) {
+    put_u32(buf, lock.0 as u32);
+    put_u64(buf, lock.1 as u64);
+}
+
+fn take_lock(r: &mut Reader<'_>) -> Result<LockId, SnapshotError> {
+    let rank = r.u32("lock rank")? as Rank;
+    let offset = r.u64("lock offset")? as usize;
+    Ok((rank, offset))
+}
+
+fn put_range(buf: &mut Vec<u8>, range: &MemRange) {
+    put_u32(buf, range.addr.rank as u32);
+    put_u8(
+        buf,
+        match range.addr.segment {
+            Segment::Private => 0,
+            Segment::Public => 1,
+        },
+    );
+    put_u64(buf, range.addr.offset as u64);
+    put_u64(buf, range.len as u64);
+}
+
+fn take_range(r: &mut Reader<'_>) -> Result<MemRange, SnapshotError> {
+    let rank = r.u32("range rank")? as Rank;
+    let addr = match r.u8("range segment")? {
+        0 => GlobalAddr::private(rank, 0),
+        1 => GlobalAddr::public(rank, 0),
+        _ => {
+            return Err(SnapshotError::Malformed {
+                what: "range segment",
+            })
+        }
+    };
+    let offset = r.u64("range offset")? as usize;
+    let len = r.u64("range len")? as usize;
+    Ok(GlobalAddr { offset, ..addr }.range(len))
+}
+
+const OP_PUT: u8 = 0;
+const OP_GET: u8 = 1;
+const OP_LOCAL_READ: u8 = 2;
+const OP_LOCAL_WRITE: u8 = 3;
+const OP_ATOMIC: u8 = 4;
+
+fn put_op(buf: &mut Vec<u8>, op: &DsmOp) {
+    put_u64(buf, op.op_id);
+    put_u32(buf, op.actor as u32);
+    match &op.kind {
+        OpKind::Put { src, dst } => {
+            put_u8(buf, OP_PUT);
+            put_range(buf, src);
+            put_range(buf, dst);
+        }
+        OpKind::Get { src, dst } => {
+            put_u8(buf, OP_GET);
+            put_range(buf, src);
+            put_range(buf, dst);
+        }
+        OpKind::LocalRead { range } => {
+            put_u8(buf, OP_LOCAL_READ);
+            put_range(buf, range);
+        }
+        OpKind::LocalWrite { range } => {
+            put_u8(buf, OP_LOCAL_WRITE);
+            put_range(buf, range);
+        }
+        OpKind::AtomicRmw { range } => {
+            put_u8(buf, OP_ATOMIC);
+            put_range(buf, range);
+        }
+    }
+}
+
+fn take_op(r: &mut Reader<'_>) -> Result<DsmOp, SnapshotError> {
+    let op_id = r.u64("op id")?;
+    let actor = r.u32("op actor")? as Rank;
+    let kind = match r.u8("op kind")? {
+        OP_PUT => OpKind::Put {
+            src: take_range(r)?,
+            dst: take_range(r)?,
+        },
+        OP_GET => OpKind::Get {
+            src: take_range(r)?,
+            dst: take_range(r)?,
+        },
+        OP_LOCAL_READ => OpKind::LocalRead {
+            range: take_range(r)?,
+        },
+        OP_LOCAL_WRITE => OpKind::LocalWrite {
+            range: take_range(r)?,
+        },
+        OP_ATOMIC => OpKind::AtomicRmw {
+            range: take_range(r)?,
+        },
+        _ => return Err(SnapshotError::Malformed { what: "op kind" }),
+    };
+    Ok(DsmOp { op_id, actor, kind })
+}
+
+fn put_access(buf: &mut Vec<u8>, access: &AccessSummary) {
+    put_u64(buf, access.id);
+    put_u32(buf, access.process as u32);
+    put_u8(buf, if access.kind.is_write() { 1 } else { 0 });
+    put_range(buf, &access.range);
+    put_u8(buf, access.atomic as u8);
+    put_vc(buf, &access.clock);
+}
+
+fn take_access(r: &mut Reader<'_>) -> Result<AccessSummary, SnapshotError> {
+    let id = r.u64("access id")?;
+    let process = r.u32("access process")? as Rank;
+    let kind = match r.u8("access kind")? {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        _ => {
+            return Err(SnapshotError::Malformed {
+                what: "access kind",
+            })
+        }
+    };
+    let range = take_range(r)?;
+    let atomic = match r.u8("access atomic")? {
+        0 => false,
+        1 => true,
+        _ => {
+            return Err(SnapshotError::Malformed {
+                what: "access atomic",
+            })
+        }
+    };
+    // Arc sharing across accesses of one op is an in-memory optimisation;
+    // restoring one Arc per access is semantically identical (clocks are
+    // immutable once snapshotted) and does not change any encoded byte.
+    let clock = Arc::new(take_vc(r)?);
+    Ok(AccessSummary {
+        id,
+        process,
+        kind,
+        range,
+        clock,
+        atomic,
+    })
+}
+
+const AREA_BOTTOM: u8 = 0;
+const AREA_EPOCH: u8 = 1;
+const AREA_VECTOR: u8 = 2;
+
+fn put_area_clock(buf: &mut Vec<u8>, clock: &AreaClock) {
+    match clock {
+        AreaClock::Bottom => put_u8(buf, AREA_BOTTOM),
+        AreaClock::Epoch(e) => {
+            put_u8(buf, AREA_EPOCH);
+            put_u32(buf, e.rank as u32);
+            put_u64(buf, e.count);
+        }
+        AreaClock::Vector(v) => {
+            put_u8(buf, AREA_VECTOR);
+            put_vc(buf, v);
+        }
+    }
+}
+
+fn take_area_clock(r: &mut Reader<'_>) -> Result<AreaClock, SnapshotError> {
+    match r.u8("area clock tag")? {
+        AREA_BOTTOM => Ok(AreaClock::Bottom),
+        AREA_EPOCH => Ok(AreaClock::Epoch(Epoch {
+            rank: r.u32("epoch rank")? as Rank,
+            count: r.u64("epoch count")?,
+        })),
+        AREA_VECTOR => Ok(AreaClock::Vector(take_vc(r)?)),
+        _ => Err(SnapshotError::Malformed {
+            what: "area clock tag",
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Detector payloads
+// ---------------------------------------------------------------------------
+
+/// Encode the happens-before detector's full state: matrix clocks,
+/// program-lock clocks (sorted), and every touched area of the store (in
+/// [`ClockStore::sorted_entries`] order, so identical state always encodes
+/// to identical bytes).
+pub(crate) fn encode_hb(hb: &HbDetector) -> Vec<u8> {
+    let (store, clocks, lock_clocks) = hb.snapshot_parts();
+    let mut buf = Vec::new();
+    put_u32(&mut buf, store.n() as u32);
+    put_u32(&mut buf, clocks.len() as u32);
+    for clock in clocks {
+        put_u32(&mut buf, clock.owner() as u32);
+        put_u32(&mut buf, clock.n() as u32);
+        for rank in 0..clock.n() {
+            put_vc(&mut buf, clock.row(rank));
+        }
+    }
+    let mut locks: Vec<(&LockId, &VectorClock)> = lock_clocks.iter().collect();
+    locks.sort_by_key(|(lock, _)| **lock);
+    put_u32(&mut buf, locks.len() as u32);
+    for (lock, clock) in locks {
+        put_lock(&mut buf, lock);
+        put_vc(&mut buf, clock);
+    }
+    let entries = store.sorted_entries();
+    put_u64(&mut buf, entries.len() as u64);
+    for (key, history) in entries {
+        put_u32(&mut buf, key.rank as u32);
+        put_u64(&mut buf, key.block as u64);
+        put_area_clock(&mut buf, &history.v);
+        put_area_clock(&mut buf, &history.w);
+        put_u32(&mut buf, history.writes.len() as u32);
+        for access in &history.writes {
+            put_access(&mut buf, access);
+        }
+        put_u32(&mut buf, history.reads.len() as u32);
+        for access in &history.reads {
+            put_access(&mut buf, access);
+        }
+    }
+    buf
+}
+
+/// Inverse of [`encode_hb`], rebuilding against `config`'s store layout.
+pub(crate) fn decode_hb(
+    config: &DetectorConfig,
+    mode: HbMode,
+    bytes: &[u8],
+) -> Result<HbDetector, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u32("store n")? as usize;
+    if n != config.n {
+        return Err(SnapshotError::Malformed { what: "store n" });
+    }
+    let clock_count = r.u32("matrix count")? as usize;
+    if clock_count != n {
+        return Err(SnapshotError::Malformed {
+            what: "matrix count",
+        });
+    }
+    let mut clocks = Vec::new();
+    for _ in 0..clock_count {
+        let owner = r.u32("matrix owner")? as Rank;
+        let rows_len = r.u32("matrix rows")? as usize;
+        if rows_len != n || owner >= n {
+            return Err(SnapshotError::Malformed {
+                what: "matrix rows",
+            });
+        }
+        let mut rows = Vec::new();
+        for _ in 0..rows_len {
+            let row = take_vc(&mut r)?;
+            if row.len() != n {
+                return Err(SnapshotError::Malformed {
+                    what: "matrix row width",
+                });
+            }
+            rows.push(row);
+        }
+        clocks.push(MatrixClock::from_rows(owner, rows));
+    }
+    let lock_count = r.u32("lock clock count")?;
+    let mut lock_clocks = HashMap::new();
+    for _ in 0..lock_count {
+        let lock = take_lock(&mut r)?;
+        lock_clocks.insert(lock, take_vc(&mut r)?);
+    }
+    let mut store = ClockStore::with_config(
+        n,
+        config.granularity,
+        mode != HbMode::Single,
+        config.store_config(),
+    );
+    let entries = r.u64("store entries")?;
+    for _ in 0..entries {
+        let rank = r.u32("area rank")? as Rank;
+        let block = r.u64("area block")? as usize;
+        let v = take_area_clock(&mut r)?;
+        let w = take_area_clock(&mut r)?;
+        let writes_len = r.u32("writes len")?;
+        let mut writes = Vec::new();
+        for _ in 0..writes_len {
+            writes.push(take_access(&mut r)?);
+        }
+        let reads_len = r.u32("reads len")?;
+        let mut reads = Vec::new();
+        for _ in 0..reads_len {
+            reads.push(take_access(&mut r)?);
+        }
+        let history = store.history_mut(AreaKey::new(rank, block));
+        history.v = v;
+        history.w = w;
+        history.writes = writes;
+        history.reads = reads;
+    }
+    r.finish()?;
+    Ok(HbDetector::from_parts(mode, store, clocks, lock_clocks))
+}
+
+const LOCKSET_VIRGIN: u8 = 0;
+const LOCKSET_EXCLUSIVE: u8 = 1;
+const LOCKSET_SHARED: u8 = 2;
+const LOCKSET_SHARED_MODIFIED: u8 = 3;
+
+/// Encode the lockset baseline's per-area state machine (sorted by key;
+/// candidate locksets sorted, so encoding is deterministic).
+pub(crate) fn encode_lockset(detector: &LocksetDetector) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let states = detector.snapshot_states();
+    put_u64(&mut buf, states.len() as u64);
+    for (key, state) in states {
+        put_u32(&mut buf, key.rank as u32);
+        put_u64(&mut buf, key.block as u64);
+        match state {
+            AreaState::Virgin => put_u8(&mut buf, LOCKSET_VIRGIN),
+            AreaState::Exclusive { owner, last } => {
+                put_u8(&mut buf, LOCKSET_EXCLUSIVE);
+                put_u32(&mut buf, *owner as u32);
+                put_access(&mut buf, last);
+            }
+            AreaState::Shared { candidates, last } => {
+                put_u8(&mut buf, LOCKSET_SHARED);
+                let mut sorted: Vec<&LockId> = candidates.iter().collect();
+                sorted.sort();
+                put_u32(&mut buf, sorted.len() as u32);
+                for lock in sorted {
+                    put_lock(&mut buf, lock);
+                }
+                put_access(&mut buf, last);
+            }
+            AreaState::SharedModified {
+                candidates,
+                last,
+                reported,
+            } => {
+                put_u8(&mut buf, LOCKSET_SHARED_MODIFIED);
+                let mut sorted: Vec<&LockId> = candidates.iter().collect();
+                sorted.sort();
+                put_u32(&mut buf, sorted.len() as u32);
+                for lock in sorted {
+                    put_lock(&mut buf, lock);
+                }
+                put_access(&mut buf, last);
+                put_u8(&mut buf, *reported as u8);
+            }
+        }
+    }
+    buf
+}
+
+/// Inverse of [`encode_lockset`].
+pub(crate) fn decode_lockset(bytes: &[u8]) -> Result<Vec<(AreaKey, AreaState)>, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let count = r.u64("lockset states")?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let rank = r.u32("lockset rank")? as Rank;
+        let block = r.u64("lockset block")? as usize;
+        let key = AreaKey::new(rank, block);
+        let state = match r.u8("lockset tag")? {
+            LOCKSET_VIRGIN => AreaState::Virgin,
+            LOCKSET_EXCLUSIVE => AreaState::Exclusive {
+                owner: r.u32("lockset owner")? as Rank,
+                last: take_access(&mut r)?,
+            },
+            LOCKSET_SHARED => {
+                let lock_count = r.u32("lockset candidates")?;
+                let mut candidates = std::collections::HashSet::new();
+                for _ in 0..lock_count {
+                    candidates.insert(take_lock(&mut r)?);
+                }
+                AreaState::Shared {
+                    candidates,
+                    last: take_access(&mut r)?,
+                }
+            }
+            LOCKSET_SHARED_MODIFIED => {
+                let lock_count = r.u32("lockset candidates")?;
+                let mut candidates = std::collections::HashSet::new();
+                for _ in 0..lock_count {
+                    candidates.insert(take_lock(&mut r)?);
+                }
+                let last = take_access(&mut r)?;
+                let reported = match r.u8("lockset reported")? {
+                    0 => false,
+                    1 => true,
+                    _ => {
+                        return Err(SnapshotError::Malformed {
+                            what: "lockset reported",
+                        })
+                    }
+                };
+                AreaState::SharedModified {
+                    candidates,
+                    last,
+                    reported,
+                }
+            }
+            _ => {
+                return Err(SnapshotError::Malformed {
+                    what: "lockset tag",
+                })
+            }
+        };
+        out.push((key, state));
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Encode the vanilla baseline (just its op counter).
+pub(crate) fn encode_vanilla(ops_seen: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, ops_seen);
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Session blob
+// ---------------------------------------------------------------------------
+
+/// The header of a checkpoint blob, decodable without rebuilding the
+/// detector — what a service needs to finalise a parked session cheaply
+/// (its config, resume watermark, and summary at checkpoint time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// The session's `DetectorConfig`, as canonical JSON.
+    pub config_json: String,
+    /// Events the session had applied at checkpoint time (the resume
+    /// watermark a reconnecting client acks against).
+    pub events: u64,
+    /// The running `RaceSummary` at checkpoint time, as canonical JSON.
+    pub summary_json: String,
+}
+
+/// Decode only the header of a checkpoint blob (version check included).
+pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let version = r.u8("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnknownVersion { got: version });
+    }
+    let config_json = r.utf8("config json")?.to_string();
+    let events = r.u64("event count")?;
+    let summary_json = r.utf8("summary json")?.to_string();
+    Ok(SnapshotHeader {
+        config_json,
+        events,
+        summary_json,
+    })
+}
+
+#[derive(Debug)]
+pub(crate) struct SessionParts {
+    pub(crate) config: DetectorConfig,
+    pub(crate) events: u64,
+    pub(crate) summary: RaceSummary,
+    pub(crate) sink_state: Option<Vec<u8>>,
+    pub(crate) detector_state: Vec<u8>,
+}
+
+pub(crate) fn encode_session(
+    config: &DetectorConfig,
+    events: u64,
+    summary: &RaceSummary,
+    sink: &dyn ReportSink,
+    detector: &dyn Detector,
+) -> Result<Vec<u8>, SnapshotError> {
+    let detector_state = detector.snapshot_state().ok_or(SnapshotError::Unsupported(
+        "this detector has no snapshot representation",
+    ))?;
+    let mut buf = Vec::new();
+    put_u8(&mut buf, SNAPSHOT_VERSION);
+    put_bytes(&mut buf, config.to_json().as_bytes());
+    put_u64(&mut buf, events);
+    put_bytes(&mut buf, summary.to_json().as_bytes());
+    match sink.snapshot_state() {
+        Some(state) => {
+            put_u8(&mut buf, 1);
+            put_bytes(&mut buf, &state);
+        }
+        None => put_u8(&mut buf, 0),
+    }
+    put_bytes(&mut buf, &detector_state);
+    Ok(buf)
+}
+
+pub(crate) fn decode_session(bytes: &[u8]) -> Result<SessionParts, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let version = r.u8("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnknownVersion { got: version });
+    }
+    let config_json = r.utf8("config json")?;
+    let config = DetectorConfig::from_json(config_json).map_err(SnapshotError::BadConfig)?;
+    let events = r.u64("event count")?;
+    let summary_json = r.utf8("summary json")?;
+    let summary = RaceSummary::from_json(summary_json).map_err(SnapshotError::BadSummary)?;
+    let sink_state = match r.u8("sink flag")? {
+        0 => None,
+        1 => Some(r.bytes("sink state")?.to_vec()),
+        _ => return Err(SnapshotError::Malformed { what: "sink flag" }),
+    };
+    let detector_state = r.bytes("detector state")?.to_vec();
+    r.finish()?;
+    Ok(SessionParts {
+        config,
+        events,
+        summary,
+        sink_state,
+        detector_state,
+    })
+}
+
+/// Rebuild the configured detector from its snapshot payload. Clock-based
+/// kinds are restored onto the **inline** pipeline regardless of
+/// `config.shards` — restore is a correctness path, and the inline and
+/// sharded pipelines are report-stream byte-identical by construction (the
+/// differential proptests pin this), so resumed output cannot drift.
+pub(crate) fn restore_detector(
+    config: &DetectorConfig,
+    state: &[u8],
+) -> Result<Box<dyn Detector>, SnapshotError> {
+    match config.kind.hb_mode() {
+        Some(mode) => {
+            let hb = decode_hb(config, mode, state)?;
+            let sharded = crate::sharded::ShardedDetector::from_restored(Box::new(hb));
+            if config.batch > 0 {
+                Ok(Box::new(crate::sharded::BatchingDetector::new(
+                    sharded,
+                    config.batch,
+                )))
+            } else {
+                Ok(Box::new(sharded))
+            }
+        }
+        None => match config.kind {
+            DetectorKind::Lockset => {
+                let mut detector = LocksetDetector::new(config.n, config.granularity);
+                detector.restore_states(decode_lockset(state)?);
+                Ok(Box::new(detector))
+            }
+            DetectorKind::Vanilla => {
+                let mut r = Reader::new(state);
+                let ops_seen = r.u64("ops seen")?;
+                r.finish()?;
+                Ok(Box::new(VanillaDetector::from_ops_seen(ops_seen)))
+            }
+            _ => unreachable!("clock-based kinds have an hb_mode"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_round_trips() {
+        let range = GlobalAddr::public(1, 64).range(8);
+        let journal = vec![
+            JournalEvent::Op {
+                op: DsmOp {
+                    op_id: 7,
+                    actor: 0,
+                    kind: OpKind::Put {
+                        src: GlobalAddr::private(0, 0).range(8),
+                        dst: range,
+                    },
+                },
+                held: vec![(1, 64)],
+            },
+            JournalEvent::Barrier,
+            JournalEvent::Acquire {
+                rank: 2,
+                lock: (0, 8),
+            },
+            JournalEvent::Release {
+                rank: 2,
+                lock: (0, 8),
+            },
+        ];
+        let bytes = encode_journal(&journal);
+        assert_eq!(decode_journal(&bytes).unwrap(), journal);
+    }
+
+    #[test]
+    fn journal_rejects_garbage_typed() {
+        assert!(decode_journal(&[9, 9, 9]).is_err());
+        let mut valid = encode_journal(&[JournalEvent::Barrier]);
+        valid.push(0xFF);
+        assert_eq!(decode_journal(&valid), Err(SnapshotError::TrailingBytes));
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let blob = vec![SNAPSHOT_VERSION + 41, 0, 0, 0, 0];
+        assert_eq!(
+            decode_session(&blob).unwrap_err(),
+            SnapshotError::UnknownVersion {
+                got: SNAPSHOT_VERSION + 41
+            }
+        );
+        assert_eq!(
+            peek_header(&blob).unwrap_err(),
+            SnapshotError::UnknownVersion {
+                got: SNAPSHOT_VERSION + 41
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_never_panics() {
+        let config = DetectorConfig::new(DetectorKind::Dual, 2);
+        let mut session = config.session();
+        let blob = session.checkpoint().expect("checkpoint");
+        for keep in 0..blob.len() {
+            assert!(decode_session(&blob[..keep]).is_err());
+        }
+        // The full blob decodes.
+        assert!(decode_session(&blob).is_ok());
+    }
+}

@@ -26,6 +26,12 @@ impl VanillaDetector {
     pub fn ops_seen(&self) -> u64 {
         self.ops_seen
     }
+
+    /// Rebuild from a restored op counter (the snapshot codec's restore
+    /// path — the counter is this baseline's entire state).
+    pub(crate) fn from_ops_seen(ops_seen: u64) -> Self {
+        VanillaDetector { ops_seen }
+    }
 }
 
 impl Detector for VanillaDetector {
@@ -63,6 +69,10 @@ impl Detector for VanillaDetector {
 
     fn requires_locking(&self) -> bool {
         false
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(crate::snapshot::encode_vanilla(self.ops_seen))
     }
 }
 

@@ -1,0 +1,271 @@
+//! Durable-session parity: `restore(checkpoint) + replay(journal)` must be
+//! byte-identical to the uninterrupted run — same per-event report counts,
+//! same deduped report stream, same summary JSON, same re-checkpoint bytes —
+//! for every detector kind × shard count, with the kill point chosen
+//! pseudo-randomly per cell.
+
+use race_core::api::{DedupSink, DetectorConfig, ReportSink, Session, VecSink};
+use race_core::clockstore::Granularity;
+use race_core::detector::DetectorKind;
+use race_core::event::{DsmOp, LockId, OpKind};
+use race_core::{JournalEvent, SnapshotError};
+
+use dsm::addr::GlobalAddr;
+
+/// Deterministic generator (same LCG family the chaos layer uses).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn pick(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+const LOCKS: [LockId; 3] = [(0, 0), (0, 64), (1, 0)];
+
+/// A mixed workload: puts/gets/local accesses/atomics on a small shared
+/// region, laced with barriers and lock transitions so every journal event
+/// variant is exercised.
+fn workload(n: usize, len: usize, seed: u64) -> Vec<JournalEvent> {
+    let mut rng = Lcg(seed);
+    let mut held: Vec<Vec<LockId>> = vec![Vec::new(); n];
+    let mut events = Vec::with_capacity(len);
+    for i in 0..len {
+        let roll = rng.pick(100);
+        if roll < 8 {
+            let rank = rng.pick(n);
+            let lock = LOCKS[rng.pick(LOCKS.len())];
+            if !held[rank].contains(&lock) {
+                held[rank].push(lock);
+                events.push(JournalEvent::Acquire { rank, lock });
+                continue;
+            }
+        } else if roll < 16 {
+            let rank = rng.pick(n);
+            if let Some(lock) = held[rank].pop() {
+                events.push(JournalEvent::Release { rank, lock });
+                continue;
+            }
+        } else if roll < 20 {
+            events.push(JournalEvent::Barrier);
+            continue;
+        }
+        let actor = rng.pick(n);
+        let target = GlobalAddr::public(rng.pick(n), 8 * rng.pick(12)).range(8);
+        let kind = match rng.pick(5) {
+            0 => OpKind::Put {
+                src: GlobalAddr::private(actor, 0).range(8),
+                dst: target,
+            },
+            1 => OpKind::Get {
+                src: target,
+                dst: GlobalAddr::private(actor, 0).range(8),
+            },
+            2 => OpKind::LocalRead { range: target },
+            3 => OpKind::LocalWrite { range: target },
+            _ => OpKind::AtomicRmw { range: target },
+        };
+        events.push(JournalEvent::Op {
+            op: DsmOp {
+                op_id: i as u64,
+                actor,
+                kind,
+            },
+            held: held[actor].clone(),
+        });
+    }
+    events
+}
+
+fn durable_sink() -> Box<dyn ReportSink> {
+    Box::new(DedupSink::new(Box::new(VecSink::new())))
+}
+
+fn config(kind: DetectorKind, shards: usize) -> DetectorConfig {
+    let mut config = DetectorConfig::new(kind, 4);
+    config.granularity = Granularity::WORD;
+    config.shards = shards;
+    config
+}
+
+#[test]
+fn restore_plus_replay_matches_uninterrupted() {
+    for kind in DetectorKind::ALL {
+        for shards in 1..=4 {
+            let seed = 0xC0FFEE ^ ((shards as u64) << 32) ^ kind.label().len() as u64;
+            let events = workload(4, 400, seed);
+
+            // Kill the durable run at a pseudo-random point after the
+            // checkpoint; both cuts vary per (kind, shards) cell.
+            let mut rng = Lcg(seed.rotate_left(17));
+            let cut = 50 + rng.pick(events.len() / 2 - 50);
+            let kill = cut + 1 + rng.pick(events.len() - cut - 1);
+
+            // Uninterrupted control.
+            let mut control = config(kind, shards).session_with(durable_sink());
+            let mut control_counts = Vec::with_capacity(events.len());
+            let mut stream_len_at_cut = 0;
+            for (i, event) in events.iter().enumerate() {
+                control_counts.push(control.replay(event));
+                if i + 1 == cut {
+                    stream_len_at_cut = control.reports().len();
+                }
+            }
+            control.flush();
+            let control_tail = format!("{:?}", &control.reports()[stream_len_at_cut..]);
+            let control_json = control.summary().to_json();
+            let control_ckpt = control.checkpoint().expect("control checkpoint");
+
+            // Durable run: checkpoint at `cut`, die at `kill`.
+            let mut durable = config(kind, shards).session_with(durable_sink());
+            for (i, event) in events[..cut].iter().enumerate() {
+                assert_eq!(durable.replay(event), control_counts[i], "prefix diverged");
+            }
+            let ckpt = durable.checkpoint().expect("mid-stream checkpoint");
+            for (i, event) in events[cut..kill].iter().enumerate() {
+                assert_eq!(durable.replay(event), control_counts[cut + i]);
+            }
+            let journal = durable.journal().to_vec();
+            assert_eq!(journal.len(), kill - cut, "journal holds exactly the tail");
+            drop(durable); // the crash
+
+            // Resume: restore + replay journal + finish the stream.
+            let mut resumed = Session::restore(&ckpt, durable_sink()).expect("restore");
+            assert_eq!(resumed.events(), cut as u64);
+            assert!(resumed.journaling(), "restored sessions journal from birth");
+            for (i, event) in journal.iter().enumerate() {
+                assert_eq!(
+                    resumed.replay(event),
+                    control_counts[cut + i],
+                    "{kind:?}/{shards}: replayed event {i} diverged"
+                );
+            }
+            for (i, event) in events[kill..].iter().enumerate() {
+                assert_eq!(resumed.replay(event), control_counts[kill + i]);
+            }
+            resumed.flush();
+            assert_eq!(
+                format!("{:?}", resumed.reports()),
+                control_tail,
+                "{kind:?}/{shards}: resumed report stream diverged"
+            );
+            assert_eq!(
+                resumed.summary().to_json(),
+                control_json,
+                "{kind:?}/{shards}: summary JSON diverged"
+            );
+            assert_eq!(
+                resumed.checkpoint().expect("final checkpoint"),
+                control_ckpt,
+                "{kind:?}/{shards}: final checkpoint bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn restore_then_checkpoint_is_byte_identical() {
+    for kind in DetectorKind::ALL {
+        let events = workload(4, 200, 0xDEADBEEF);
+        let mut session = config(kind, 2).session_with(durable_sink());
+        for event in &events {
+            session.replay(event);
+        }
+        let ckpt = session.checkpoint().expect("checkpoint");
+        let mut restored = Session::restore(&ckpt, durable_sink()).expect("restore");
+        assert_eq!(
+            restored.checkpoint().expect("re-checkpoint"),
+            ckpt,
+            "{kind:?}: checkpoint/restore/checkpoint not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn journal_truncates_at_each_checkpoint() {
+    let events = workload(4, 120, 7);
+    let mut session = config(DetectorKind::Dual, 1).session_with(durable_sink());
+    assert!(!session.journaling(), "journalling is opt-in");
+    assert!(session.journal().is_empty());
+    for event in &events[..40] {
+        session.replay(event);
+    }
+    assert!(
+        session.journal().is_empty(),
+        "no journal before the first checkpoint"
+    );
+    session.checkpoint().expect("checkpoint");
+    assert!(session.journaling());
+    for event in &events[40..100] {
+        session.replay(event);
+    }
+    assert_eq!(session.journal().len(), 60, "journal = events since ckpt");
+    session.checkpoint().expect("checkpoint");
+    assert!(session.journal().is_empty(), "checkpoint truncates");
+    for event in &events[100..] {
+        session.replay(event);
+    }
+    assert_eq!(session.journal().len(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Golden blob: the committed v1 checkpoint must stay restorable forever.
+// Regenerate with UPDATE_GOLDEN=1 cargo test -p race-core --test checkpoint.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/checkpoint_v1.bin"
+);
+
+fn golden_session() -> Session {
+    let events = workload(4, 150, 0x90_1D);
+    let mut session = config(DetectorKind::Dual, 1).session_with(durable_sink());
+    for event in &events {
+        session.replay(event);
+    }
+    session
+}
+
+#[test]
+fn golden_checkpoint_restores() {
+    let ckpt = golden_session().checkpoint().expect("checkpoint");
+    assert_eq!(ckpt[0], race_core::SNAPSHOT_VERSION);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &ckpt).expect("write golden blob");
+    }
+    let golden = std::fs::read(GOLDEN_PATH).expect("golden blob committed");
+    assert_eq!(
+        ckpt, golden,
+        "checkpoint encoding changed; bump SNAPSHOT_VERSION or run with UPDATE_GOLDEN=1"
+    );
+    let mut restored = Session::restore(&golden, durable_sink()).expect("golden restores");
+    assert_eq!(
+        restored.checkpoint().expect("re-checkpoint"),
+        golden,
+        "golden blob is a checkpoint fixed point"
+    );
+}
+
+#[test]
+fn golden_with_unknown_version_is_a_typed_error_never_a_panic() {
+    let mut blob = std::fs::read(GOLDEN_PATH).expect("golden blob committed");
+    blob[0] = 0xFE;
+    match Session::restore(&blob, durable_sink()) {
+        Err(SnapshotError::UnknownVersion { got }) => assert_eq!(got, 0xFE),
+        other => panic!("expected UnknownVersion, got {other:?}"),
+    }
+    // Hostile truncations of the golden blob are typed errors too.
+    let blob = std::fs::read(GOLDEN_PATH).expect("golden blob committed");
+    for len in 0..blob.len().min(64) {
+        assert!(Session::restore(&blob[..len], durable_sink()).is_err());
+    }
+}

@@ -1,19 +1,42 @@
 //! Blocking client handle for the detection service.
 //!
-//! [`ServiceClient`] wraps one TCP connection: handshake on connect, one
-//! frame per event, and a final `Finish` → `Summary` exchange whose JSON is
-//! exactly the canonical `RaceSummary::to_json` bytes — callers compare it
-//! directly against an in-process run for parity checks.
+//! [`ServiceClient`] wraps one *logical* session that may span several TCP
+//! connections: handshake on connect, one frame per event, and a final
+//! `Finish` → `Summary` exchange whose JSON is exactly the canonical
+//! `RaceSummary::to_json` bytes — callers compare it directly against an
+//! in-process run for parity checks.
+//!
+//! # Durability
+//!
+//! The server minted a resume token at hello time and parks the session
+//! (rather than ending it) when the connection dies mid-stream. The client
+//! holds up its end: every sent event is kept in a bounded replay buffer,
+//! and an I/O failure on [`ServiceClient::send`], [`ServiceClient::ping`]
+//! or [`ServiceClient::finish`] triggers an automatic reconnect — dial with
+//! a connect timeout, present the token, and replay exactly the events the
+//! server's `ResumeAck` says it never applied. Reconnect attempts follow
+//! the [`RetryPolicy`]'s *jittered* exponential backoff so a fleet of
+//! clients orphaned by the same network blip does not stampede back in
+//! lockstep. Failures stay typed: a dead endpoint is
+//! [`ClientError::ReconnectFailed`], a refused token is
+//! [`ClientError::Rejected`], a replay buffer too small for the gap is
+//! [`ClientError::ResumeGap`] — never a panic, never a hang.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use race_core::api::DetectorConfig;
+use race_core::error::RetryPolicy;
 use race_core::summary::RaceSummary;
 
 use crate::frame::{
     read_frame, write_frame, ClientFrame, FrameError, ServerFrame, WireError, WireEvent,
 };
+
+/// Default bound of the client-side replay buffer (events retained for
+/// resume). Matches the server's default checkpoint cadence with headroom.
+const DEFAULT_REPLAY_CAPACITY: usize = 4096;
 
 /// A client-side failure. Like the server, the client never panics on wire
 /// input: everything wrong comes back typed.
@@ -30,6 +53,17 @@ pub enum ClientError {
     Unexpected(&'static str),
     /// The summary JSON did not parse back into a `RaceSummary`.
     BadSummary(String),
+    /// Every reconnect attempt in the backoff schedule failed; the message
+    /// is the last attempt's error.
+    ReconnectFailed(String),
+    /// The server resumed the session but expects events the client's
+    /// bounded replay buffer no longer holds.
+    ResumeGap {
+        /// The sequence the server expects next.
+        next_seq: u64,
+        /// The oldest sequence still buffered client-side.
+        oldest_buffered: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -40,6 +74,16 @@ impl std::fmt::Display for ClientError {
             ClientError::Rejected(msg) => write!(f, "server rejected session: {msg}"),
             ClientError::Unexpected(what) => write!(f, "unexpected server frame: {what}"),
             ClientError::BadSummary(e) => write!(f, "unparseable summary: {e}"),
+            ClientError::ReconnectFailed(msg) => {
+                write!(f, "reconnect attempts exhausted: {msg}")
+            }
+            ClientError::ResumeGap {
+                next_seq,
+                oldest_buffered,
+            } => write!(
+                f,
+                "resume gap: server expects seq {next_seq}, oldest buffered is {oldest_buffered}"
+            ),
         }
     }
 }
@@ -64,6 +108,19 @@ impl From<WireError> for ClientError {
             WireError::Io(e) => ClientError::Io(e),
             WireError::Frame(e) => ClientError::Frame(e),
         }
+    }
+}
+
+impl ClientError {
+    /// True for transport-level failures that auto-reconnect may heal (the
+    /// connection died; the session may be parked server-side).
+    fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_)
+                | ClientError::Frame(FrameError::ConnectionClosed)
+                | ClientError::Frame(FrameError::Truncated { .. })
+        )
     }
 }
 
@@ -95,21 +152,49 @@ pub struct RemoteSummary {
     pub error: Option<String>,
 }
 
-/// One live connection to the detection server.
+/// Connection-robustness knobs for [`ServiceClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientTimeouts {
+    /// Bound on establishing one TCP connection.
+    pub connect: Duration,
+    /// Bound on awaiting any single server response.
+    pub read: Duration,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        ClientTimeouts {
+            connect: Duration::from_secs(10),
+            read: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One logical session with the detection server, surviving reconnects.
 #[derive(Debug)]
 pub struct ServiceClient {
     stream: TcpStream,
     session: u64,
+    token: u64,
+    peer: SocketAddr,
+    timeouts: ClientTimeouts,
+    retry: RetryPolicy,
+    /// Events sent so far; doubles as the next event's sequence number.
+    sent: u64,
+    /// Recently sent events, by sequence, for resume replay.
+    replay: VecDeque<(u64, WireEvent)>,
+    replay_capacity: usize,
+    /// Reconnects performed over this client's lifetime.
+    reconnects: u64,
 }
 
 impl ServiceClient {
-    /// Connect and perform the Hello handshake. The read timeout bounds how
-    /// long any single server response is awaited.
+    /// Connect and perform the Hello handshake with default timeouts.
     pub fn connect(
         addr: impl ToSocketAddrs,
         config: &DetectorConfig,
     ) -> Result<ServiceClient, ClientError> {
-        Self::connect_with_timeout(addr, config, Duration::from_secs(10))
+        Self::connect_with_timeouts(addr, config, ClientTimeouts::default())
     }
 
     /// [`ServiceClient::connect`] with an explicit per-read timeout.
@@ -118,16 +203,44 @@ impl ServiceClient {
         config: &DetectorConfig,
         read_timeout: Duration,
     ) -> Result<ServiceClient, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(read_timeout))?;
-        let mut client = ServiceClient { stream, session: 0 };
+        Self::connect_with_timeouts(
+            addr,
+            config,
+            ClientTimeouts {
+                read: read_timeout,
+                ..ClientTimeouts::default()
+            },
+        )
+    }
+
+    /// [`ServiceClient::connect`] with explicit connect and read timeouts.
+    /// A dead or unroutable endpoint fails typed ([`ClientError::Io`])
+    /// within the connect timeout instead of hanging.
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs,
+        config: &DetectorConfig,
+        timeouts: ClientTimeouts,
+    ) -> Result<ServiceClient, ClientError> {
+        let (stream, peer) = dial(addr, timeouts)?;
+        let mut client = ServiceClient {
+            stream,
+            session: 0,
+            token: 0,
+            peer,
+            timeouts,
+            retry: RetryPolicy::default(),
+            sent: 0,
+            replay: VecDeque::new(),
+            replay_capacity: DEFAULT_REPLAY_CAPACITY,
+            reconnects: 0,
+        };
         client.send_client_frame(&ClientFrame::Hello {
             config_json: config.to_json(),
         })?;
         match client.read_server_frame()? {
-            ServerFrame::HelloAck { session } => {
+            ServerFrame::HelloAck { session, token } => {
                 client.session = session;
+                client.token = token;
                 Ok(client)
             }
             ServerFrame::Error { message } => Err(ClientError::Rejected(message)),
@@ -140,13 +253,87 @@ impl ServiceClient {
         self.session
     }
 
-    /// Stream one event.
-    pub fn send(&mut self, event: &WireEvent) -> Result<(), ClientError> {
-        self.send_client_frame(&ClientFrame::Event(*event))
+    /// The server-minted resume token for this session.
+    pub fn resume_token(&self) -> u64 {
+        self.token
     }
 
-    /// Probe the session's liveness.
+    /// Reconnects performed so far (0 on an uninterrupted connection).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Replace the reconnect backoff schedule (jitter is applied on top).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Bound the resume replay buffer. A reconnect needing events older
+    /// than the buffer holds fails with [`ClientError::ResumeGap`].
+    pub fn set_replay_capacity(&mut self, capacity: usize) {
+        self.replay_capacity = capacity.max(1);
+        while self.replay.len() > self.replay_capacity {
+            self.replay.pop_front();
+        }
+    }
+
+    /// Chaos hook: kill the underlying TCP connection *now*, as a network
+    /// fault would. The next [`ServiceClient::send`], [`ServiceClient::ping`]
+    /// or [`ServiceClient::finish`] exercises the full reconnect-and-resume
+    /// path. Used by the durability tests and the serve-smoke harness.
+    pub fn drop_connection(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Stream one event. A dead connection is healed transparently: the
+    /// client reconnects (jittered backoff), resumes its parked session and
+    /// replays every unacknowledged event — this one included.
+    pub fn send(&mut self, event: &WireEvent) -> Result<(), ClientError> {
+        let seq = self.sent;
+        self.replay.push_back((seq, *event));
+        if self.replay.len() > self.replay_capacity {
+            self.replay.pop_front();
+        }
+        self.sent += 1;
+        match self.send_client_frame(&ClientFrame::Event(*event)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_transport() => self.reconnect(), // replay covers this event
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Probe the session's liveness. Acknowledged events are trimmed from
+    /// the replay buffer; a dead connection is healed as in
+    /// [`ServiceClient::send`].
     pub fn ping(&mut self) -> Result<HealthLine, ClientError> {
+        let health = match self.ping_once() {
+            Err(e) if e.is_transport() => {
+                self.reconnect()?;
+                self.ping_once()
+            }
+            other => other,
+        }?;
+        // The server's applied-event count is the ack floor: anything below
+        // it will never be requested by a resume.
+        while matches!(self.replay.front(), Some((seq, _)) if *seq < health.events) {
+            self.replay.pop_front();
+        }
+        Ok(health)
+    }
+
+    /// End the stream and collect the summary. Consumes the client; the
+    /// connection closes when this returns.
+    pub fn finish(mut self) -> Result<RemoteSummary, ClientError> {
+        match self.finish_once() {
+            Err(e) if e.is_transport() => {
+                self.reconnect()?;
+                self.finish_once()
+            }
+            other => other,
+        }
+    }
+
+    fn ping_once(&mut self) -> Result<HealthLine, ClientError> {
         self.send_client_frame(&ClientFrame::Ping)?;
         match self.read_server_frame()? {
             ServerFrame::Health {
@@ -165,9 +352,7 @@ impl ServiceClient {
         }
     }
 
-    /// End the stream and collect the summary. Consumes the client; the
-    /// connection closes when this returns.
-    pub fn finish(mut self) -> Result<RemoteSummary, ClientError> {
+    fn finish_once(&mut self) -> Result<RemoteSummary, ClientError> {
         self.send_client_frame(&ClientFrame::Finish)?;
         let mut error = None;
         loop {
@@ -189,8 +374,95 @@ impl ServiceClient {
                 ServerFrame::HelloAck { .. } => {
                     return Err(ClientError::Unexpected("second hello-ack"))
                 }
+                ServerFrame::ResumeAck { .. } => {
+                    return Err(ClientError::Unexpected("resume-ack outside resume"))
+                }
             }
         }
+    }
+
+    /// Dial the server again and resume the parked session, replaying the
+    /// unacknowledged event tail. Every attempt is preceded by a jittered
+    /// backoff delay (the server needs a beat to notice the dead connection
+    /// and park the session; the jitter de-correlates a reconnecting fleet).
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        // Make sure the server sees the old connection as dead even when the
+        // failure was asymmetric (e.g. only our reads broke).
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let mut last_err = "no reconnect attempts configured".to_string();
+        let seed = self.token ^ self.sent.rotate_left(32);
+        let delays: Vec<Duration> = self.retry.jittered_delays(seed).collect();
+        for delay in delays {
+            std::thread::sleep(delay);
+            match self.try_resume() {
+                Ok(()) => {
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                // Typed rejections are final: retrying a refused token or a
+                // replay gap cannot succeed.
+                Err(e @ (ClientError::Rejected(_) | ClientError::ResumeGap { .. })) => {
+                    return Err(e)
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        Err(ClientError::ReconnectFailed(last_err))
+    }
+
+    fn try_resume(&mut self) -> Result<(), ClientError> {
+        let (mut stream, _) = dial(self.peer, self.timeouts)?;
+        write_frame(
+            &mut stream,
+            &ClientFrame::Resume {
+                token: self.token,
+                last_acked_seq: self.server_floor(),
+            }
+            .encode(),
+        )?;
+        let payload = read_frame(&mut stream)?;
+        match ServerFrame::decode(&payload)? {
+            ServerFrame::ResumeAck { session, next_seq } => {
+                if let Some((oldest, _)) = self.replay.front() {
+                    if next_seq < *oldest {
+                        return Err(ClientError::ResumeGap {
+                            next_seq,
+                            oldest_buffered: *oldest,
+                        });
+                    }
+                } else if next_seq < self.sent {
+                    return Err(ClientError::ResumeGap {
+                        next_seq,
+                        oldest_buffered: self.sent,
+                    });
+                }
+                // Replay exactly the events the server never applied.
+                let tail: Vec<Vec<u8>> = self
+                    .replay
+                    .iter()
+                    .filter(|(seq, _)| *seq >= next_seq)
+                    .map(|(_, ev)| ClientFrame::Event(*ev).encode())
+                    .collect();
+                for frame in tail {
+                    write_frame(&mut stream, &frame)?;
+                }
+                self.session = session;
+                self.stream = stream;
+                Ok(())
+            }
+            ServerFrame::Error { message } => Err(ClientError::Rejected(message)),
+            _ => Err(ClientError::Unexpected("wanted resume-ack")),
+        }
+    }
+
+    /// The highest sequence the client can prove the server applied — the
+    /// trim floor of the replay buffer (everything below it was dropped
+    /// because a Health line acknowledged it).
+    fn server_floor(&self) -> u64 {
+        self.replay
+            .front()
+            .map(|(seq, _)| *seq)
+            .unwrap_or(self.sent)
     }
 
     fn send_client_frame(&mut self, frame: &ClientFrame) -> Result<(), ClientError> {
@@ -202,4 +474,29 @@ impl ServiceClient {
         let payload = read_frame(&mut self.stream)?;
         Ok(ServerFrame::decode(&payload)?)
     }
+}
+
+/// Resolve and dial with a connect timeout; the read timeout is installed
+/// on the resulting stream. A dead endpoint fails typed, never hangs.
+fn dial(
+    addr: impl ToSocketAddrs,
+    timeouts: ClientTimeouts,
+) -> Result<(TcpStream, SocketAddr), ClientError> {
+    let mut last_err: Option<std::io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeouts.connect) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(timeouts.read))?;
+                return Ok((stream, candidate));
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(ClientError::Io(last_err.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            "address resolved to no candidates",
+        )
+    })))
 }

@@ -24,9 +24,11 @@ use race_core::Rank;
 /// cannot make the server allocate unbounded memory.
 pub const MAX_FRAME: usize = 64 * 1024;
 
-/// Wire protocol version carried in [`ClientFrame::Hello`]. Bumped on any
-/// incompatible codec change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Wire protocol version carried in [`ClientFrame::Hello`] and
+/// [`ClientFrame::Resume`]. Bumped on any incompatible codec change.
+/// Version 2 added the resume handshake (`Resume`/`ResumeAck`) and the
+/// resume token in `HelloAck`.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Typed decode failure. Every way untrusted bytes can be wrong maps to one
 /// of these variants; the decoder has no panicking path.
@@ -179,15 +181,38 @@ pub enum ClientFrame {
     Finish,
     /// Liveness probe: the server answers with [`ServerFrame::Health`].
     Ping,
+    /// First frame on a *reconnecting* connection: resume the parked
+    /// session identified by the server-minted `token` (from
+    /// [`ServerFrame::HelloAck`]). `last_acked_seq` is the highest event
+    /// sequence number the client knows the server applied; the server
+    /// answers [`ServerFrame::ResumeAck`] naming the sequence it expects
+    /// next, and the client re-sends from there.
+    Resume {
+        /// Opaque resume token minted by the server at hello time.
+        token: u64,
+        /// Highest event sequence the client saw acknowledged.
+        last_acked_seq: u64,
+    },
 }
 
 /// Frames the server may send.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerFrame {
-    /// Answer to `Hello`: the server-assigned session id.
+    /// Answer to `Hello`: the server-assigned session id plus the resume
+    /// token a disconnected client presents in [`ClientFrame::Resume`].
     HelloAck {
         /// Session id, unique per server instance.
         session: u64,
+        /// Server-minted resume token (opaque to the client).
+        token: u64,
+    },
+    /// Answer to `Resume`: the parked session was restored.
+    ResumeAck {
+        /// The original session id, preserved across the reconnect.
+        session: u64,
+        /// The event sequence the server expects next (= events applied so
+        /// far); the client replays its send buffer from here.
+        next_seq: u64,
     },
     /// Answer to `Ping`: the session's liveness line.
     Health {
@@ -223,10 +248,12 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_EVENT: u8 = 0x02;
 const TAG_FINISH: u8 = 0x03;
 const TAG_PING: u8 = 0x04;
+const TAG_RESUME: u8 = 0x05;
 const TAG_HELLO_ACK: u8 = 0x81;
 const TAG_HEALTH: u8 = 0x82;
 const TAG_SUMMARY: u8 = 0x83;
 const TAG_ERROR: u8 = 0x84;
+const TAG_RESUME_ACK: u8 = 0x85;
 
 // Event sub-tags.
 const EV_OP: u8 = 0;
@@ -389,6 +416,15 @@ impl ClientFrame {
             }
             ClientFrame::Finish => buf.push(TAG_FINISH),
             ClientFrame::Ping => buf.push(TAG_PING),
+            ClientFrame::Resume {
+                token,
+                last_acked_seq,
+            } => {
+                buf.push(TAG_RESUME);
+                buf.push(PROTOCOL_VERSION);
+                put_u64(&mut buf, *token);
+                put_u64(&mut buf, *last_acked_seq);
+            }
         }
         buf
     }
@@ -399,9 +435,15 @@ impl ServerFrame {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64);
         match self {
-            ServerFrame::HelloAck { session } => {
+            ServerFrame::HelloAck { session, token } => {
                 buf.push(TAG_HELLO_ACK);
                 put_u64(&mut buf, *session);
+                put_u64(&mut buf, *token);
+            }
+            ServerFrame::ResumeAck { session, next_seq } => {
+                buf.push(TAG_RESUME_ACK);
+                put_u64(&mut buf, *session);
+                put_u64(&mut buf, *next_seq);
             }
             ServerFrame::Health {
                 degraded,
@@ -575,6 +617,16 @@ impl ClientFrame {
             Ok(TAG_EVENT) => ClientFrame::Event(take_event(&mut c)?),
             Ok(TAG_FINISH) => ClientFrame::Finish,
             Ok(TAG_PING) => ClientFrame::Ping,
+            Ok(TAG_RESUME) => {
+                let version = c.take_u8("resume version")?;
+                if version != PROTOCOL_VERSION {
+                    return Err(FrameError::Version { got: version });
+                }
+                ClientFrame::Resume {
+                    token: c.take_u64("resume token")?,
+                    last_acked_seq: c.take_u64("resume acked seq")?,
+                }
+            }
             Ok(tag) => return Err(FrameError::UnknownTag { tag }),
         };
         c.finish()?;
@@ -590,6 +642,11 @@ impl ServerFrame {
             Err(_) => return Err(FrameError::Empty),
             Ok(TAG_HELLO_ACK) => ServerFrame::HelloAck {
                 session: c.take_u64("session id")?,
+                token: c.take_u64("resume token")?,
+            },
+            Ok(TAG_RESUME_ACK) => ServerFrame::ResumeAck {
+                session: c.take_u64("session id")?,
+                next_seq: c.take_u64("next seq")?,
             },
             Ok(TAG_HEALTH) => {
                 let degraded = match c.take_u8("health degraded")? {
@@ -681,6 +738,10 @@ mod tests {
             },
             ClientFrame::Finish,
             ClientFrame::Ping,
+            ClientFrame::Resume {
+                token: 0xDEAD_BEEF_F00D,
+                last_acked_seq: 977,
+            },
         ];
         frames.extend(sample_events().into_iter().map(ClientFrame::Event));
         for frame in frames {
@@ -692,7 +753,14 @@ mod tests {
     #[test]
     fn server_frames_round_trip() {
         let frames = vec![
-            ServerFrame::HelloAck { session: 42 },
+            ServerFrame::HelloAck {
+                session: 42,
+                token: 0x5EED,
+            },
+            ServerFrame::ResumeAck {
+                session: 42,
+                next_seq: 1234,
+            },
             ServerFrame::Health {
                 degraded: true,
                 events: 10,
@@ -766,6 +834,17 @@ mod tests {
             Err(FrameError::Version {
                 got: PROTOCOL_VERSION + 1
             })
+        );
+        // Resume carries the version too: a v1 client cannot resume.
+        let mut buf = ClientFrame::Resume {
+            token: 7,
+            last_acked_seq: 0,
+        }
+        .encode();
+        buf[1] = 1;
+        assert_eq!(
+            ClientFrame::decode(&buf),
+            Err(FrameError::Version { got: 1 })
         );
     }
 

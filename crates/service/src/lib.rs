@@ -24,6 +24,15 @@
 //!   bytes, so callers can assert byte-identical parity with an in-process
 //!   run.
 //!
+//! Sessions are **durable** (PR 9): the server checkpoints each session's
+//! detector state and parks — rather than ends — sessions whose connection
+//! dies mid-stream. A reconnecting client presents the resume token minted
+//! at hello time, receives a `ResumeAck` naming the next expected event
+//! sequence, and replays only its unacknowledged tail; the final summary is
+//! byte-identical to an uninterrupted run. The client side reconnects
+//! automatically with jittered exponential backoff (see
+//! `docs/SERVICE.md`).
+//!
 //! ```no_run
 //! use dsm_service::client::ServiceClient;
 //! use dsm_service::frame::WireEvent;
@@ -47,7 +56,7 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::{ClientError, HealthLine, RemoteSummary, ServiceClient};
+pub use client::{ClientError, ClientTimeouts, HealthLine, RemoteSummary, ServiceClient};
 pub use frame::{ClientFrame, FrameError, ServerFrame, WireError, WireEvent, MAX_FRAME};
 pub use server::{
     ServeConfig, Server, SessionOutcome, SessionRecord, ShutdownReport, SinkFactory,

@@ -1,4 +1,4 @@
-//! The crash-tolerant detection server.
+//! The crash-tolerant, resumable detection server.
 //!
 //! One long-lived process accepts framed event streams from many concurrent
 //! clients; each connection gets its own bounded [`race_core::api::Session`]
@@ -9,24 +9,38 @@
 //!    bytes, mid-stream hangup, a panic inside its session — only that
 //!    session degrades. Supervision is per-session `catch_unwind`, the same
 //!    discipline the sharded pipeline applies per shard worker.
-//! 2. **Per-session memory is bounded.** Events flow through a
+//! 2. **Sessions are durable.** The worker checkpoints its session
+//!    ([`Session::checkpoint`]) at start and every
+//!    [`ServeConfig::checkpoint_every`] events. A worker panic is recovered
+//!    *in place*: the session is rebuilt from the last checkpoint plus its
+//!    event journal and the stream continues (degraded, but complete). A
+//!    client that vanishes mid-stream — clean hangup or a TCP cut in the
+//!    middle of a frame — **parks** its session in a registry instead of
+//!    ending it: a reconnecting client presents the resume token from its
+//!    `HelloAck` and picks up exactly where it left off.
+//! 3. **Per-session memory is bounded.** Events flow through a
 //!    `sync_channel` of [`ServeConfig::queue_capacity`]; when a client
 //!    outruns its session the [`SlowClientPolicy`] decides between
 //!    back-pressure ([`SlowClientPolicy::Block`]) and shedding with a
-//!    counted `shed` statistic ([`SlowClientPolicy::Shed`], paced by the
-//!    PR-6 [`RetryPolicy`] backoff).
-//! 3. **Idle sessions are reaped**, so a staller cannot pin a thread and a
-//!    detector forever: no frame for [`ServeConfig::idle_timeout`] ends the
-//!    session as [`SessionOutcome::Reaped`] (degraded).
-//! 4. **Shutdown drains.** [`Server::shutdown`] stops accepting, lets every
-//!    live session flush, and returns each session's summary in the
-//!    [`ShutdownReport`] — no in-flight stream is silently discarded.
+//!    counted `shed` statistic. The completed-session ledger is bounded too
+//!    ([`ServeConfig::ledger_capacity`], FIFO eviction with a counter), as
+//!    is the journal (truncated at every checkpoint).
+//! 4. **Idle and abandoned sessions are reaped.** No frame for
+//!    [`ServeConfig::idle_timeout`] ends a live session as
+//!    [`SessionOutcome::Reaped`]; a parked session unresumed for
+//!    [`ServeConfig::park_ttl`] is finalised as a [`SessionOutcome::Hangup`]
+//!    by the reaper thread (or the shutdown sweep).
+//! 5. **Shutdown drains.** [`Server::shutdown`] stops accepting, lets every
+//!    live session flush, finalises every still-parked session, and returns
+//!    the ledger in the [`ShutdownReport`] — no stream is silently
+//!    discarded.
 //!
-//! Clean sessions produce summaries byte-identical (via
-//! `RaceSummary::to_json`) to an in-process `Session` fed the same events —
-//! the parity property the bench stress harness pins.
+//! Clean sessions — including resumed ones — produce summaries
+//! byte-identical (via `RaceSummary::to_json`) to an in-process `Session`
+//! fed the same events; the serve-smoke chaos harness pins that parity
+//! through mid-frame cuts and worker kills.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,11 +51,13 @@ use std::time::{Duration, Instant};
 
 use race_core::api::{DetectorConfig, ReportSink, Session, SummarySink};
 use race_core::error::RetryPolicy;
+use race_core::snapshot::JournalEvent;
 use race_core::summary::RaceSummary;
 
 use crate::frame::{write_frame, ClientFrame, FrameError, ServerFrame, WireError, WireEvent};
 
-/// How often blocked reads wake up to check for shutdown and idleness.
+/// How often blocked reads wake up to check for shutdown and idleness, and
+/// how often the park reaper scans for expired sessions.
 const TICK: Duration = Duration::from_millis(25);
 
 /// What to do when a client produces events faster than its session absorbs
@@ -65,7 +81,8 @@ pub enum SlowClientPolicy {
 pub type SinkFactory = Arc<dyn Fn() -> Box<dyn ReportSink> + Send + Sync>;
 
 /// Server tuning knobs. `Default` is production-shaped: blocking back-
-/// pressure, 256-event queues, 30 s idle reaping.
+/// pressure, 256-event queues, 30 s idle reaping, 30 s park TTL, a
+/// checkpoint every 1024 events and a 4096-record ledger.
 #[derive(Clone)]
 pub struct ServeConfig {
     /// Bound of the per-session event queue (events buffered between the
@@ -75,13 +92,27 @@ pub struct ServeConfig {
     pub slow_policy: SlowClientPolicy,
     /// A session with no complete frame for this long is reaped (degraded).
     pub idle_timeout: Duration,
+    /// How long a parked (disconnected mid-stream) session waits for its
+    /// client to resume before it is finalised as a hangup.
+    pub park_ttl: Duration,
+    /// The worker re-checkpoints its session every this many events; the
+    /// journal (and therefore panic-recovery replay cost) is bounded by
+    /// this. Zero is treated as one.
+    pub checkpoint_every: u64,
+    /// Bound of the completed-session ledger. The oldest record is evicted
+    /// (FIFO, counted in [`ShutdownReport::evicted_records`]) when a new
+    /// one would exceed it — mirroring the `DedupSink` bound. Zero is
+    /// treated as one.
+    pub ledger_capacity: usize,
     /// Backoff schedule used by [`SlowClientPolicy::Shed`] before giving up
     /// on an event — the same bounded-probing policy the sharded pipeline
     /// uses at batch fences.
     pub retry: RetryPolicy,
     /// Fault-injection hook: the session worker panics when it observes
-    /// this op id. Exercises the supervision path from tests and the chaos
-    /// harness; `None` in production.
+    /// this op id. Exercises the supervision + checkpoint-recovery path
+    /// from tests and the chaos harness; `None` in production. The hook is
+    /// one-shot per session: recovery disarms it so the replayed event is
+    /// applied, exactly once.
     pub panic_on_op_id: Option<u64>,
     /// Per-session report sink. `None` uses a [`SummarySink`] (bounded
     /// memory, the right default for a long-lived service).
@@ -94,6 +125,9 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             slow_policy: SlowClientPolicy::default(),
             idle_timeout: Duration::from_secs(30),
+            park_ttl: Duration::from_secs(30),
+            checkpoint_every: 1024,
+            ledger_capacity: 4096,
             retry: RetryPolicy::default(),
             panic_on_op_id: None,
             sink_factory: None,
@@ -107,6 +141,9 @@ impl std::fmt::Debug for ServeConfig {
             .field("queue_capacity", &self.queue_capacity)
             .field("slow_policy", &self.slow_policy)
             .field("idle_timeout", &self.idle_timeout)
+            .field("park_ttl", &self.park_ttl)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("ledger_capacity", &self.ledger_capacity)
             .field("retry", &self.retry)
             .field("panic_on_op_id", &self.panic_on_op_id)
             .field("sink_factory", &self.sink_factory.as_ref().map(|_| "..."))
@@ -124,13 +161,17 @@ pub enum SessionOutcome {
     Drained,
     /// No frame within the idle timeout; session degraded and closed.
     Reaped,
-    /// The client vanished mid-stream (EOF or reset before `Finish`).
+    /// The client vanished mid-stream and never resumed: the session was
+    /// parked, expired past [`ServeConfig::park_ttl`] (or was swept at
+    /// shutdown), and its checkpointed summary was finalised degraded.
     Hangup,
     /// The client sent bytes the codec rejected; the typed decode error is
     /// in [`SessionRecord::error`].
     Poisoned,
-    /// The session worker panicked and was caught by supervision; the
-    /// server kept running.
+    /// The session worker panicked and could not be rebuilt from its last
+    /// checkpoint; the server kept running. (A rebuildable panic recovers
+    /// in place and the session continues — counted in
+    /// `panics_supervised`, outcome still [`SessionOutcome::Finished`].)
     Panicked,
 }
 
@@ -152,13 +193,14 @@ impl SessionOutcome {
 /// session ends (and readable after [`Server::shutdown`]).
 #[derive(Debug, Clone)]
 pub struct SessionRecord {
-    /// Server-assigned session id (also sent to the client in `HelloAck`).
+    /// Server-assigned session id (also sent to the client in `HelloAck`;
+    /// preserved across resumes).
     pub session: u64,
     /// How the session ended.
     pub outcome: SessionOutcome,
     /// Whether the summary is degraded (folded into the JSON too).
     pub degraded: bool,
-    /// Events applied to the session.
+    /// Events applied to the session (across every connection it spanned).
     pub events: u64,
     /// Events shed by the slow-client policy.
     pub shed: u64,
@@ -182,6 +224,8 @@ struct ServerStats {
     panics_supervised: AtomicU64,
     frames_rejected: AtomicU64,
     events_shed: AtomicU64,
+    parked: AtomicU64,
+    resumed: AtomicU64,
 }
 
 /// A point-in-time copy of the server counters.
@@ -195,16 +239,22 @@ pub struct StatsSnapshot {
     pub drained: u64,
     /// Sessions reaped for idleness.
     pub reaped: u64,
-    /// Sessions whose client hung up mid-stream.
+    /// Parked sessions finalised unresumed (TTL expiry or shutdown sweep).
     pub hangups: u64,
-    /// Sessions poisoned by malformed frames.
+    /// Sessions poisoned by malformed frames (including rejected resume
+    /// tokens).
     pub poisoned: u64,
-    /// Session-worker panics caught by supervision.
+    /// Session-worker panics caught by supervision (whether or not the
+    /// session was then recovered in place).
     pub panics_supervised: u64,
-    /// Frames rejected by the codec.
+    /// Frames rejected by the codec or the resume handshake.
     pub frames_rejected: u64,
     /// Events shed under [`SlowClientPolicy::Shed`].
     pub events_shed: u64,
+    /// Sessions parked on a mid-stream disconnect (awaiting resume).
+    pub parked: u64,
+    /// Parked sessions successfully resumed by a reconnecting client.
+    pub resumed: u64,
 }
 
 impl StatsSnapshot {
@@ -214,12 +264,15 @@ impl StatsSnapshot {
     }
 }
 
-/// Everything [`Server::shutdown`] hands back: the full session ledger and
-/// the final counters.
+/// Everything [`Server::shutdown`] hands back: the session ledger and the
+/// final counters.
 #[derive(Debug)]
 pub struct ShutdownReport {
-    /// Every session the server ever completed, in completion order.
+    /// The retained session records, in completion order (oldest evicted
+    /// first when the ledger bound was hit).
     pub sessions: Vec<SessionRecord>,
+    /// Records evicted from the bounded ledger before shutdown.
+    pub evicted_records: u64,
     /// Final counter values.
     pub stats: StatsSnapshot,
 }
@@ -234,17 +287,59 @@ impl ShutdownReport {
     }
 }
 
-type Ledger = Arc<Mutex<Vec<SessionRecord>>>;
+/// FIFO-bounded session ledger, mirroring the `DedupSink` bound: eviction
+/// is silent for readers but counted.
+struct BoundedLedger {
+    records: VecDeque<SessionRecord>,
+    capacity: usize,
+    evicted: u64,
+}
 
-/// The running server: an accept thread plus two threads (socket reader,
-/// session worker) per live connection.
+impl BoundedLedger {
+    fn new(capacity: usize) -> Self {
+        BoundedLedger {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    fn push(&mut self, record: SessionRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.evicted += 1;
+        }
+        self.records.push_back(record);
+    }
+}
+
+type Ledger = Arc<Mutex<BoundedLedger>>;
+
+/// A session whose client vanished mid-stream, awaiting resume. The
+/// checkpoint is the *entire* session state — detector clocks, summary,
+/// sink dedup state, event count — so resume needs nothing else.
+struct ParkedSession {
+    session_id: u64,
+    checkpoint: Vec<u8>,
+    events: u64,
+    shed: u64,
+    parked_at: Instant,
+}
+
+/// Parked sessions keyed by resume token.
+type Registry = Arc<Mutex<HashMap<u64, ParkedSession>>>;
+
+/// The running server: an accept thread, a park-reaper thread, plus two
+/// threads (socket reader, session worker) per live connection.
 pub struct Server {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     stats: Arc<ServerStats>,
     ledger: Ledger,
+    registry: Registry,
 }
 
 impl Server {
@@ -256,15 +351,18 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(ServerStats::default());
-        let ledger: Ledger = Arc::new(Mutex::new(Vec::new()));
+        let ledger: Ledger = Arc::new(Mutex::new(BoundedLedger::new(config.ledger_capacity)));
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
         let next_session = Arc::new(AtomicU64::new(1));
+        let config = Arc::new(config);
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
             let stats = Arc::clone(&stats);
             let ledger = Arc::clone(&ledger);
-            let config = Arc::new(config);
+            let registry = Arc::clone(&registry);
+            let config = Arc::clone(&config);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
@@ -275,11 +373,12 @@ impl Server {
                         Err(_) => continue, // transient accept failure; the loop survives
                     };
                     stats.accepted.fetch_add(1, Ordering::Relaxed);
-                    let session_id = next_session.fetch_add(1, Ordering::Relaxed);
+                    let conn_id = next_session.fetch_add(1, Ordering::Relaxed);
                     let config = Arc::clone(&config);
                     let shutdown = Arc::clone(&shutdown);
                     let stats = Arc::clone(&stats);
                     let ledger = Arc::clone(&ledger);
+                    let registry = Arc::clone(&registry);
                     let handle = std::thread::spawn(move || {
                         // Belt and braces: the connection body is already
                         // panic-supervised internally; this outer catch
@@ -287,7 +386,7 @@ impl Server {
                         // double panic in thread teardown.
                         let _ = catch_unwind(AssertUnwindSafe(|| {
                             handle_connection(
-                                stream, session_id, &config, &shutdown, &stats, &ledger,
+                                stream, conn_id, &config, &shutdown, &stats, &ledger, &registry,
                             );
                         }));
                     });
@@ -296,13 +395,43 @@ impl Server {
             })
         };
 
+        // The park reaper: parked sessions whose client never came back are
+        // finalised as hangups after the TTL, so abandoned state cannot
+        // accumulate.
+        let reaper = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let ledger = Arc::clone(&ledger);
+            let registry = Arc::clone(&registry);
+            let config = Arc::clone(&config);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(TICK);
+                    let expired: Vec<ParkedSession> = {
+                        let mut reg = registry.lock().expect("park registry poisoned");
+                        let tokens: Vec<u64> = reg
+                            .iter()
+                            .filter(|(_, p)| p.parked_at.elapsed() >= config.park_ttl)
+                            .map(|(t, _)| *t)
+                            .collect();
+                        tokens.into_iter().filter_map(|t| reg.remove(&t)).collect()
+                    };
+                    for parked in expired {
+                        finalize_parked(parked, &stats, &ledger);
+                    }
+                }
+            })
+        };
+
         Ok(Server {
             local_addr,
             shutdown,
             accept: Some(accept),
+            reaper: Some(reaper),
             conns,
             stats,
             ledger,
+            registry,
         })
     }
 
@@ -324,18 +453,32 @@ impl Server {
             panics_supervised: s.panics_supervised.load(Ordering::Relaxed),
             frames_rejected: s.frames_rejected.load(Ordering::Relaxed),
             events_shed: s.events_shed.load(Ordering::Relaxed),
+            parked: s.parked.load(Ordering::Relaxed),
+            resumed: s.resumed.load(Ordering::Relaxed),
         }
     }
 
-    /// Copy of the completed-session ledger so far (live sessions are not
-    /// in it until they end).
+    /// Copy of the completed-session ledger so far (live and parked
+    /// sessions are not in it until they end).
     pub fn sessions(&self) -> Vec<SessionRecord> {
-        self.ledger.lock().expect("ledger poisoned").clone()
+        self.ledger
+            .lock()
+            .expect("ledger poisoned")
+            .records
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of sessions currently parked awaiting resume.
+    pub fn parked_sessions(&self) -> usize {
+        self.registry.lock().expect("park registry poisoned").len()
     }
 
     /// Graceful shutdown: stop accepting, drain every live session (each
     /// flushes and records its summary as [`SessionOutcome::Drained`]),
-    /// join all threads, and return the complete ledger.
+    /// finalise every still-parked session as a hangup, join all threads,
+    /// and return the complete ledger.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
@@ -348,8 +491,25 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+        // Sweep: anything still parked was never resumed — finalise it so
+        // no stream vanishes from the ledger.
+        let leftover: Vec<ParkedSession> = {
+            let mut reg = self.registry.lock().expect("park registry poisoned");
+            reg.drain().map(|(_, p)| p).collect()
+        };
+        for parked in leftover {
+            finalize_parked(parked, &self.stats, &self.ledger);
+        }
+        let (sessions, evicted_records) = {
+            let ledger = self.ledger.lock().expect("ledger poisoned");
+            (ledger.records.iter().cloned().collect(), ledger.evicted)
+        };
         ShutdownReport {
-            sessions: self.ledger.lock().expect("ledger poisoned").clone(),
+            sessions,
+            evicted_records,
             stats: self.stats(),
         }
     }
@@ -366,6 +526,9 @@ impl Drop for Server {
             if let Some(h) = self.accept.take() {
                 let _ = h.join();
             }
+            if let Some(h) = self.reaper.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -375,7 +538,9 @@ enum EndReason {
     Finish,
     Drain,
     Reap,
-    Hangup,
+    /// The connection died mid-stream (clean hangup or mid-frame cut):
+    /// checkpoint and park rather than end.
+    Park,
     Poison(String),
 }
 
@@ -384,6 +549,30 @@ enum Cmd {
     Event(WireEvent),
     Ping,
     End(EndReason),
+}
+
+/// How the worker should obtain its session.
+enum SessionStart {
+    /// A fresh stream: build from the client's Hello config.
+    Fresh(DetectorConfig),
+    /// A resumed stream: restore from a parked checkpoint.
+    Resume {
+        session_id: u64,
+        checkpoint: Vec<u8>,
+        events: u64,
+    },
+}
+
+/// What the worker hands back to the reader thread.
+enum WorkerExit {
+    /// The session ended; record it in the ledger.
+    Ended(SessionRecord),
+    /// The session parked: re-register it under the connection's token.
+    Parked {
+        checkpoint: Vec<u8>,
+        events: u64,
+        shed: u64,
+    },
 }
 
 /// Incremental frame reader that survives read timeouts: partial bytes of
@@ -448,15 +637,22 @@ impl TickedFrameReader {
     }
 }
 
+/// The first frame of a connection, validated.
+enum Handshake {
+    Fresh(DetectorConfig),
+    Resume { token: u64, last_acked_seq: u64 },
+}
+
 /// One connection, start to finish. Runs on the connection's reader thread;
 /// spawns (and joins) the session worker.
 fn handle_connection(
     stream: TcpStream,
-    session_id: u64,
-    cfg: &ServeConfig,
+    conn_id: u64,
+    cfg: &Arc<ServeConfig>,
     shutdown: &AtomicBool,
-    stats: &ServerStats,
+    stats: &Arc<ServerStats>,
     ledger: &Ledger,
+    registry: &Registry,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(TICK));
@@ -467,58 +663,90 @@ fn handle_connection(
     };
     let mut reader = TickedFrameReader::new(stream);
 
-    // --- Handshake: first frame must be a well-formed Hello. -------------
-    let config = match read_hello(&mut reader, cfg, shutdown, stats) {
-        Ok(c) => c,
-        Err(handshake) => {
+    // --- Handshake: first frame must be a well-formed Hello or Resume. ----
+    let handshake = match read_handshake(&mut reader, cfg, shutdown, stats) {
+        Ok(h) => h,
+        Err((outcome, message)) => {
             // No session ever ran; record the degraded stub so operators
             // see hostile/broken connections in the ledger.
-            let (outcome, message) = handshake;
-            let summary = RaceSummary {
-                degraded: true,
-                ..RaceSummary::default()
-            };
-            if let Some(msg) = &message {
-                let frame = ServerFrame::Error {
-                    message: msg.clone(),
-                };
-                send_frame(&write_stream, &frame);
-            }
-            bump_outcome(stats, outcome);
-            push_record(
-                ledger,
-                SessionRecord {
-                    session: session_id,
-                    outcome,
-                    degraded: true,
-                    events: 0,
-                    shed: 0,
-                    summary_json: summary.to_json(),
-                    error: message,
-                },
-            );
+            reject_connection(&write_stream, conn_id, outcome, message, stats, ledger);
             return;
         }
     };
 
-    send_frame(
-        &write_stream,
-        &ServerFrame::HelloAck {
-            session: session_id,
-        },
-    );
+    let (session_id, token, start, shed0) = match handshake {
+        Handshake::Fresh(config) => {
+            let token = mint_token(conn_id);
+            send_frame(
+                &write_stream,
+                &ServerFrame::HelloAck {
+                    session: conn_id,
+                    token,
+                },
+            );
+            (conn_id, token, SessionStart::Fresh(config), 0u64)
+        }
+        Handshake::Resume {
+            token,
+            last_acked_seq,
+        } => {
+            let parked = registry
+                .lock()
+                .expect("park registry poisoned")
+                .remove(&token);
+            let Some(parked) = parked else {
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                reject_connection(
+                    &write_stream,
+                    conn_id,
+                    SessionOutcome::Poisoned,
+                    Some("unknown or expired resume token".into()),
+                    stats,
+                    ledger,
+                );
+                return;
+            };
+            if last_acked_seq > parked.events {
+                // The client claims more progress than this session ever
+                // made: a forged or mismatched token. Put the state back so
+                // the attack cannot destroy the real client's session.
+                registry
+                    .lock()
+                    .expect("park registry poisoned")
+                    .insert(token, parked);
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                reject_connection(
+                    &write_stream,
+                    conn_id,
+                    SessionOutcome::Poisoned,
+                    Some("resume sequence ahead of session state".into()),
+                    stats,
+                    ledger,
+                );
+                return;
+            }
+            stats.resumed.fetch_add(1, Ordering::Relaxed);
+            let start = SessionStart::Resume {
+                session_id: parked.session_id,
+                checkpoint: parked.checkpoint,
+                events: parked.events,
+            };
+            (parked.session_id, token, start, parked.shed)
+        }
+    };
 
     // --- Session worker. --------------------------------------------------
     let (tx, rx) = mpsc::sync_channel::<Cmd>(cfg.queue_capacity.max(1));
-    let shed = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(shed0));
     let worker = {
-        let cfg = cfg.clone();
+        let cfg = Arc::clone(cfg);
         let shed = Arc::clone(&shed);
+        let stats = Arc::clone(stats);
         let worker_stream = match write_stream.try_clone() {
             Ok(s) => s,
             Err(_) => write_stream, // fall back to sharing; writes are framed
         };
-        std::thread::spawn(move || run_session(rx, worker_stream, config, cfg, shed))
+        std::thread::spawn(move || run_session(rx, worker_stream, start, cfg, shed, stats))
     };
 
     // --- Pump frames until the stream ends one way or another. ------------
@@ -530,8 +758,9 @@ fn handle_connection(
                 match ClientFrame::decode(&payload) {
                     Ok(ClientFrame::Event(ev)) => {
                         if !enqueue_event(&tx, ev, cfg, &shed, stats) {
-                            // Worker is gone (it panicked); record what the
-                            // supervisor already counted and stop reading.
+                            // Worker is gone (it died un-recoverably);
+                            // record what the supervisor already counted
+                            // and stop reading.
                             break;
                         }
                     }
@@ -548,6 +777,13 @@ fn handle_connection(
                         stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
                         let _ = tx.send(Cmd::End(EndReason::Poison(
                             "unexpected second hello".into(),
+                        )));
+                        break;
+                    }
+                    Ok(ClientFrame::Resume { .. }) => {
+                        stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Cmd::End(EndReason::Poison(
+                            "resume is only valid as the first frame".into(),
                         )));
                         break;
                     }
@@ -569,7 +805,15 @@ fn handle_connection(
                 }
             }
             Err(WireError::Frame(FrameError::ConnectionClosed)) => {
-                let _ = tx.send(Cmd::End(EndReason::Hangup));
+                // Clean hangup at a frame boundary: park, don't end.
+                let _ = tx.send(Cmd::End(EndReason::Park));
+                break;
+            }
+            Err(WireError::Frame(FrameError::Truncated { .. })) => {
+                // The TCP stream died in the middle of a frame. The partial
+                // frame is discarded; every complete frame before it was
+                // applied — exactly the state the resume protocol restores.
+                let _ = tx.send(Cmd::End(EndReason::Park));
                 break;
             }
             Err(WireError::Frame(e)) => {
@@ -578,31 +822,87 @@ fn handle_connection(
                 break;
             }
             Err(WireError::Io(_)) => {
-                let _ = tx.send(Cmd::End(EndReason::Hangup));
+                let _ = tx.send(Cmd::End(EndReason::Park));
                 break;
             }
         }
     }
 
     drop(tx);
-    if let Ok(record) = worker.join() {
-        let mut record = record;
-        record.session = session_id;
-        bump_outcome(stats, record.outcome);
-        push_record(ledger, record);
+    match worker.join() {
+        Ok(WorkerExit::Ended(mut record)) => {
+            record.session = session_id;
+            bump_outcome(stats, record.outcome);
+            push_record(ledger, record);
+        }
+        Ok(WorkerExit::Parked {
+            checkpoint,
+            events,
+            shed,
+        }) => {
+            stats.parked.fetch_add(1, Ordering::Relaxed);
+            registry.lock().expect("park registry poisoned").insert(
+                token,
+                ParkedSession {
+                    session_id,
+                    checkpoint,
+                    events,
+                    shed,
+                    parked_at: Instant::now(),
+                },
+            );
+        }
+        // worker.join() Err is unreachable: run_session catches its panics.
+        Err(_) => {}
     }
-    // worker.join() Err is unreachable: run_session catches its own panics.
 }
 
-/// Reads and validates the Hello frame. On failure, the connection is
-/// charged to the returned outcome (with a message to echo to the peer when
-/// one makes sense).
-fn read_hello(
+/// Send an error, count the outcome and push a degraded stub record — the
+/// path for connections that never got (or lost) a session.
+fn reject_connection(
+    write_stream: &TcpStream,
+    session_id: u64,
+    outcome: SessionOutcome,
+    message: Option<String>,
+    stats: &ServerStats,
+    ledger: &Ledger,
+) {
+    let summary = RaceSummary {
+        degraded: true,
+        ..RaceSummary::default()
+    };
+    if let Some(msg) = &message {
+        send_frame(
+            write_stream,
+            &ServerFrame::Error {
+                message: msg.clone(),
+            },
+        );
+    }
+    bump_outcome(stats, outcome);
+    push_record(
+        ledger,
+        SessionRecord {
+            session: session_id,
+            outcome,
+            degraded: true,
+            events: 0,
+            shed: 0,
+            summary_json: summary.to_json(),
+            error: message,
+        },
+    );
+}
+
+/// Reads and validates the first frame (Hello or Resume). On failure, the
+/// connection is charged to the returned outcome (with a message to echo to
+/// the peer when one makes sense).
+fn read_handshake(
     reader: &mut TickedFrameReader,
     cfg: &ServeConfig,
     shutdown: &AtomicBool,
     stats: &ServerStats,
-) -> Result<DetectorConfig, (SessionOutcome, Option<String>)> {
+) -> Result<Handshake, (SessionOutcome, Option<String>)> {
     let started = Instant::now();
     loop {
         match reader.poll_frame() {
@@ -610,7 +910,7 @@ fn read_hello(
                 return match ClientFrame::decode(&payload) {
                     Ok(ClientFrame::Hello { config_json }) => {
                         match DetectorConfig::from_json(&config_json) {
-                            Ok(config) => Ok(config),
+                            Ok(config) => Ok(Handshake::Fresh(config)),
                             Err(e) => {
                                 stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
                                 Err((
@@ -620,11 +920,18 @@ fn read_hello(
                             }
                         }
                     }
+                    Ok(ClientFrame::Resume {
+                        token,
+                        last_acked_seq,
+                    }) => Ok(Handshake::Resume {
+                        token,
+                        last_acked_seq,
+                    }),
                     Ok(_) => {
                         stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
                         Err((
                             SessionOutcome::Poisoned,
-                            Some("first frame must be hello".into()),
+                            Some("first frame must be hello or resume".into()),
                         ))
                     }
                     Err(e) => {
@@ -689,39 +996,125 @@ fn enqueue_event(
     }
 }
 
-/// The session worker: owns the `Session`, applies events under
-/// `catch_unwind` supervision, and always produces a `SessionRecord` — a
-/// panic degrades this session, never the server.
+/// Build the configured per-session sink.
+fn make_sink(cfg: &ServeConfig) -> Box<dyn ReportSink> {
+    match &cfg.sink_factory {
+        Some(f) => f(),
+        None => Box::new(SummarySink::default()),
+    }
+}
+
+/// Mint an unguessable resume token. `RandomState` seeds from OS entropy
+/// per instance, so tokens are unpredictable without any extra dependency.
+fn mint_token(session_id: u64) -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(session_id);
+    h.finish() | 1 // never zero
+}
+
+/// The session worker: owns the `Session`, applies events under per-event
+/// `catch_unwind` supervision with checkpoint-based recovery, and always
+/// produces a verdict — a panic degrades (or at worst ends) this session,
+/// never the server.
 fn run_session(
     rx: Receiver<Cmd>,
     stream: TcpStream,
-    config: DetectorConfig,
-    cfg: ServeConfig,
+    start: SessionStart,
+    cfg: Arc<ServeConfig>,
     shed: Arc<AtomicU64>,
-) -> SessionRecord {
-    let sink: Box<dyn ReportSink> = match &cfg.sink_factory {
-        Some(f) => f(),
-        None => Box::new(SummarySink::default()),
+    stats: Arc<ServerStats>,
+) -> WorkerExit {
+    let (mut session, mut events) = match start {
+        SessionStart::Fresh(config) => (config.session_with(make_sink(&cfg)), 0u64),
+        SessionStart::Resume {
+            session_id,
+            checkpoint,
+            events,
+        } => match Session::restore(&checkpoint, make_sink(&cfg)) {
+            Ok(session) => {
+                send_frame(
+                    &stream,
+                    &ServerFrame::ResumeAck {
+                        session: session_id,
+                        next_seq: events,
+                    },
+                );
+                (session, events)
+            }
+            Err(e) => {
+                let message = format!("resume failed: {e}");
+                send_frame(
+                    &stream,
+                    &ServerFrame::Error {
+                        message: message.clone(),
+                    },
+                );
+                return WorkerExit::Ended(SessionRecord {
+                    session: 0, // filled in by the reader thread
+                    outcome: SessionOutcome::Poisoned,
+                    degraded: true,
+                    events,
+                    shed: shed.load(Ordering::Relaxed),
+                    summary_json: RaceSummary {
+                        degraded: true,
+                        ..RaceSummary::default()
+                    }
+                    .to_json(),
+                    error: Some(message),
+                });
+            }
+        },
     };
-    let mut session = config.session_with(sink);
-    let mut events: u64 = 0;
 
-    let driven = catch_unwind(AssertUnwindSafe(|| loop {
+    // Durability bootstrap: the initial checkpoint turns on journalling, so
+    // every event from here is either in the checkpoint or in the journal.
+    let mut ckpt: Option<Vec<u8>> = session.checkpoint().ok();
+    let checkpoint_every = cfg.checkpoint_every.max(1);
+    let mut armed = cfg.panic_on_op_id;
+    let mut recovered: Option<String> = None;
+
+    let end = 'drive: loop {
         match rx.recv() {
-            Err(_) => break EndReason::Hangup, // reader died without a verdict
+            Err(_) => break EndReason::Park, // reader died without a verdict
             Ok(Cmd::Event(ev)) => {
-                if let WireEvent::Op(op) = &ev {
-                    if cfg.panic_on_op_id == Some(op.op_id) {
-                        panic!("injected session panic at op {}", op.op_id);
+                events += 1;
+                let step = catch_unwind(AssertUnwindSafe(|| {
+                    if let WireEvent::Op(op) = &ev {
+                        if armed == Some(op.op_id) {
+                            panic!("injected session panic at op {}", op.op_id);
+                        }
+                    }
+                    apply_event(&mut session, &ev);
+                }));
+                if let Err(payload) = step {
+                    // The worker just died mid-event. Rebuild the session
+                    // from the last checkpoint + journal and keep going;
+                    // only an unrebuildable session is terminal.
+                    let msg = panic_text(payload.as_ref());
+                    armed = None; // one-shot: the replay must not re-trip
+                    match recover_session(ckpt.as_deref(), &session, &ev, events, &cfg) {
+                        Some(rebuilt) => {
+                            stats.panics_supervised.fetch_add(1, Ordering::Relaxed);
+                            session = rebuilt;
+                            recovered = Some(msg);
+                        }
+                        None => break 'drive EndReason::Poison(format!("__panic__{msg}")),
                     }
                 }
-                events += 1;
-                apply_event(&mut session, &ev);
+                if events % checkpoint_every == 0 {
+                    if let Ok(bytes) = session.checkpoint() {
+                        ckpt = Some(bytes);
+                    }
+                }
             }
             Ok(Cmd::Ping) => {
                 let summary = session.summary();
                 let frame = ServerFrame::Health {
-                    degraded: session.health().is_degraded() || summary.degraded,
+                    degraded: session.health().is_degraded()
+                        || summary.degraded
+                        || recovered.is_some(),
                     events,
                     reports: summary.total as u64,
                     shed: shed.load(Ordering::Relaxed),
@@ -730,60 +1123,82 @@ fn run_session(
             }
             Ok(Cmd::End(reason)) => break reason,
         }
-    }));
+    };
 
     let shed_total = shed.load(Ordering::Relaxed);
-    let (outcome, mut summary, error) = match driven {
-        Ok(end) => {
-            // Even the finishing flush runs supervised: a pipeline poisoned
-            // mid-stream must not take the worker down un-recorded.
-            let finished = catch_unwind(AssertUnwindSafe(move || session.finish().0));
-            match finished {
-                Ok(summary) => match end {
-                    EndReason::Finish => (SessionOutcome::Finished, summary, None),
-                    EndReason::Drain => (SessionOutcome::Drained, summary, None),
-                    EndReason::Reap => (
-                        SessionOutcome::Reaped,
-                        summary,
-                        Some("session idle past timeout".to_string()),
-                    ),
-                    EndReason::Hangup => (
-                        SessionOutcome::Hangup,
-                        summary,
-                        Some("client hung up mid-stream".to_string()),
-                    ),
-                    EndReason::Poison(msg) => (SessionOutcome::Poisoned, summary, Some(msg)),
-                },
-                Err(payload) => (
-                    SessionOutcome::Panicked,
-                    RaceSummary::default(),
-                    Some(format!(
-                        "session flush panicked: {}",
-                        panic_text(payload.as_ref())
-                    )),
-                ),
+
+    // Park: checkpoint the whole session and hand it back for the registry.
+    // If the checkpoint fails (it should not — flush precedes encode) the
+    // session degrades to a terminal hangup record below.
+    let end = if matches!(end, EndReason::Park) {
+        match session.checkpoint() {
+            Ok(checkpoint) => {
+                return WorkerExit::Parked {
+                    checkpoint,
+                    events,
+                    shed: shed_total,
+                };
             }
+            Err(e) => EndReason::Poison(format!("__park__{e}")),
         }
-        Err(payload) => {
-            // The session may be mid-mutation; drop it supervised so a
-            // panicking Drop cannot re-enter the unwind.
+    } else {
+        end
+    };
+
+    let (outcome, mut summary, error) = if let EndReason::Poison(msg) = &end {
+        if let Some(panic_msg) = msg.strip_prefix("__panic__") {
+            // Unrebuildable panic: the session may be mid-mutation; drop it
+            // supervised so a panicking Drop cannot re-enter the unwind.
             let _ = catch_unwind(AssertUnwindSafe(move || drop(session)));
             (
                 SessionOutcome::Panicked,
                 RaceSummary::default(),
+                Some(format!("session panicked: {panic_msg}")),
+            )
+        } else if let Some(park_msg) = msg.strip_prefix("__park__") {
+            finish_session(
+                session,
+                EndReason::Poison(String::new()),
+                SessionOutcome::Hangup,
                 Some(format!(
-                    "session panicked: {}",
-                    panic_text(payload.as_ref())
+                    "client hung up mid-stream and the session could not be parked: {park_msg}"
                 )),
             )
+        } else {
+            finish_session(
+                session,
+                EndReason::Poison(msg.clone()),
+                SessionOutcome::Poisoned,
+                Some(msg.clone()),
+            )
         }
+    } else {
+        let (outcome, message) = match &end {
+            EndReason::Finish => (SessionOutcome::Finished, None),
+            EndReason::Drain => (SessionOutcome::Drained, None),
+            EndReason::Reap => (
+                SessionOutcome::Reaped,
+                Some("session idle past timeout".to_string()),
+            ),
+            // Park is returned above; reaching here means the checkpoint
+            // failed and the Poison arm already handled it.
+            EndReason::Park | EndReason::Poison(_) => unreachable!("handled above"),
+        };
+        finish_session(session, end, outcome, message)
     };
 
     let degraded = summary.degraded
         || shed_total > 0
+        || recovered.is_some()
         || !matches!(outcome, SessionOutcome::Finished | SessionOutcome::Drained);
     summary.degraded = degraded;
     let summary_json = summary.to_json();
+
+    let error = error.or_else(|| {
+        recovered
+            .as_ref()
+            .map(|msg| format!("session worker panicked and was recovered from checkpoint: {msg}"))
+    });
 
     // Tell the client what happened (ignore write failures — for hangups
     // and reaps the peer may already be gone).
@@ -805,7 +1220,7 @@ fn run_session(
         );
     }
 
-    SessionRecord {
+    WorkerExit::Ended(SessionRecord {
         session: 0, // filled in by the reader thread from its id
         outcome,
         degraded,
@@ -813,7 +1228,93 @@ fn run_session(
         shed: shed_total,
         summary_json,
         error,
+    })
+}
+
+/// Supervised `Session::finish`: a panic during the final flush demotes the
+/// outcome to [`SessionOutcome::Panicked`] instead of killing the worker.
+fn finish_session(
+    session: Session,
+    _end: EndReason,
+    outcome: SessionOutcome,
+    message: Option<String>,
+) -> (SessionOutcome, RaceSummary, Option<String>) {
+    match catch_unwind(AssertUnwindSafe(move || session.finish().0)) {
+        Ok(summary) => (outcome, summary, message),
+        Err(payload) => (
+            SessionOutcome::Panicked,
+            RaceSummary::default(),
+            Some(format!(
+                "session flush panicked: {}",
+                panic_text(payload.as_ref())
+            )),
+        ),
     }
+}
+
+/// Rebuild a session that panicked mid-event from its last checkpoint plus
+/// journal, applying the in-flight event exactly once. Returns `None` when
+/// there is no checkpoint or the rebuild itself dies.
+fn recover_session(
+    ckpt: Option<&[u8]>,
+    broken: &Session,
+    in_flight: &WireEvent,
+    expected_events: u64,
+    cfg: &ServeConfig,
+) -> Option<Session> {
+    let ckpt = ckpt?;
+    let journal: Vec<JournalEvent> = broken.journal().to_vec();
+    catch_unwind(AssertUnwindSafe(|| -> Option<Session> {
+        let mut session = Session::restore(ckpt, make_sink(cfg)).ok()?;
+        for event in &journal {
+            session.replay(event);
+        }
+        if session.events() + 1 == expected_events {
+            // The panic fired before the event reached the session journal
+            // (the injection hook, or a pre-apply failure): apply it now.
+            apply_event(&mut session, in_flight);
+        }
+        // Exactly-once: anything else means the journal and the event
+        // counter disagree and the rebuilt state cannot be trusted.
+        (session.events() == expected_events).then_some(session)
+    }))
+    .ok()
+    .flatten()
+}
+
+/// Finalise a parked session nobody resumed: its checkpointed summary
+/// enters the ledger as a degraded hangup.
+fn finalize_parked(parked: ParkedSession, stats: &ServerStats, ledger: &Ledger) {
+    let fallback = || {
+        RaceSummary {
+            degraded: true,
+            ..RaceSummary::default()
+        }
+        .to_json()
+    };
+    let summary_json = match race_core::snapshot::peek_header(&parked.checkpoint) {
+        Ok(header) => match RaceSummary::from_json(&header.summary_json) {
+            Ok(mut summary) => {
+                summary.degraded = true;
+                summary.to_json()
+            }
+            Err(_) => fallback(),
+        },
+        Err(_) => fallback(),
+    };
+    stats.hangups.fetch_add(1, Ordering::Relaxed);
+    push_record(
+        ledger,
+        SessionRecord {
+            session: parked.session_id,
+            outcome: SessionOutcome::Hangup,
+            degraded: true,
+            events: parked.events,
+            shed: parked.shed,
+            summary_json,
+            error: Some("client hung up mid-stream; parked session expired unresumed".into()),
+        },
+    );
 }
 
 /// Apply one wire event to the session — the exact mirror of the

@@ -161,7 +161,7 @@ fn mid_stream_hangup_degrades_that_session_only() {
 }
 
 #[test]
-fn injected_panic_is_supervised_and_server_survives() {
+fn injected_panic_recovers_in_place_from_checkpoint() {
     let server = Server::bind(
         "127.0.0.1:0",
         ServeConfig {
@@ -171,42 +171,52 @@ fn injected_panic_is_supervised_and_server_survives() {
     )
     .unwrap();
 
+    // The worker panics on op 3, rebuilds the session from its checkpoint +
+    // journal, applies op 3 exactly once, and the stream completes with the
+    // full workload's summary — degraded, because a panic happened.
+    let events = racing_events(4, 1);
     let mut victim = ServiceClient::connect(server.local_addr(), &config()).unwrap();
-    for ev in racing_events(4, 1) {
-        // Sends may start failing once the worker is down; that's the
-        // degradation being tested, not an error.
-        if victim.send(&ev).is_err() {
-            break;
-        }
+    for ev in &events {
+        victim.send(ev).unwrap();
     }
-    match victim.finish() {
-        Ok(remote) => {
-            assert!(remote.summary.degraded, "panicked session must degrade");
-            assert!(remote.error.is_some(), "panic must be reported");
-        }
-        Err(ClientError::Io(_)) | Err(ClientError::Frame(_)) => {
-            // The connection may drop before the error frame arrives;
-            // the ledger assertion below is the real check.
-        }
-        Err(e) => panic!("unexpected client error: {e}"),
-    }
+    let remote = victim.finish().unwrap();
+    assert!(remote.summary.degraded, "a panicked session must degrade");
+    assert!(
+        remote
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("injected session panic"),
+        "panic must be reported: {:?}",
+        remote.error
+    );
+    // Everything but the degraded flag matches the uninterrupted twin: the
+    // recovery replayed the stream, it did not truncate it.
+    let mut twin = race_core::RaceSummary::from_json(&in_process_json(&events)).unwrap();
+    twin.degraded = true;
+    assert_eq!(remote.raw_json, twin.to_json());
 
     // The accept loop survived: a fresh clean session still works
-    // (op ids chosen to dodge the injected panic).
-    let events = racing_events(4, 100);
+    // (op ids chosen to dodge the injected panic, which is one-shot anyway).
+    let clean = racing_events(4, 100);
     let mut client = ServiceClient::connect(server.local_addr(), &config()).unwrap();
-    for ev in &events {
+    for ev in &clean {
         client.send(ev).unwrap();
     }
-    assert_eq!(client.finish().unwrap().raw_json, in_process_json(&events));
+    assert_eq!(client.finish().unwrap().raw_json, in_process_json(&clean));
 
     let report = server.shutdown();
     assert_eq!(report.stats.panics_supervised, 1);
-    assert_eq!(report.stats.finished, 1);
-    let panicked = report.with_outcome(SessionOutcome::Panicked);
-    assert_eq!(panicked.len(), 1);
-    assert!(panicked[0].degraded);
-    assert!(panicked[0]
+    assert_eq!(report.stats.finished, 2, "the victim finished too");
+    assert!(
+        report.with_outcome(SessionOutcome::Panicked).is_empty(),
+        "a recovered panic is not a terminal outcome"
+    );
+    let finished = report.with_outcome(SessionOutcome::Finished);
+    let degraded_finished: Vec<_> = finished.iter().filter(|r| r.degraded).collect();
+    assert_eq!(degraded_finished.len(), 1, "exactly the victim is degraded");
+    assert_eq!(degraded_finished[0].events, 8);
+    assert!(degraded_finished[0]
         .error
         .as_deref()
         .unwrap()
@@ -237,6 +247,11 @@ fn idle_session_is_reaped() {
         }
         Err(ClientError::Io(_)) | Err(ClientError::Frame(_)) => {
             // Connection already closed by the reap — fine.
+        }
+        Err(ClientError::Rejected(msg)) => {
+            // The auto-reconnect presented its token, but a *reaped* session
+            // is terminal, not parked — the refusal is the typed proof.
+            assert!(msg.contains("resume token"), "unexpected rejection: {msg}");
         }
         Err(e) => panic!("unexpected client error: {e}"),
     }
@@ -407,6 +422,138 @@ fn channel_sink_receiver_hangup_is_survived_by_session_worker() {
     assert!(
         counts.iter().any(|&c| c > 0),
         "ChannelSink must have counted dropped reports: {counts:?}"
+    );
+}
+
+/// Satellite regression: the shutdown ledger is bounded. Overflow evicts
+/// the *oldest* records FIFO and counts them — mirroring the `DedupSink`
+/// bound — so a long-lived server cannot grow without limit.
+#[test]
+fn ledger_is_bounded_with_fifo_eviction_and_counter() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            ledger_capacity: 3,
+            ..quick_serve_config()
+        },
+    )
+    .unwrap();
+
+    // Five clean sessions, one event each, strictly sequential so the
+    // ledger order is deterministic.
+    for i in 0..5u64 {
+        let mut client = ServiceClient::connect(server.local_addr(), &config()).unwrap();
+        client
+            .send(&WireEvent::Op(DsmOp {
+                op_id: 1000 + i,
+                actor: 0,
+                kind: OpKind::LocalRead {
+                    range: GlobalAddr::public(1, 0).range(8),
+                },
+            }))
+            .unwrap();
+        client.finish().unwrap();
+    }
+
+    let report = server.shutdown();
+    assert_eq!(
+        report.stats.finished, 5,
+        "eviction loses records, not stats"
+    );
+    assert_eq!(report.sessions.len(), 3, "ledger capped at capacity");
+    assert_eq!(report.evicted_records, 2, "evictions are counted");
+    let ids: Vec<u64> = report.sessions.iter().map(|r| r.session).collect();
+    assert_eq!(ids, vec![3, 4, 5], "oldest records evicted first");
+}
+
+/// Satellite: resume tokens are load-bearing security state. A forged or
+/// stale token is refused with a typed error, counted, and — crucially —
+/// must not destroy the legitimately parked session it guessed at.
+#[test]
+fn forged_and_stale_resume_tokens_are_rejected() {
+    use dsm_service::frame::{read_frame, write_frame, ClientFrame, ServerFrame};
+
+    let server = Server::bind("127.0.0.1:0", quick_serve_config()).unwrap();
+
+    // Park a real session: stream a prefix, then vanish.
+    let mut doomed = ServiceClient::connect(server.local_addr(), &config()).unwrap();
+    for ev in racing_events(2, 1) {
+        doomed.send(&ev).unwrap();
+    }
+    let real_token = doomed.resume_token();
+    drop(doomed);
+    std::thread::sleep(Duration::from_millis(100)); // let the server park it
+
+    let resume_attempt = |token: u64, last_acked_seq: u64| -> ServerFrame {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(
+            &mut stream,
+            &ClientFrame::Resume {
+                token,
+                last_acked_seq,
+            }
+            .encode(),
+        )
+        .unwrap();
+        ServerFrame::decode(&read_frame(&mut stream).unwrap()).unwrap()
+    };
+
+    // Forged token: refused.
+    match resume_attempt(real_token ^ 0xBAD_CAFE, 0) {
+        ServerFrame::Error { message } => assert!(message.contains("resume token")),
+        other => panic!("forged token accepted: {other:?}"),
+    }
+    // Right token, impossible progress claim: refused, and the parked
+    // session survives the attempt.
+    match resume_attempt(real_token, u64::MAX) {
+        ServerFrame::Error { message } => assert!(message.contains("sequence")),
+        other => panic!("impossible sequence accepted: {other:?}"),
+    }
+    // The real claim still works: the refusals above did not consume the
+    // parked state.
+    match resume_attempt(real_token, 0) {
+        ServerFrame::ResumeAck { next_seq, .. } => assert_eq!(next_seq, 4),
+        other => panic!("legitimate resume refused: {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.stats.poisoned, 2, "both bad attempts recorded");
+    assert!(report.stats.frames_rejected >= 2);
+    assert_eq!(report.stats.resumed, 1);
+}
+
+/// Satellite: a dead endpoint fails typed within the connect timeout —
+/// never a hang, never a panic.
+#[test]
+fn dead_endpoint_fails_typed_and_bounded() {
+    use dsm_service::ClientTimeouts;
+
+    // Bind then immediately drop a listener: the port is (momentarily)
+    // guaranteed dead.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let started = std::time::Instant::now();
+    let result = ServiceClient::connect_with_timeouts(
+        dead_addr,
+        &config(),
+        ClientTimeouts {
+            connect: Duration::from_millis(500),
+            read: Duration::from_millis(500),
+        },
+    );
+    match result {
+        Err(ClientError::Io(_)) => {}
+        Ok(_) => panic!("connected to a dead endpoint"),
+        Err(e) => panic!("wrong error class: {e}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "failure must be bounded by the connect timeout"
     );
 }
 

@@ -37,6 +37,23 @@ impl MatrixClock {
         }
     }
 
+    /// Rebuild a matrix from its rows — the inverse of reading each row
+    /// back with [`MatrixClock::row`]. Used by snapshot codecs that persist
+    /// and restore detector state.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty, `owner >= rows.len()`, or the rows are
+    /// not all `rows.len()` wide (the matrix must be square).
+    pub fn from_rows(owner: Rank, rows: Vec<VectorClock>) -> Self {
+        let n = rows.len();
+        assert!(owner < n, "owner rank {owner} out of range for n={n}");
+        assert!(
+            rows.iter().all(|r| r.len() == n),
+            "matrix rows must be {n} wide"
+        );
+        MatrixClock { owner, rows }
+    }
+
     /// The owning process's rank.
     pub fn owner(&self) -> Rank {
         self.owner
