@@ -1,0 +1,109 @@
+//! Property test: the static analyzer's verdicts bound the dynamic
+//! oracle's on randomly generated small programs.
+//!
+//! A gene vector decodes into a 3-rank workload mixing unsynchronised
+//! puts, gets, lock-protected puts, computes and (balanced) barriers.
+//! For every generated program and ≥16 dynamic schedules:
+//!
+//! * **soundness of `NeverRaces`** — a site the analyzer grades race-free
+//!   never appears in [`Oracle::analyze`]'s ground truth (equivalently:
+//!   every dynamic race site is in the static catalogue);
+//! * **completeness of `AlwaysRaces`** — a site the analyzer grades
+//!   always-racing is reported by the oracle on *every* sampled schedule.
+//!
+//! `ScheduleDependent` sites are constrained only by the first property:
+//! they may race or not, per schedule.
+
+use dsm::GlobalAddr;
+use dsm_analysis::{analyze_programs, Verdict};
+use proptest::prelude::*;
+use race_core::Oracle;
+use simulator::program::{Program, ProgramBuilder};
+use simulator::{Engine, SimConfig};
+
+const RANKS: usize = 3;
+const WORDS: usize = 2;
+const SEEDS: u64 = 16;
+
+/// Word `w` of rank 0's public segment — the shared state all ranks hit.
+fn word(w: u64) -> dsm::MemRange {
+    GlobalAddr::public(0, (w as usize % WORDS) * 8).range(8)
+}
+
+/// Decode a gene vector into one balanced multi-phase workload.
+fn decode(genes: &[u64]) -> Vec<Program> {
+    let mut at = 0usize;
+    let mut gene = || {
+        let g = genes[at % genes.len()];
+        at += 1;
+        g
+    };
+    let phases = 1 + (gene() % 3) as usize;
+    let mut builders: Vec<ProgramBuilder> = (0..RANKS).map(ProgramBuilder::new).collect();
+    for phase in 0..phases {
+        for rank in 0..RANKS {
+            let scratch = GlobalAddr::private(rank, 0).range(8);
+            let ops = gene() % 4;
+            let mut b = builders.remove(rank);
+            for _ in 0..ops {
+                let w = word(gene());
+                b = match gene() % 4 {
+                    0 => b.put_u64(gene(), w),
+                    1 => b.get(w, scratch),
+                    2 => b.lock(w).get(w, scratch).put_u64(gene(), w).unlock(w),
+                    _ => b.compute(100 * (gene() % 5)),
+                };
+            }
+            builders.insert(rank, b);
+        }
+        // Phase boundaries are all-or-nothing barriers, so counts always
+        // balance across ranks.
+        if phase + 1 < phases {
+            builders = builders.into_iter().map(|b| b.barrier()).collect();
+        }
+    }
+    builders.into_iter().map(|b| b.build()).collect()
+}
+
+proptest! {
+    #[test]
+    fn static_verdicts_bound_the_dynamic_oracle(
+        genes in collection::vec(0u64..u64::MAX, 48)
+    ) {
+        let programs = decode(&genes);
+        let analysis = match analyze_programs(&programs) {
+            Ok(a) => a,
+            Err(e) => panic!("generated program rejected: {e}"),
+        };
+        let catalogue = analysis.racy_sites();
+        let always: Vec<(usize, usize)> = catalogue
+            .iter()
+            .copied()
+            .filter(|&s| analysis.site_verdict(s) == Some(Verdict::AlwaysRaces))
+            .collect();
+        for seed in 0..SEEDS {
+            let cfg = SimConfig::debugging(RANKS).with_seed(seed);
+            let r = Engine::new(cfg, programs.clone()).run();
+            prop_assert!(r.stuck.is_empty(), "seed {seed}: ranks wedged");
+            prop_assert!(r.errors.is_empty(), "seed {seed}: substrate errors");
+            let oracle = Oracle::analyze(&r.trace);
+            let mut dynamic: Vec<(usize, usize)> =
+                oracle.truth_sites().into_iter().collect();
+            dynamic.sort_unstable();
+            for site in &dynamic {
+                prop_assert!(
+                    catalogue.contains(site),
+                    "seed {seed}: dynamic race at {site:?} graded NeverRaces statically \
+                     (catalogue {catalogue:?})"
+                );
+            }
+            for site in &always {
+                prop_assert!(
+                    dynamic.contains(site),
+                    "seed {seed}: AlwaysRaces site {site:?} missing from dynamic truth \
+                     {dynamic:?}"
+                );
+            }
+        }
+    }
+}

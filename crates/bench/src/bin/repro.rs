@@ -55,6 +55,19 @@
 //!                         # dual-clock pair, or a report stream that
 //!                         # changes with the shard count. `--seeds N`
 //!                         # widens the sweep (default 4).
+//!   repro --analyze       # static/dynamic cross-validation: the static
+//!                         # MHP analyzer (dsm-analysis) grades every
+//!                         # matrix twin over all schedules, and must agree
+//!                         # exactly with the embedded annotation and with
+//!                         # Oracle::analyze over per-seed dynamic runs.
+//!                         # Fails (exit 1) on any disagreement. `--seeds
+//!                         # N` widens the dynamic sample (default 6).
+//!   repro --lint          # never-panic repo lint: scan library (non-test)
+//!                         # code of the root crate and crates/*/src for
+//!                         # unwrap/expect/panic!/todo! and decoder
+//!                         # indexing, against the committed justified
+//!                         # allowlist (LINT_ALLOWLIST.txt). Fails (exit 1)
+//!                         # on any unlisted hit or stale allowlist entry.
 
 fn parse_seeds(args: &[String], default: u64) -> u64 {
     args.iter()
@@ -72,6 +85,54 @@ fn parse_seeds(args: &[String], default: u64) -> u64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--analyze") {
+        let seeds = parse_seeds(&args, 6);
+        let report = dsm_bench::analysis::run_analyze(seeds);
+        for line in &report.lines {
+            println!("{line}");
+        }
+        if !report.ok {
+            eprintln!(
+                "analyze: static/dynamic disagreement ({} scenario(s), {} run(s))",
+                report.scenarios, report.runs
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# analyze: {} scenario(s), {} dynamic run(s): static verdicts == annotations == oracle",
+            report.scenarios, report.runs
+        );
+        return;
+    }
+
+    if args.iter().any(|a| a == "--lint") {
+        // CI runs `cargo run -p dsm-bench --bin repro -- --lint` from the
+        // workspace root; allow an explicit root for out-of-tree use.
+        let root = args
+            .iter()
+            .position(|a| a == "--root")
+            .and_then(|at| args.get(at + 1))
+            .map(String::as_str)
+            .unwrap_or(".")
+            .to_string();
+        let cfg = dsm_analysis::LintConfig::new(root);
+        let report = match dsm_analysis::run_lint(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lint: io error: {e}");
+                std::process::exit(1);
+            }
+        };
+        for line in report.lines() {
+            println!("{line}");
+        }
+        if !report.ok() {
+            eprintln!("lint: panic-policy violation (see FAIL lines above)");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if args.iter().any(|a| a == "--scenarios") {
         let seeds = parse_seeds(&args, 4);

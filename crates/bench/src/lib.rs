@@ -11,6 +11,7 @@ use race_core::{DetectorKind, Oracle, RaceClass};
 use simulator::workloads::{figures, master_worker, random_access, reduction};
 use simulator::{Engine, Program, RunResult, SimConfig};
 
+pub mod analysis;
 pub mod chaos;
 pub mod opstream;
 pub mod perfjson;
@@ -172,13 +173,19 @@ pub fn fig5() -> Table {
     {
         let w = figures::fig5a();
         let r = run(SimConfig::debugging(w.n), w.programs);
-        let rep = &r.deduped[0];
-        rows.push(format!(
-            "5a concurrent puts     : {} race ({} × {})",
-            r.deduped.len(),
-            rep.previous.as_ref().unwrap().clock,
-            rep.current.clock
-        ));
+        let clocks = r
+            .deduped
+            .first()
+            .and_then(|rep| rep.previous.as_ref().map(|prev| (prev, &rep.current)));
+        rows.push(match clocks {
+            Some((prev, cur)) => format!(
+                "5a concurrent puts     : {} race ({} × {})",
+                r.deduped.len(),
+                prev.clock,
+                cur.clock
+            ),
+            None => format!("5a concurrent puts     : {} race", r.deduped.len()),
+        });
     }
     {
         let w = figures::fig5b();

@@ -4,6 +4,7 @@
 //! function of the seed (same seed ⇒ same scores, cell for cell).
 
 use dsm_bench::scenarios::{run_scenarios, scenario_matrix, MATRIX_KINDS, MATRIX_SHARDS};
+use simulator::workloads::RaceGrade;
 
 #[test]
 fn full_matrix_satisfies_ground_truth_and_is_deterministic() {
@@ -57,14 +58,26 @@ fn race_free_twins_are_silent_and_racy_twins_are_site_complete() {
                 silent_cells += 1;
             }
         } else {
-            // Always-racing twins hit their whole declared catalogue…
-            assert_eq!(
-                cell.truth_sites,
-                truth.racy_sites.len(),
-                "{}: oracle missed declared sites",
-                cell.scenario
-            );
-            // …and the site-complete kinds report every one of them.
+            match truth.grade {
+                // Always-racing twins hit their whole declared catalogue…
+                RaceGrade::Always => assert_eq!(
+                    cell.truth_sites,
+                    truth.racy_sites.len(),
+                    "{}: oracle missed declared sites",
+                    cell.scenario
+                ),
+                // …schedule-dependent twins hit a (possibly empty) subset —
+                // per-cell soundness is asserted inside run_scenarios, and
+                // the sweep-level both-outcomes check lives there too.
+                RaceGrade::Sometimes => assert!(
+                    cell.truth_sites <= truth.racy_sites.len(),
+                    "{}: oracle found more sites than declared",
+                    cell.scenario
+                ),
+                RaceGrade::Never => unreachable!("race-free handled above"),
+            }
+            // The site-complete kinds report every site the oracle found
+            // in *this* run (per-run truth, so this holds for both grades).
             if cell.detector != "literal-paper" {
                 assert_eq!(
                     cell.sites.false_negatives, 0,

@@ -76,7 +76,7 @@ pub use error::{DetectError, PipelineHealth, RetryPolicy};
 pub use event::{AccessKind, AccessList, AccessSummary, DsmOp, LockId, OpKind};
 pub use hb::{HbDetector, HbMode};
 pub use lockset::LocksetDetector;
-pub use oracle::{Oracle, Score, SiteKey, Trace, TraceAccess};
+pub use oracle::{site_of, Oracle, Score, SiteKey, Trace, TraceAccess};
 pub use reference::ReferenceHbDetector;
 pub use report::{dedup_reports, RaceClass, RaceReport};
 pub use sharded::{BatchingDetector, MemOp, ShardedDetector};

@@ -165,7 +165,11 @@ impl Score {
 /// soundness metric.
 pub type SiteKey = (Rank, usize);
 
-fn site_of(ra: &MemRange, rb: &MemRange) -> SiteKey {
+/// The site key of a conflicting range pair: the owner rank plus the
+/// higher of the two 8-byte word indices (the word where the overlap
+/// begins). Shared by the oracle's scoring and the static analyzer's
+/// verdict catalogue so the two graders name sites identically.
+pub fn site_of(ra: &MemRange, rb: &MemRange) -> SiteKey {
     let word = ra.addr.offset.max(rb.addr.offset) / 8;
     (ra.addr.rank, word)
 }

@@ -137,28 +137,35 @@ impl<'a> Reader<'a> {
             .pos
             .checked_add(n)
             .ok_or(SnapshotError::Malformed { what })?;
-        if end > self.buf.len() {
-            return Err(SnapshotError::Truncated { what });
-        }
-        let slice = &self.buf[self.pos..end];
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated { what })?;
         self.pos = end;
         Ok(slice)
     }
 
     fn u8(&mut self, what: &'static str) -> Result<u8, SnapshotError> {
-        Ok(self.take(1, what)?[0])
+        self.take(1, what)?
+            .first()
+            .copied()
+            .ok_or(SnapshotError::Truncated { what })
     }
 
     fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4, what)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated { what })?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
-        let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .take(8, what)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated { what })?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], SnapshotError> {

@@ -311,8 +311,8 @@ fn read_exact_or(
     at_boundary: bool,
 ) -> Result<(), WireError> {
     let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+    while let Some(dst) = buf.get_mut(filled..).filter(|d| !d.is_empty()) {
+        match r.read(dst) {
             Ok(0) => {
                 return if at_boundary && filled == 0 {
                     Err(FrameError::ConnectionClosed.into())
@@ -488,32 +488,43 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], FrameError> {
-        if self.buf.len() - self.pos < n {
-            return Err(FrameError::Truncated { what });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(FrameError::Truncated { what })?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(FrameError::Truncated { what })?;
+        self.pos = end;
         Ok(out)
     }
 
     fn take_u8(&mut self, what: &'static str) -> Result<u8, FrameError> {
-        Ok(self.take(1, what)?[0])
+        self.take(1, what)?
+            .first()
+            .copied()
+            .ok_or(FrameError::Truncated { what })
     }
 
     fn take_u32(&mut self, what: &'static str) -> Result<u32, FrameError> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4, what)?
+            .try_into()
+            .map_err(|_| FrameError::Truncated { what })?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn take_u64(&mut self, what: &'static str) -> Result<u64, FrameError> {
-        let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .take(8, what)?
+            .try_into()
+            .map_err(|_| FrameError::Truncated { what })?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn rest_utf8(&mut self, what: &'static str) -> Result<String, FrameError> {
-        let bytes = &self.buf[self.pos..];
+        let bytes = self.buf.get(self.pos..).unwrap_or(&[]);
         self.pos = self.buf.len();
         String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8 { what })
     }

@@ -101,7 +101,7 @@ mod tests {
         let r = racy(4, 2);
         assert_eq!(r.races_expected, Some(true));
         let t = r.truth.unwrap();
-        assert!(t.always_races);
+        assert!(t.always_races());
         assert_eq!(t.racy_sites, vec![(1, 0), (2, 0), (3, 0)]);
     }
 

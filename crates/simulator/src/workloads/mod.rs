@@ -26,12 +26,16 @@
 //!   communication-pattern twins, each carrying a [`ScenarioTruth`]
 //!   annotation so the oracle can grade detectors against known ground
 //!   truth — [`fanout`], [`fanin`], [`pipeline_nm`], [`poisson`],
-//!   [`producer_consumer`], [`lock_contention`].
+//!   [`producer_consumer`], [`lock_contention`], plus the
+//!   schedule-dependent pairs [`handshake`] and [`sendsend`] whose racy
+//!   twins are graded [`RaceGrade::Sometimes`] (certified by the static
+//!   analyzer in `dsm-analysis`, not by one dynamic schedule alone).
 
 pub mod counters;
 pub mod fanin;
 pub mod fanout;
 pub mod figures;
+pub mod handshake;
 pub mod lock_contention;
 pub mod master_worker;
 pub mod matvec;
@@ -41,9 +45,44 @@ pub mod producer_consumer;
 pub mod random_access;
 pub mod reduction;
 pub mod ring;
+pub mod sendsend;
 pub mod stencil;
 
 use crate::program::Program;
+
+/// The three-valued raciness grade of a scenario (or of one race site,
+/// in the static analyzer's per-site output).
+///
+/// The dynamic oracle grades one observed schedule; a scenario's *truth*
+/// must quantify over all of them:
+///
+/// * [`RaceGrade::Never`] — no schedule produces a race (every conflicting
+///   pair is ordered by the sync skeleton, or mutually excluded by a lock);
+/// * [`RaceGrade::Always`] — at least one conflicting pair carries no
+///   synchronisation whatsoever, so *every* schedule races;
+/// * [`RaceGrade::Sometimes`] — raciness is schedule-dependent: a dynamic
+///   edge (a data-flow absorb, a lock hand-off chain) orders the conflict
+///   in some interleavings and not in others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RaceGrade {
+    /// Race-free in every schedule.
+    Never,
+    /// Races in every schedule.
+    Always,
+    /// Races in some schedules only.
+    Sometimes,
+}
+
+impl RaceGrade {
+    /// Stable label for matrix output rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            RaceGrade::Never => "never",
+            RaceGrade::Always => "always",
+            RaceGrade::Sometimes => "sometimes",
+        }
+    }
+}
 
 /// Embedded ground truth for an oracle-validated scenario.
 ///
@@ -51,24 +90,30 @@ use crate::program::Program;
 /// 8-byte word index)` pairs, the same [`race_core::SiteKey`] shape the
 /// oracle's site scoring uses — where conflicting unsynchronised accesses
 /// exist in the workload. Empty means race-free by construction in every
-/// schedule. The harness asserts two directions per run:
+/// schedule. The harness asserts per run:
 ///
 /// * **soundness of the annotation** — every site the oracle finds racy is
 ///   in the catalogue;
-/// * **completeness of the detector** — when `always_races` holds, every
-///   catalogued site must be found by the oracle (and, for site-complete
-///   detector kinds, reported).
+/// * **completeness of the detector** — when the grade is
+///   [`RaceGrade::Always`], every catalogued site must be found by the
+///   oracle (and, for site-complete detector kinds, reported);
+/// * **schedule dependence** — when the grade is [`RaceGrade::Sometimes`],
+///   the sweep as a whole must observe both outcomes: some cell races at a
+///   catalogued site, some cell does not.
 ///
-/// `always_races` is set only when the racy accesses carry *no*
+/// `always` is declared only when the racy accesses carry *no*
 /// synchronisation whatsoever, so no schedule can order them (a data-flow
 /// absorb edge never orders the reading access itself — oracle semantics).
+/// `sometimes` is declared when every catalogued site's conflicts are
+/// orderable by a dynamic edge in some schedules — the grade the static
+/// analyzer (`dsm-analysis`) certifies as `ScheduleDependent`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioTruth {
     /// All `(owner rank, word index)` sites where races can occur; empty =
     /// race-free in every schedule.
     pub racy_sites: Vec<(usize, usize)>,
-    /// True when every catalogued site races in *every* schedule.
-    pub always_races: bool,
+    /// The scenario's raciness grade over all schedules.
+    pub grade: RaceGrade,
 }
 
 impl ScenarioTruth {
@@ -76,24 +121,43 @@ impl ScenarioTruth {
     pub fn race_free() -> Self {
         ScenarioTruth {
             racy_sites: Vec::new(),
-            always_races: false,
+            grade: RaceGrade::Never,
         }
     }
 
     /// An always-racing annotation over the given sites (sorted, deduped).
-    pub fn always(mut sites: Vec<(usize, usize)>) -> Self {
+    pub fn always(sites: Vec<(usize, usize)>) -> Self {
         assert!(!sites.is_empty(), "an always-racing truth needs sites");
+        ScenarioTruth {
+            racy_sites: Self::canonical(sites),
+            grade: RaceGrade::Always,
+        }
+    }
+
+    /// A schedule-dependent annotation over the given sites (sorted,
+    /// deduped): each site races in some schedules and not in others.
+    pub fn sometimes(sites: Vec<(usize, usize)>) -> Self {
+        assert!(!sites.is_empty(), "a schedule-dependent truth needs sites");
+        ScenarioTruth {
+            racy_sites: Self::canonical(sites),
+            grade: RaceGrade::Sometimes,
+        }
+    }
+
+    fn canonical(mut sites: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
         sites.sort_unstable();
         sites.dedup();
-        ScenarioTruth {
-            racy_sites: sites,
-            always_races: true,
-        }
+        sites
     }
 
     /// True when the annotation declares race-freedom.
     pub fn is_race_free(&self) -> bool {
         self.racy_sites.is_empty()
+    }
+
+    /// True when every catalogued site races in *every* schedule.
+    pub fn always_races(&self) -> bool {
+        self.grade == RaceGrade::Always
     }
 }
 
@@ -127,7 +191,7 @@ impl Workload {
     pub fn with_truth(mut self, truth: ScenarioTruth) -> Self {
         self.races_expected = if truth.is_race_free() {
             Some(false)
-        } else if truth.always_races {
+        } else if truth.always_races() {
             Some(true)
         } else {
             None

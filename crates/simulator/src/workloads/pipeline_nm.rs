@@ -108,7 +108,7 @@ mod tests {
     fn truth_covers_all_handoff_words() {
         let r = racy(4, 3);
         let t = r.truth.unwrap();
-        assert!(t.always_races);
+        assert!(t.always_races());
         assert_eq!(t.racy_sites.len(), 3 * 3, "stages 0..2 × items 0..2");
         assert!(t.racy_sites.contains(&(2, 2)));
         assert!(!t.racy_sites.contains(&(3, 0)), "last stage has no reader");

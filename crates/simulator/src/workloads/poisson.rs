@@ -103,7 +103,7 @@ mod tests {
     fn truth_annotations() {
         assert!(safe(4, 2, 1_000, 1).truth.unwrap().is_race_free());
         let t = racy(4, 2, 1_000, 1).truth.unwrap();
-        assert!(t.always_races);
+        assert!(t.always_races());
         assert_eq!(t.racy_sites, vec![(0, 0)]);
     }
 

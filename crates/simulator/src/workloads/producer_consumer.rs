@@ -99,7 +99,7 @@ mod tests {
         assert_eq!(s.programs.len(), 4);
         assert_eq!(s.races_expected, Some(false));
         let t = racy(4, 3).truth.unwrap();
-        assert!(t.always_races);
+        assert!(t.always_races());
         assert_eq!(t.racy_sites, vec![(0, 0), (2, 0)]);
     }
 
